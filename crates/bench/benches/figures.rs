@@ -1,0 +1,83 @@
+//! Criterion benches: one per paper artifact, so `cargo bench` both
+//! regenerates every experiment and tracks the cost of doing so.
+//!
+//! Benches run at `Quick` fidelity (the qualitative shapes are identical;
+//! see `tests/figures.rs`) with small sample counts — each iteration is a
+//! full multi-solve experiment, not a micro-kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vstack::experiments::{fig3, fig5, fig6, fig7, fig8, tables, Fidelity};
+use vstack::pdn::PdnParams;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_validation");
+    g.sample_size(10);
+    g.bench_function("open_loop", |b| {
+        b.iter(|| black_box(fig3::open_loop_validation().expect("fig3b")))
+    });
+    g.bench_function("closed_loop", |b| {
+        b.iter(|| black_box(fig3::closed_loop_validation().expect("fig3a")))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_em_lifetime");
+    g.sample_size(10);
+    g.bench_function("fig5a_tsv", |b| {
+        b.iter(|| black_box(fig5::tsv_lifetimes(Fidelity::Quick).expect("fig5a")))
+    });
+    g.bench_function("fig5b_c4", |b| {
+        b.iter(|| black_box(fig5::c4_lifetimes(Fidelity::Quick).expect("fig5b")))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_ir_drop");
+    g.sample_size(10);
+    g.bench_function("imbalance_sweep_8_layers", |b| {
+        b.iter(|| black_box(fig6::ir_drop_study(Fidelity::Quick, 8).expect("fig6")))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_workloads");
+    g.sample_size(10);
+    g.bench_function("parsec_distributions", |b| {
+        b.iter(|| black_box(fig7::workload_distributions()))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_efficiency");
+    g.sample_size(10);
+    g.bench_function("efficiency_sweep_8_layers", |b| {
+        b.iter(|| black_box(fig8::efficiency_study(Fidelity::Quick, 8).expect("fig8")))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let params = PdnParams::paper_defaults();
+    c.bench_function("tables/table1_and_2", |b| {
+        b.iter(|| {
+            black_box(tables::table1(&params));
+            black_box(tables::table2(&params));
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_tables
+);
+criterion_main!(figures);

@@ -1,0 +1,182 @@
+//! Interactive design-point explorer: solve any regular or voltage-stacked
+//! configuration from the command line.
+//!
+//! ```text
+//! cargo run --release -p vstack-bench --bin explore -- \
+//!     --topology vs --layers 8 --tsv few --converters 8 --imbalance 0.65
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--topology vs|regular` (default `vs`)
+//! * `--layers N` (default 8)
+//! * `--tsv dense|sparse|few` (default `few`)
+//! * `--power-c4 F` pad fraction (default 0.25 for V-S, 0.5 for regular)
+//! * `--converters K` per core (default 8; V-S only)
+//! * `--imbalance X` 0–1 (default 0.65; V-S only — regular worst case is
+//!   full activity)
+//! * `--closed-loop` use frequency-modulated converters
+//! * `--quick` coarse electrical grid
+
+use vstack::em_study::paper_em_lifetimes;
+use vstack::pdn::TsvTopology;
+use vstack::sc::compact::ScConverter;
+use vstack::scenario::DesignScenario;
+
+#[derive(Debug)]
+struct Args {
+    topology: String,
+    layers: usize,
+    tsv: TsvTopology,
+    power_c4: Option<f64>,
+    converters: usize,
+    imbalance: f64,
+    closed_loop: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        topology: "vs".into(),
+        layers: 8,
+        tsv: TsvTopology::Few,
+        power_c4: None,
+        converters: 8,
+        imbalance: 0.65,
+        closed_loop: false,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--topology" => args.topology = value("--topology")?,
+            "--layers" => {
+                args.layers = value("--layers")?
+                    .parse()
+                    .map_err(|e| format!("--layers: {e}"))?
+            }
+            "--tsv" => {
+                args.tsv = match value("--tsv")?.as_str() {
+                    "dense" => TsvTopology::Dense,
+                    "sparse" => TsvTopology::Sparse,
+                    "few" => TsvTopology::Few,
+                    other => return Err(format!("unknown --tsv {other}")),
+                }
+            }
+            "--power-c4" => {
+                args.power_c4 = Some(
+                    value("--power-c4")?
+                        .parse()
+                        .map_err(|e| format!("--power-c4: {e}"))?,
+                )
+            }
+            "--converters" => {
+                args.converters = value("--converters")?
+                    .parse()
+                    .map_err(|e| format!("--converters: {e}"))?
+            }
+            "--imbalance" => {
+                args.imbalance = value("--imbalance")?
+                    .parse()
+                    .map_err(|e| format!("--imbalance: {e}"))?
+            }
+            "--closed-loop" => args.closed_loop = true,
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                println!("see module docs: cargo doc -p vstack-bench --bin explore");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("{e} (try --help)"))?;
+
+    let mut scenario = DesignScenario::paper_baseline()
+        .layers(args.layers)
+        .tsv_topology(args.tsv)
+        .converters_per_core(args.converters);
+    if args.quick {
+        scenario = scenario.coarse_grid();
+    }
+    if args.closed_loop {
+        scenario = scenario.converter(ScConverter::paper_28nm_closed_loop());
+    }
+
+    match args.topology.as_str() {
+        "vs" => {
+            scenario = scenario.power_c4_fraction(args.power_c4.unwrap_or(0.25));
+            let sol = scenario.solve_voltage_stacked(args.imbalance)?;
+            let life = paper_em_lifetimes(&sol);
+            println!(
+                "V-S PDN: {} layers, {}, {} conv/core, {:.0}% imbalance{}",
+                args.layers,
+                args.tsv.name(),
+                args.converters,
+                100.0 * args.imbalance,
+                if args.closed_loop {
+                    ", closed loop"
+                } else {
+                    ""
+                },
+            );
+            println!(
+                "  max IR drop      : {:.2}% Vdd",
+                100.0 * sol.max_ir_drop_frac
+            );
+            println!(
+                "  mean IR drop     : {:.2}% Vdd",
+                100.0 * sol.mean_ir_drop_frac
+            );
+            println!("  efficiency       : {:.1}%", 100.0 * sol.efficiency());
+            println!(
+                "  converters       : {} total, {} overloaded",
+                sol.converter_currents.len(),
+                sol.overloaded_converters
+            );
+            println!("  C4 EM lifetime   : {:.2e} h", life.c4_hours);
+            println!("  TSV EM lifetime  : {:.2e} h", life.tsv_hours);
+            println!(
+                "  area overhead    : {:.1}% per core",
+                100.0 * scenario.vs_area_overhead_per_core()
+            );
+        }
+        "regular" => {
+            scenario = scenario.power_c4_fraction(args.power_c4.unwrap_or(0.5));
+            let sol = scenario.solve_regular_peak()?;
+            let life = paper_em_lifetimes(&sol);
+            println!(
+                "Regular PDN: {} layers, {}, all layers active",
+                args.layers,
+                args.tsv.name(),
+            );
+            println!(
+                "  max IR drop      : {:.2}% Vdd",
+                100.0 * sol.max_ir_drop_frac
+            );
+            println!(
+                "  mean IR drop     : {:.2}% Vdd",
+                100.0 * sol.mean_ir_drop_frac
+            );
+            println!(
+                "  max pad current  : {:.1} mA",
+                1000.0 * sol.vdd_c4.max_current()
+            );
+            println!(
+                "  max TSV current  : {:.1} mA",
+                1000.0 * sol.tsv.max_current()
+            );
+            println!("  C4 EM lifetime   : {:.2e} h", life.c4_hours);
+            println!("  TSV EM lifetime  : {:.2e} h", life.tsv_hours);
+        }
+        other => return Err(format!("unknown --topology {other} (vs|regular)").into()),
+    }
+    Ok(())
+}

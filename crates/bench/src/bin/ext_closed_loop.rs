@@ -1,0 +1,37 @@
+//! Regenerates the **closed-loop control extension** study: open- vs
+//! closed-loop converters across the Fig 8 imbalance sweep (the paper's
+//! deferred future work).
+
+use vstack::experiments::{ext_closed_loop, Fidelity};
+use vstack_bench::{heading, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Extension — open-loop vs closed-loop SC control, 8 layers");
+    let series = ext_closed_loop::control_policy_study(Fidelity::Paper, 8, &[2, 4, 8])?;
+    for s in &series {
+        println!("\n{} converters/core:", s.converters_per_core);
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>12} {:>6}",
+            "imb", "open eff", "closed eff", "open drop", "closed drop", "iters"
+        );
+        for p in &s.points {
+            println!(
+                "{:>5.0}% {:>10} {:>10} {:>12} {:>12} {:>6}",
+                100.0 * p.imbalance,
+                pct(p.open_efficiency),
+                pct(p.closed_efficiency),
+                pct(p.open_ir_drop),
+                pct(p.closed_ir_drop),
+                p.iterations
+            );
+        }
+    }
+    println!(
+        "\nReading: frequency modulation scales switching loss with load, so\n\
+         closed-loop control recovers the light-imbalance efficiency and\n\
+         erases the converter-count penalty of Fig 8 — at the price of a\n\
+         higher light-load output impedance (≈5x the IR drop at 10%\n\
+         imbalance)."
+    );
+    Ok(())
+}

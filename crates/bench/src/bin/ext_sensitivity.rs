@@ -1,0 +1,30 @@
+//! Regenerates the **parameter-sensitivity extension** study: tornado
+//! table of the V-S worst IR drop at 65% imbalance under ±30% parameter
+//! perturbations.
+
+use vstack::experiments::{ext_sensitivity, Fidelity};
+use vstack_bench::{heading, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Extension — sensitivity tornado, 8-layer V-S @ 65% imbalance");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "knob (±30%)", "-30%", "base", "+30%", "swing"
+    );
+    for row in ext_sensitivity::tornado(Fidelity::Paper, 8, 0.65)? {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            row.knob.name(),
+            pct(row.drop_low),
+            pct(row.drop_base),
+            pct(row.drop_high),
+            pct(row.swing())
+        );
+    }
+    println!(
+        "\nReading: converter R_SERIES dominates the V-S noise budget at the\n\
+         application-average imbalance — converter design, not TSV or pad\n\
+         allocation, is where a V-S designer's effort pays off."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Regenerates the **trace-driven noise extension** study: replays
+//! phase-correlated Parsec traces through the 8-layer V-S PDN.
+
+use vstack::experiments::{ext_trace, Fidelity};
+use vstack::power::workload::ParsecApp;
+use vstack_bench::{heading, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Extension — trace-driven V-S noise (200 windows, 8 conv/core, 8 layers)");
+    let schedules: [(&str, [ParsecApp; 8]); 3] = [
+        ("same-app (blackscholes)", [ParsecApp::Blackscholes; 8]),
+        (
+            "mixed compute/memory",
+            [
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+            ],
+        ),
+        (
+            "mixed bursty",
+            [
+                ParsecApp::X264,
+                ParsecApp::Ferret,
+                ParsecApp::Dedup,
+                ParsecApp::Vips,
+                ParsecApp::X264,
+                ParsecApp::Ferret,
+                ParsecApp::Dedup,
+                ParsecApp::Vips,
+            ],
+        ),
+    ];
+    println!(
+        "{:<26} {:>10} {:>10} {:>14} {:>12}",
+        "schedule", "mean drop", "worst", ">3% windows", "overloads"
+    );
+    for (name, apps) in &schedules {
+        let t = ext_trace::replay_trace(Fidelity::Paper, apps, 200, 8)?;
+        println!(
+            "{:<26} {:>10} {:>10} {:>13.1}% {:>12}",
+            name,
+            pct(t.mean_drop()),
+            pct(t.worst_drop()),
+            100.0 * t.exceedance(0.03),
+            t.overloaded_windows
+        );
+    }
+    println!(
+        "\nReading: static worst-case analysis (Fig 6) bounds the replayed\n\
+         traces, but typical windows sit far below it — and same-app\n\
+         scheduling keeps even the worst window near the balanced floor."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Regenerates the **load-step transient extension** study: di/dt
+//! response of the V-S PDN when workload imbalance appears, vs decap
+//! budget and converter count, with a regular-PDN reference.
+
+use vstack::experiments::{ext_transient, Fidelity};
+use vstack_bench::{heading, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Extension — V-S load-step transient (balanced → 65% imbalance, 8 layers)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>12}",
+        "conv/core", "decap", "initial", "peak", "final", "overshoot", "settle"
+    );
+    let points =
+        ext_transient::vs_step_study(Fidelity::Paper, 8, 0.65, &[4, 8], &[10e-9, 40e-9, 100e-9])?;
+    for p in &points {
+        println!(
+            "{:>8} {:>8.0}nF {:>10} {:>10} {:>10} {:>11} {:>10}",
+            p.converters_per_core,
+            p.decap_per_core_f * 1e9,
+            pct(p.initial_drop),
+            pct(p.peak_drop),
+            pct(p.final_drop),
+            pct(p.overshoot),
+            p.settling_time_s
+                .map(|t| format!("{:.0} ns", t * 1e9))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+    let reg = ext_transient::regular_step_reference(Fidelity::Paper, 8, 40e-9)?;
+    println!(
+        "\nRegular PDN reference (30%→100% activity step, Dense TSV, 40 nF):\n\
+         initial {} → peak {} → final {}, settle {}",
+        pct(reg.initial_drop),
+        pct(reg.peak_drop),
+        pct(reg.final_drop),
+        reg.settling_time_s
+            .map(|t| format!("{:.0} ns", t * 1e9))
+            .unwrap_or_else(|| "—".into()),
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Fig 3**: SC-converter compact-model validation against
+//! the detailed switched-netlist simulation (Spectre substitute).
+
+use vstack_bench::heading;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Fig 3a — closed-loop control: efficiency vs load current");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "load (mA)", "model eff", "sim eff", "model Vdrop", "sim Vdrop"
+    );
+    for r in vstack::experiments::fig3::closed_loop_validation()? {
+        println!(
+            "{:>10.1} {:>11.1}% {:>11.1}% {:>11.1} mV {:>11.1} mV",
+            r.load_ma,
+            100.0 * r.model_efficiency,
+            100.0 * r.sim_efficiency,
+            r.model_vdrop_mv,
+            r.sim_vdrop_mv
+        );
+    }
+
+    println!();
+    heading("Fig 3b — open-loop control: efficiency and V_drop vs load current");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "load (mA)", "model eff", "sim eff", "model Vdrop", "sim Vdrop"
+    );
+    for r in vstack::experiments::fig3::open_loop_validation()? {
+        println!(
+            "{:>10.1} {:>11.1}% {:>11.1}% {:>11.1} mV {:>11.1} mV",
+            r.load_ma,
+            100.0 * r.model_efficiency,
+            100.0 * r.sim_efficiency,
+            r.model_vdrop_mv,
+            r.sim_vdrop_mv
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig 5b**: power-supply C4 pad array EM-free MTTF vs layer
+//! count (normalized to the 2-layer V-S PDN).
+
+use vstack::experiments::{fig5, Fidelity};
+use vstack_bench::{heading, print_series};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Fig 5b — normalized C4 EM-free MTTF vs stacked layers");
+    let data = fig5::c4_lifetimes(Fidelity::Paper)?;
+    for s in &data.series {
+        print_series(&s.label, &s.points, "");
+    }
+    Ok(())
+}

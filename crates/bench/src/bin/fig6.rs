@@ -1,0 +1,35 @@
+//! Regenerates **Fig 6**: maximum on-chip IR drop vs workload imbalance
+//! for the 8-layer processor (V-S sweeps + regular reference lines).
+
+use vstack::experiments::{fig6, Fidelity};
+use vstack_bench::{heading, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Fig 6 — max on-chip IR drop (% Vdd) vs workload imbalance, 8 layers");
+    let data = fig6::ir_drop_study(Fidelity::Paper, 8)?;
+    for s in &data.vs_series {
+        print!(
+            "{:<44}",
+            format!("3D+V-S, Few TSV, {} converter/core", s.converters_per_core)
+        );
+        for p in &s.points {
+            print!(" {:.0}%:{}", 100.0 * p.imbalance, pct(p.max_ir_drop_frac));
+        }
+        if !s.skipped.is_empty() {
+            print!(
+                "  [skipped >100 mA: {}]",
+                s.skipped
+                    .iter()
+                    .map(|x| format!("{:.0}%", 100.0 * x))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+        println!();
+    }
+    println!("\nMax IR drop in 3D-only (regular PDN) cases:");
+    for (topo, v) in &data.regular_references {
+        println!("  {:<12} {}", topo.name(), pct(*v));
+    }
+    Ok(())
+}

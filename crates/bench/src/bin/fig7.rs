@@ -1,0 +1,31 @@
+//! Regenerates **Fig 7**: Parsec per-application power distributions
+//! (box-plot five-number summaries) and the derived imbalance statistics.
+
+use vstack::experiments::fig7;
+use vstack_bench::heading;
+
+fn main() {
+    heading("Fig 7 — Parsec 16-core layer power distributions (W)");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "application", "min", "q25", "median", "q75", "max", "max-imb"
+    );
+    let data = fig7::workload_distributions();
+    for r in &data.rows {
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.0}%",
+            r.app.name(),
+            r.power_w.min,
+            r.power_w.q25,
+            r.power_w.median,
+            r.power_w.q75,
+            r.power_w.max,
+            100.0 * r.max_imbalance
+        );
+    }
+    println!(
+        "\naverage per-app max imbalance: {:.0}%   global max imbalance: {:.0}%",
+        100.0 * data.average_max_imbalance,
+        100.0 * data.global_max_imbalance
+    );
+}

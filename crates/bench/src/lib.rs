@@ -1,0 +1,42 @@
+//! Rendering helpers shared by the `figN`/`tableN` regeneration binaries.
+//!
+//! Each binary prints one table or figure of the DAC 2015 paper as plain
+//! text rows (series name + points), which is the form the paper's own
+//! figures reduce to. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p vstack-bench --bin fig5a
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a header line followed by a rule.
+pub fn heading(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+/// Prints one labelled numeric series as `label: x=v` pairs.
+pub fn print_series<X: std::fmt::Display>(label: &str, points: &[(X, f64)], unit: &str) {
+    print!("{label:<42}");
+    for (x, v) in points {
+        print!(" {x}:{v:.3}{unit}");
+    }
+    println!();
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0123), "1.23%");
+    }
+}

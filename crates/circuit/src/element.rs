@@ -1,0 +1,100 @@
+use crate::netlist::NodeId;
+
+/// Identifies an element within its [`crate::Circuit`], returned by the
+/// element-builder methods. Use it to query branch currents from an
+/// operating point or transient result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub(crate) usize);
+
+/// Which half of the two-phase, non-overlapping clock closes a switch.
+///
+/// Switched-capacitor converters toggle their switch banks on complementary
+/// clock phases (`CLK1`/`CLK2` in the paper's Fig 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchPhase {
+    /// Closed during the first half-period (`CLK1` high).
+    A,
+    /// Closed during the second half-period (`CLK2` high).
+    B,
+    /// Always closed (useful for modelling bypass/hold switches).
+    AlwaysOn,
+}
+
+impl SwitchPhase {
+    /// Whether a switch on this phase is conducting when phase-A is active.
+    pub fn closed_in_phase_a(self) -> bool {
+        matches!(self, SwitchPhase::A | SwitchPhase::AlwaysOn)
+    }
+
+    /// Whether a switch on this phase is conducting when phase-B is active.
+    pub fn closed_in_phase_b(self) -> bool {
+        matches!(self, SwitchPhase::B | SwitchPhase::AlwaysOn)
+    }
+}
+
+/// Circuit element. Stored flat inside [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Element {
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+        /// Initial voltage `v(a) − v(b)` at `t = 0`.
+        initial_volts: f64,
+    },
+    /// Current flows *from* `from` *to* `to` through the source (i.e. the
+    /// source injects current into `to` and extracts it from `from`).
+    CurrentSource {
+        from: NodeId,
+        to: NodeId,
+        amps: f64,
+    },
+    /// Ideal voltage source: `v(plus) − v(minus) = volts`. Adds one MNA
+    /// branch-current unknown.
+    VoltageSource {
+        plus: NodeId,
+        minus: NodeId,
+        volts: f64,
+        /// Index into the branch-current unknowns.
+        branch: usize,
+    },
+    /// Voltage-controlled voltage source:
+    /// `v(plus) − v(minus) = Σ gain_i · (v(ctrl_plus_i) − v(ctrl_minus_i))`.
+    /// Supports multiple controlling ports so the SC converter's
+    /// `(V_top + V_bottom)/2` output law is a single element.
+    Vcvs {
+        plus: NodeId,
+        minus: NodeId,
+        controls: Vec<(NodeId, NodeId, f64)>,
+        branch: usize,
+    },
+    /// Clocked switch: resistance `r_on` when its phase is active, `r_off`
+    /// otherwise.
+    Switch {
+        a: NodeId,
+        b: NodeId,
+        r_on: f64,
+        r_off: f64,
+        phase: SwitchPhase,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_phase_truth_table() {
+        assert!(SwitchPhase::A.closed_in_phase_a());
+        assert!(!SwitchPhase::A.closed_in_phase_b());
+        assert!(!SwitchPhase::B.closed_in_phase_a());
+        assert!(SwitchPhase::B.closed_in_phase_b());
+        assert!(SwitchPhase::AlwaysOn.closed_in_phase_a());
+        assert!(SwitchPhase::AlwaysOn.closed_in_phase_b());
+    }
+}

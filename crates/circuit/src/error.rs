@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use vstack_sparse::SolveError;
+
+/// Error returned by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The underlying linear solve failed — usually a floating node or a
+    /// loop of ideal voltage sources making the MNA matrix singular.
+    Solve(SolveError),
+    /// An element was given a non-physical parameter (e.g. negative
+    /// resistance or capacitance).
+    InvalidParameter {
+        /// Which element kind complained.
+        element: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A transient analysis was configured with a non-positive step or span.
+    InvalidTimeBase {
+        /// Description of the bad configuration.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::Solve(e) => write!(f, "linear solve failed: {e}"),
+            CircuitError::InvalidParameter { element, message } => {
+                write!(f, "invalid {element} parameter: {message}")
+            }
+            CircuitError::InvalidTimeBase { message } => {
+                write!(f, "invalid transient time base: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for CircuitError {
+    fn from(e: SolveError) -> Self {
+        CircuitError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_error_wraps_with_source() {
+        let e = CircuitError::from(SolveError::SingularMatrix { pivot: 3 });
+        assert!(e.to_string().contains("singular"));
+        assert!(Error::source(&e).is_some());
+    }
+}

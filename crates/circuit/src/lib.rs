@@ -1,0 +1,53 @@
+//! A modified-nodal-analysis (MNA) circuit engine: the "Spectre substitute"
+//! of the `vstack` toolkit.
+//!
+//! The DAC 2015 voltage-stacking paper validates its compact
+//! switched-capacitor (SC) converter model against transistor-level Spectre
+//! simulations (its Fig 3). We reproduce that validation loop with this
+//! crate: a small, deterministic circuit simulator supporting
+//!
+//! * **Elements**: resistors, capacitors, independent current and voltage
+//!   sources, voltage-controlled voltage sources (VCVS), and two-phase
+//!   clocked switches (`R_on`/`R_off` model — the standard idealization of a
+//!   CMOS power switch).
+//! * **Analyses**: DC operating point ([`Circuit::dc_operating_point`]) and
+//!   fixed-step backward-Euler transient ([`transient::Transient`]), with
+//!   LU factors cached per switch phase so periodic steady-state runs are
+//!   fast.
+//!
+//! Circuits here are *small* (tens of nodes — converter cells, compact test
+//! benches); the full-chip PDN is assembled directly as a sparse SPD system
+//! in `vstack-pdn`, not through this crate.
+//!
+//! # Example: resistor divider
+//!
+//! ```
+//! use vstack_circuit::{Circuit, GROUND};
+//!
+//! # fn main() -> Result<(), vstack_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("vin");
+//! let mid = ckt.node("mid");
+//! ckt.voltage_source(vin, GROUND, 2.0);
+//! ckt.resistor(vin, mid, 1_000.0);
+//! ckt.resistor(mid, GROUND, 1_000.0);
+//! let op = ckt.dc_operating_point()?;
+//! assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod element;
+mod error;
+mod mna;
+mod netlist;
+
+pub mod transient;
+pub mod waveform;
+
+pub use element::{ElementId, SwitchPhase};
+pub use error::CircuitError;
+pub use netlist::{Circuit, NodeId, OperatingPoint, GROUND};

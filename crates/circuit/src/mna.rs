@@ -1,0 +1,255 @@
+//! Modified-nodal-analysis assembly.
+//!
+//! Unknown ordering: `[v₁ … v_{N−1}, i_b₀ … i_b_{M−1}]` — node voltages for
+//! every node except ground, then one branch current per voltage source /
+//! VCVS in creation order.
+
+use vstack_sparse::dense::DenseMatrix;
+
+use crate::element::Element;
+use crate::netlist::{Circuit, NodeId};
+
+/// Internal clock-phase state used during assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum PhaseState {
+    A,
+    B,
+}
+
+impl PhaseState {
+    fn switch_closed(self, phase: crate::element::SwitchPhase) -> bool {
+        match self {
+            PhaseState::A => phase.closed_in_phase_a(),
+            PhaseState::B => phase.closed_in_phase_b(),
+        }
+    }
+}
+
+/// Maps a node to its unknown index (ground has none).
+fn unknown(node: NodeId) -> Option<usize> {
+    if node.0 == 0 {
+        None
+    } else {
+        Some(node.0 - 1)
+    }
+}
+
+fn stamp_conductance(m: &mut DenseMatrix, a: NodeId, b: NodeId, g: f64) {
+    let (ia, ib) = (unknown(a), unknown(b));
+    if let Some(i) = ia {
+        m[(i, i)] += g;
+    }
+    if let Some(j) = ib {
+        m[(j, j)] += g;
+    }
+    if let (Some(i), Some(j)) = (ia, ib) {
+        m[(i, j)] -= g;
+        m[(j, i)] -= g;
+    }
+}
+
+fn stamp_current(rhs: &mut [f64], from: NodeId, to: NodeId, amps: f64) {
+    if let Some(i) = unknown(to) {
+        rhs[i] += amps;
+    }
+    if let Some(i) = unknown(from) {
+        rhs[i] -= amps;
+    }
+}
+
+/// Assembly context shared by DC and transient.
+pub(crate) struct Assembly {
+    pub matrix: DenseMatrix,
+    pub rhs: Vec<f64>,
+    n_node_unknowns: usize,
+}
+
+impl Assembly {
+    fn new(circuit: &Circuit) -> Self {
+        let n_node_unknowns = circuit.node_count() - 1;
+        let dim = n_node_unknowns + circuit.n_branches;
+        Assembly {
+            matrix: DenseMatrix::zeros(dim, dim),
+            rhs: vec![0.0; dim],
+            n_node_unknowns,
+        }
+    }
+
+    fn branch_row(&self, branch: usize) -> usize {
+        self.n_node_unknowns + branch
+    }
+
+    /// Stamps every element. `cap` controls how capacitors are handled:
+    /// `None` → open (DC); `Some((dt, v_prev_fn))` → backward-Euler
+    /// companion model with previous capacitor voltage from the callback.
+    fn stamp_all(
+        &mut self,
+        circuit: &Circuit,
+        phase: PhaseState,
+        cap: Option<(f64, &dyn Fn(usize) -> f64)>,
+    ) {
+        for (idx, e) in circuit.elements.iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_conductance(&mut self.matrix, *a, *b, 1.0 / ohms);
+                }
+                Element::Switch {
+                    a,
+                    b,
+                    r_on,
+                    r_off,
+                    phase: sw_phase,
+                } => {
+                    let r = if phase.switch_closed(*sw_phase) {
+                        *r_on
+                    } else {
+                        *r_off
+                    };
+                    stamp_conductance(&mut self.matrix, *a, *b, 1.0 / r);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let Some((dt, v_prev)) = cap {
+                        let g = farads / dt;
+                        stamp_conductance(&mut self.matrix, *a, *b, g);
+                        // The companion current source injects g·v_prev into
+                        // `a` and extracts it from `b`.
+                        stamp_current(&mut self.rhs, *b, *a, g * v_prev(idx));
+                    }
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    stamp_current(&mut self.rhs, *from, *to, *amps);
+                }
+                Element::VoltageSource {
+                    plus,
+                    minus,
+                    volts,
+                    branch,
+                } => {
+                    let row = self.branch_row(*branch);
+                    if let Some(i) = unknown(*plus) {
+                        self.matrix[(i, row)] += 1.0;
+                        self.matrix[(row, i)] += 1.0;
+                    }
+                    if let Some(i) = unknown(*minus) {
+                        self.matrix[(i, row)] -= 1.0;
+                        self.matrix[(row, i)] -= 1.0;
+                    }
+                    self.rhs[row] = *volts;
+                }
+                Element::Vcvs {
+                    plus,
+                    minus,
+                    controls,
+                    branch,
+                } => {
+                    let row = self.branch_row(*branch);
+                    if let Some(i) = unknown(*plus) {
+                        self.matrix[(i, row)] += 1.0;
+                        self.matrix[(row, i)] += 1.0;
+                    }
+                    if let Some(i) = unknown(*minus) {
+                        self.matrix[(i, row)] -= 1.0;
+                        self.matrix[(row, i)] -= 1.0;
+                    }
+                    for &(cp, cm, gain) in controls {
+                        if let Some(i) = unknown(cp) {
+                            self.matrix[(row, i)] -= gain;
+                        }
+                        if let Some(i) = unknown(cm) {
+                            self.matrix[(row, i)] += gain;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Assembles the DC system (capacitors open).
+pub(crate) fn assemble_dc(circuit: &Circuit, phase: PhaseState) -> (DenseMatrix, Vec<f64>) {
+    let mut asm = Assembly::new(circuit);
+    asm.stamp_all(circuit, phase, None);
+    (asm.matrix, asm.rhs)
+}
+
+/// Assembles the backward-Euler transient matrix for a given phase and
+/// timestep. The matrix depends only on `(phase, dt)`; the right-hand side
+/// must be rebuilt every step via [`assemble_transient_rhs`].
+pub(crate) fn assemble_transient_matrix(
+    circuit: &Circuit,
+    phase: PhaseState,
+    dt: f64,
+) -> DenseMatrix {
+    let mut asm = Assembly::new(circuit);
+    // v_prev contributions go to the RHS only; pass a zero callback.
+    asm.stamp_all(circuit, phase, Some((dt, &|_| 0.0)));
+    asm.matrix
+}
+
+/// Assembles the transient right-hand side for one timestep.
+///
+/// `cap_v_prev(element_index)` must return the capacitor voltage
+/// `v(a) − v(b)` at the previous timestep.
+pub(crate) fn assemble_transient_rhs(
+    circuit: &Circuit,
+    dt: f64,
+    cap_v_prev: &dyn Fn(usize) -> f64,
+) -> Vec<f64> {
+    let n_node_unknowns = circuit.node_count() - 1;
+    let dim = n_node_unknowns + circuit.n_branches;
+    let mut rhs = vec![0.0; dim];
+    for (idx, e) in circuit.elements.iter().enumerate() {
+        match e {
+            Element::Capacitor { a, b, farads, .. } => {
+                let g = farads / dt;
+                stamp_current(&mut rhs, *b, *a, g * cap_v_prev(idx));
+            }
+            Element::CurrentSource { from, to, amps } => {
+                stamp_current(&mut rhs, *from, *to, *amps);
+            }
+            Element::VoltageSource { volts, branch, .. } => {
+                rhs[n_node_unknowns + branch] = *volts;
+            }
+            _ => {}
+        }
+    }
+    rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn dc_matrix_shape_includes_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source(a, GROUND, 1.0);
+        c.resistor(a, GROUND, 1.0);
+        let (m, rhs) = assemble_dc(&c, PhaseState::A);
+        assert_eq!(m.rows(), 2); // one node unknown + one branch
+        assert_eq!(rhs.len(), 2);
+        assert_eq!(rhs[1], 1.0);
+    }
+
+    #[test]
+    fn transient_matrix_contains_cap_conductance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, GROUND, 1e-6);
+        c.resistor(a, GROUND, 1.0);
+        let m = assemble_transient_matrix(&c, PhaseState::A, 1e-6);
+        // g_cap = C/dt = 1.0, plus resistor 1.0.
+        assert!((m[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_rhs_uses_previous_cap_voltage() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, GROUND, 2e-6);
+        let rhs = assemble_transient_rhs(&c, 1e-6, &|_| 0.5);
+        assert!((rhs[0] - 1.0).abs() < 1e-12); // g·v_prev = 2 · 0.5
+    }
+}

@@ -1,0 +1,148 @@
+//! Time-series storage and measurement helpers for transient results.
+
+/// A sampled waveform: strictly increasing times plus one value per sample.
+///
+/// Returned by [`crate::transient::TransientResult`] probes. The measurement
+/// helpers ([`Waveform::average_between`], [`Waveform::min_between`], …)
+/// implement the steady-state extraction used by the Fig 3 converter
+/// validation: average output voltage and current over the last few
+/// switching periods.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        Waveform::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly greater than the previous sample time.
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "waveform samples must have increasing time");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The final sampled value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    fn window(&self, t0: f64, t1: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+            .filter(move |&(t, _)| t >= t0 && t <= t1)
+    }
+
+    /// Time-weighted (trapezoidal) average of the samples in `[t0, t1]`.
+    /// Returns `None` if fewer than two samples fall in the window.
+    pub fn average_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self.window(t0, t1).collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        for w in pts.windows(2) {
+            let (ta, va) = w[0];
+            let (tb, vb) = w[1];
+            area += 0.5 * (va + vb) * (tb - ta);
+        }
+        let span = pts.last().unwrap().0 - pts[0].0;
+        Some(area / span)
+    }
+
+    /// Minimum sample value in `[t0, t1]`, or `None` if the window is empty.
+    pub fn min_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        self.window(t0, t1).map(|(_, v)| v).reduce(f64::min)
+    }
+
+    /// Maximum sample value in `[t0, t1]`, or `None` if the window is empty.
+    pub fn max_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        self.window(t0, t1).map(|(_, v)| v).reduce(f64::max)
+    }
+
+    /// Peak-to-peak ripple in `[t0, t1]`, or `None` if the window is empty.
+    pub fn ripple_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        Some(self.max_between(t0, t1)? - self.min_between(t0, t1)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        let mut w = Waveform::new();
+        for i in 0..=10 {
+            w.push(i as f64, i as f64);
+        }
+        w
+    }
+
+    #[test]
+    fn average_of_ramp_is_midpoint() {
+        let w = ramp();
+        assert!((w.average_between(0.0, 10.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.average_between(4.0, 6.0).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ripple() {
+        let w = ramp();
+        assert_eq!(w.min_between(2.0, 7.0), Some(2.0));
+        assert_eq!(w.max_between(2.0, 7.0), Some(7.0));
+        assert_eq!(w.ripple_between(2.0, 7.0), Some(5.0));
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let w = ramp();
+        assert_eq!(w.average_between(20.0, 30.0), None);
+        assert_eq!(w.min_between(20.0, 30.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing time")]
+    fn non_monotonic_push_panics() {
+        let mut w = Waveform::new();
+        w.push(1.0, 0.0);
+        w.push(1.0, 0.0);
+    }
+
+    #[test]
+    fn last_value() {
+        assert_eq!(ramp().last(), Some(10.0));
+        assert_eq!(Waveform::new().last(), None);
+    }
+}

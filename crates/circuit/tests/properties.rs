@@ -1,0 +1,114 @@
+//! Property-based tests for the MNA engine: the linear-circuit theorems
+//! (superposition, proportionality, passivity) must hold for arbitrary
+//! generated networks.
+
+use proptest::prelude::*;
+use vstack_circuit::{Circuit, NodeId, GROUND};
+
+/// A random linear resistive network: `n` nodes in a ring of resistors
+/// (guaranteeing connectivity), plus random chords, one voltage source and
+/// a set of current sources.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    ring_ohms: Vec<f64>,
+    chords: Vec<(usize, usize, f64)>,
+    source_volts: f64,
+    injections: Vec<(usize, f64)>,
+}
+
+fn net_spec(n: usize) -> impl Strategy<Value = NetSpec> {
+    (
+        prop::collection::vec(1.0..100.0f64, n),
+        prop::collection::vec((0..n, 0..n, 1.0..100.0f64), 0..n),
+        -5.0..5.0f64,
+        prop::collection::vec((0..n, -0.1..0.1f64), 1..n),
+    )
+        .prop_map(|(ring_ohms, chords, source_volts, injections)| NetSpec {
+            ring_ohms,
+            chords,
+            source_volts,
+            injections,
+        })
+}
+
+/// Builds the circuit; `scale` multiplies every independent source.
+fn build(
+    spec: &NetSpec,
+    scale: f64,
+    with_injections: bool,
+    with_vsrc: bool,
+) -> (Circuit, Vec<NodeId>) {
+    let n = spec.ring_ohms.len();
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("n{i}"))).collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        ckt.resistor(nodes[i], nodes[j], spec.ring_ohms[i]);
+    }
+    ckt.resistor(nodes[0], GROUND, 10.0);
+    for &(a, b, ohms) in &spec.chords {
+        if a != b {
+            ckt.resistor(nodes[a], nodes[b], ohms);
+        }
+    }
+    if with_vsrc {
+        ckt.voltage_source(nodes[0], GROUND, spec.source_volts * scale);
+    } else {
+        // Keep the MNA structure identical by always having the branch.
+        ckt.voltage_source(nodes[0], GROUND, 0.0);
+    }
+    if with_injections {
+        for &(at, amps) in &spec.injections {
+            ckt.current_source(GROUND, nodes[at], amps * scale);
+        }
+    }
+    (ckt, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scaling every independent source by k scales every node voltage
+    /// by k (proportionality of linear networks).
+    #[test]
+    fn proportionality(spec in net_spec(6), k in 0.1..5.0f64) {
+        let (c1, n1) = build(&spec, 1.0, true, true);
+        let (ck, nk) = build(&spec, k, true, true);
+        let op1 = c1.dc_operating_point().expect("solvable");
+        let opk = ck.dc_operating_point().expect("solvable");
+        for (a, b) in n1.iter().zip(&nk) {
+            prop_assert!((opk.voltage(*b) - k * op1.voltage(*a)).abs() < 1e-6);
+        }
+    }
+
+    /// The response to all sources equals the sum of the responses to the
+    /// voltage source alone and the current sources alone (superposition).
+    #[test]
+    fn superposition(spec in net_spec(6)) {
+        let (call, nall) = build(&spec, 1.0, true, true);
+        let (cv, nv) = build(&spec, 1.0, false, true);
+        let (ci, ni) = build(&spec, 1.0, true, false);
+        let op_all = call.dc_operating_point().expect("solvable");
+        let op_v = cv.dc_operating_point().expect("solvable");
+        let op_i = ci.dc_operating_point().expect("solvable");
+        for ((a, b), c) in nall.iter().zip(&nv).zip(&ni) {
+            let sum = op_v.voltage(*b) + op_i.voltage(*c);
+            prop_assert!((op_all.voltage(*a) - sum).abs() < 1e-6);
+        }
+    }
+
+    /// A purely resistive network with one positive source keeps every
+    /// node voltage between the source rails (passivity / maximum
+    /// principle).
+    #[test]
+    fn maximum_principle(spec in net_spec(6)) {
+        let (ckt, nodes) = build(&spec, 1.0, false, true);
+        let op = ckt.dc_operating_point().expect("solvable");
+        let v_src = spec.source_volts;
+        let (lo, hi) = if v_src >= 0.0 { (0.0, v_src) } else { (v_src, 0.0) };
+        for n in &nodes {
+            let v = op.voltage(*n);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "node at {v}, rails [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Extension study: parameter sensitivity ("tornado") analysis.
+//!
+//! The paper's model "can help system designers evaluate the benefits and
+//! costs of design scenarios" (§1) — which presumes knowing *which knobs
+//! matter*. This experiment perturbs each electrical parameter ±30% around
+//! the Table 1 baseline and reports the resulting swing of the V-S PDN's
+//! worst IR drop at the 65% application-average imbalance, ranked by
+//! influence.
+
+use vstack_pdn::{PdnParams, TsvTopology};
+use vstack_sc::compact::ScConverter;
+use vstack_sparse::SolveError;
+
+use crate::experiments::Fidelity;
+use crate::scenario::DesignScenario;
+
+/// The parameters the study perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// Package/board resistance per pad.
+    PackageResistance,
+    /// Single-TSV resistance.
+    TsvResistance,
+    /// C4 pad resistance.
+    C4Resistance,
+    /// On-chip grid segment resistance (via metal thickness).
+    GridResistance,
+    /// Converter series resistance (via switch conductance).
+    ConverterResistance,
+}
+
+/// All knobs in display order.
+pub const KNOBS: [Knob; 5] = [
+    Knob::PackageResistance,
+    Knob::TsvResistance,
+    Knob::C4Resistance,
+    Knob::GridResistance,
+    Knob::ConverterResistance,
+];
+
+impl Knob {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::PackageResistance => "package R / pad",
+            Knob::TsvResistance => "TSV R",
+            Knob::C4Resistance => "C4 pad R",
+            Knob::GridResistance => "on-chip grid R",
+            Knob::ConverterResistance => "converter R_SERIES",
+        }
+    }
+
+    fn apply(self, params: &mut PdnParams, converter: &mut ScConverter, factor: f64) {
+        match self {
+            Knob::PackageResistance => params.package_r_per_pad_ohm *= factor,
+            Knob::TsvResistance => params.tsv_resistance_ohm *= factor,
+            Knob::C4Resistance => params.c4_resistance_ohm *= factor,
+            Knob::GridResistance => params.grid_thickness_um /= factor,
+            Knob::ConverterResistance => converter.g_tot /= factor,
+        }
+    }
+}
+
+/// One row of the tornado table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityRow {
+    /// Perturbed knob.
+    pub knob: Knob,
+    /// Worst drop with the knob at −30%.
+    pub drop_low: f64,
+    /// Worst drop at the baseline.
+    pub drop_base: f64,
+    /// Worst drop with the knob at +30%.
+    pub drop_high: f64,
+}
+
+impl SensitivityRow {
+    /// Total swing `drop(+30%) − drop(−30%)`.
+    pub fn swing(&self) -> f64 {
+        self.drop_high - self.drop_low
+    }
+}
+
+/// Runs the tornado study at the given imbalance (the paper's 65%
+/// application average by default), returning rows sorted by descending
+/// swing magnitude.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`].
+pub fn tornado(
+    fidelity: Fidelity,
+    n_layers: usize,
+    imbalance: f64,
+) -> Result<Vec<SensitivityRow>, SolveError> {
+    let solve = |knob: Option<(Knob, f64)>| -> Result<f64, SolveError> {
+        let mut params = DesignScenario::paper_baseline().pdn_params().clone();
+        params.grid_refinement = fidelity.grid_refinement();
+        let mut converter = ScConverter::paper_28nm();
+        if let Some((k, f)) = knob {
+            k.apply(&mut params, &mut converter, f);
+        }
+        let scenario = DesignScenario::paper_baseline()
+            .params(params)
+            .converter(converter)
+            .layers(n_layers)
+            .tsv_topology(TsvTopology::Few)
+            .power_c4_fraction(0.25)
+            .converters_per_core(8);
+        Ok(scenario.solve_voltage_stacked(imbalance)?.max_ir_drop_frac)
+    };
+
+    let base = solve(None)?;
+    let mut rows = Vec::with_capacity(KNOBS.len());
+    for knob in KNOBS {
+        rows.push(SensitivityRow {
+            knob,
+            drop_low: solve(Some((knob, 0.7)))?,
+            drop_base: base,
+            drop_high: solve(Some((knob, 1.3)))?,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.swing()
+            .abs()
+            .partial_cmp(&a.swing().abs())
+            .expect("finite swings")
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SensitivityRow> {
+        tornado(Fidelity::Quick, 4, 0.65).unwrap()
+    }
+
+    #[test]
+    fn converter_resistance_dominates_vs_noise() {
+        // At 65% imbalance the converter drop is the main noise term, so
+        // R_SERIES must rank first.
+        let r = rows();
+        assert_eq!(
+            r[0].knob,
+            Knob::ConverterResistance,
+            "ranking: {:?}",
+            r.iter().map(|x| x.knob.name()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_resistances_hurt_monotonically() {
+        for row in rows() {
+            assert!(
+                row.drop_high >= row.drop_base && row.drop_base >= row.drop_low,
+                "{}: {} / {} / {}",
+                row.knob.name(),
+                row.drop_low,
+                row.drop_base,
+                row.drop_high
+            );
+        }
+    }
+
+    #[test]
+    fn rows_sorted_by_swing() {
+        let r = rows();
+        for w in r.windows(2) {
+            assert!(w[0].swing().abs() >= w[1].swing().abs());
+        }
+        assert_eq!(r.len(), KNOBS.len());
+    }
+}

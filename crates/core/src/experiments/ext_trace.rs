@@ -1,0 +1,161 @@
+//! Extension study: trace-driven noise analysis.
+//!
+//! The paper's Fig 6 sweeps a *static* imbalance knob; real machines see
+//! imbalance arrive as program phases align and diverge. This experiment
+//! replays time-correlated Parsec activity traces (one stream per layer)
+//! through the V-S PDN, one quasi-static solve per 2k-cycle window, and
+//! reports what a static analysis cannot: how often the worst case
+//! actually occurs, and how many windows would overload the converters.
+//!
+//! (Quasi-static is the right regime: a 2k-cycle window at 1 GHz is 2 µs,
+//! three orders of magnitude above the decap settling times measured by
+//! [`crate::experiments::ext_transient`].)
+
+use vstack_pdn::{StackLoads, TsvTopology};
+use vstack_power::workload::{ParsecApp, WorkloadSampler};
+use vstack_sparse::SolveError;
+
+use crate::experiments::Fidelity;
+use crate::scenario::DesignScenario;
+
+/// Summary of a replayed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStudy {
+    /// Applications assigned to the layers (bottom first).
+    pub apps: Vec<ParsecApp>,
+    /// Windows replayed.
+    pub windows: usize,
+    /// Worst IR drop of each window.
+    pub drops: Vec<f64>,
+    /// Number of windows with at least one overloaded converter.
+    pub overloaded_windows: usize,
+}
+
+impl TraceStudy {
+    /// The worst drop seen anywhere in the trace.
+    pub fn worst_drop(&self) -> f64 {
+        self.drops.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean per-window worst drop.
+    pub fn mean_drop(&self) -> f64 {
+        self.drops.iter().sum::<f64>() / self.drops.len() as f64
+    }
+
+    /// Fraction of windows whose drop exceeds `threshold`.
+    pub fn exceedance(&self, threshold: f64) -> f64 {
+        self.drops.iter().filter(|d| **d > threshold).count() as f64 / self.drops.len() as f64
+    }
+}
+
+/// Replays `windows` windows of per-layer application traces through the
+/// V-S PDN. `apps[l]` runs on layer `l`; each layer gets its own trace
+/// stream.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the per-window solves.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or `windows == 0`.
+pub fn replay_trace(
+    fidelity: Fidelity,
+    apps: &[ParsecApp],
+    windows: usize,
+    converters_per_core: usize,
+) -> Result<TraceStudy, SolveError> {
+    assert!(!apps.is_empty(), "need at least one layer");
+    assert!(windows > 0, "need at least one window");
+    let mut params = DesignScenario::paper_baseline().pdn_params().clone();
+    params.grid_refinement = fidelity.grid_refinement();
+    let scenario = DesignScenario::paper_baseline()
+        .params(params.clone())
+        .layers(apps.len())
+        .tsv_topology(TsvTopology::Few)
+        .power_c4_fraction(0.25)
+        .converters_per_core(converters_per_core);
+    let pdn = scenario.voltage_stacked_pdn();
+
+    let sampler = WorkloadSampler::paper_setup();
+    let traces: Vec<Vec<f64>> = apps
+        .iter()
+        .enumerate()
+        .map(|(layer, &app)| sampler.activity_trace(app, windows, layer as u64))
+        .collect();
+
+    let mut drops = Vec::with_capacity(windows);
+    let mut overloaded_windows = 0;
+    for w in 0..windows {
+        let acts: Vec<f64> = traces.iter().map(|t| t[w]).collect();
+        let loads = StackLoads::from_activities(&params, &acts);
+        let sol = pdn.solve(&loads)?;
+        if sol.has_overload() {
+            overloaded_windows += 1;
+        }
+        drops.push(sol.max_ir_drop_frac);
+    }
+    Ok(TraceStudy {
+        apps: apps.to_vec(),
+        windows,
+        drops,
+        overloaded_windows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_app_trace_is_quieter_than_mixed() {
+        let same = replay_trace(Fidelity::Quick, &[ParsecApp::Blackscholes; 4], 30, 8).unwrap();
+        let mixed = replay_trace(
+            Fidelity::Quick,
+            &[
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+                ParsecApp::Swaptions,
+                ParsecApp::Canneal,
+            ],
+            30,
+            8,
+        )
+        .unwrap();
+        assert!(
+            same.worst_drop() < mixed.worst_drop(),
+            "same-app {} vs mixed {}",
+            same.worst_drop(),
+            mixed.worst_drop()
+        );
+    }
+
+    #[test]
+    fn worst_case_is_rare_not_typical() {
+        // The static Fig 6 worst case should bound the trace; typical
+        // windows sit well below it.
+        let t = replay_trace(
+            Fidelity::Quick,
+            &[
+                ParsecApp::X264,
+                ParsecApp::Ferret,
+                ParsecApp::X264,
+                ParsecApp::Ferret,
+            ],
+            40,
+            8,
+        )
+        .unwrap();
+        assert!(t.mean_drop() < t.worst_drop());
+        assert!(t.exceedance(0.9 * t.worst_drop()) < 0.5);
+    }
+
+    #[test]
+    fn trace_statistics_are_consistent() {
+        let t = replay_trace(Fidelity::Quick, &[ParsecApp::Vips; 2], 20, 4).unwrap();
+        assert_eq!(t.drops.len(), 20);
+        assert!(t.overloaded_windows <= 20);
+        assert!(t.exceedance(0.0) > 0.99);
+        assert!(t.exceedance(1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Extension study: load-step (di/dt) transients.
+//!
+//! The paper's noise study is steady-state; this experiment asks what
+//! happens in the nanoseconds *after* the workload imbalance appears —
+//! half the layers hit a barrier and idle while the others keep running.
+//! The V-S PDN's intermediate rails must slew to their new operating
+//! point through the converters, with the on-chip decap carrying the
+//! charge in the meantime.
+//!
+//! Reported per design point: the initial (balanced) drop, the transient
+//! peak, the settled post-step drop, the overshoot beyond the settled
+//! value, and the settling time.
+
+use vstack_pdn::transient::PdnTransientConfig;
+use vstack_pdn::TsvTopology;
+use vstack_sparse::SolveError;
+
+use crate::experiments::Fidelity;
+use crate::scenario::DesignScenario;
+
+/// Result of one step-transient design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientPoint {
+    /// Converters per core (0 for the regular-PDN reference).
+    pub converters_per_core: usize,
+    /// Decap per core per layer, farads.
+    pub decap_per_core_f: f64,
+    /// Worst drop before the step (balanced workload).
+    pub initial_drop: f64,
+    /// Worst transient excursion.
+    pub peak_drop: f64,
+    /// Settled post-step drop.
+    pub final_drop: f64,
+    /// `peak − final`.
+    pub overshoot: f64,
+    /// Settling time into a ±0.1% Vdd band, seconds (None = not settled
+    /// in the window).
+    pub settling_time_s: Option<f64>,
+}
+
+/// Runs the V-S imbalance-step study: balanced → `imbalance` at `t = 0`.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`].
+pub fn vs_step_study(
+    fidelity: Fidelity,
+    n_layers: usize,
+    imbalance: f64,
+    converter_counts: &[usize],
+    decaps_f: &[f64],
+) -> Result<Vec<TransientPoint>, SolveError> {
+    let base = || {
+        let mut p = DesignScenario::paper_baseline().pdn_params().clone();
+        p.grid_refinement = fidelity.grid_refinement();
+        DesignScenario::paper_baseline()
+            .params(p)
+            .layers(n_layers)
+            .tsv_topology(TsvTopology::Few)
+            .power_c4_fraction(0.25)
+    };
+    let mut out = Vec::new();
+    for &k in converter_counts {
+        let scenario = base().converters_per_core(k);
+        let pdn = scenario.voltage_stacked_pdn();
+        let before = scenario.interleaved_loads(0.0);
+        let after = scenario.interleaved_loads(imbalance);
+        for &decap in decaps_f {
+            let cfg = PdnTransientConfig {
+                decap_per_core_f: decap,
+                ..PdnTransientConfig::default()
+            };
+            let resp = pdn.solve_transient_step(&before, &after, &cfg)?;
+            out.push(TransientPoint {
+                converters_per_core: k,
+                decap_per_core_f: decap,
+                initial_drop: resp.initial_drop,
+                peak_drop: resp.peak_drop(),
+                final_drop: resp.final_drop(),
+                overshoot: resp.overshoot(),
+                settling_time_s: resp.settling_time(0.001),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Regular-PDN reference: an all-layer activity step (30% → 100%).
+///
+/// # Errors
+///
+/// Propagates [`SolveError`].
+pub fn regular_step_reference(
+    fidelity: Fidelity,
+    n_layers: usize,
+    decap_f: f64,
+) -> Result<TransientPoint, SolveError> {
+    let mut p = DesignScenario::paper_baseline().pdn_params().clone();
+    p.grid_refinement = fidelity.grid_refinement();
+    let scenario = DesignScenario::paper_baseline()
+        .params(p.clone())
+        .layers(n_layers)
+        .tsv_topology(TsvTopology::Dense)
+        .power_c4_fraction(0.5);
+    let pdn = scenario.regular_pdn();
+    let before = vstack_pdn::StackLoads::from_activities(&p, &vec![0.3; n_layers]);
+    let after = vstack_pdn::StackLoads::from_activities(&p, &vec![1.0; n_layers]);
+    let cfg = PdnTransientConfig {
+        decap_per_core_f: decap_f,
+        ..PdnTransientConfig::default()
+    };
+    let resp = pdn.solve_transient_step(&before, &after, &cfg)?;
+    Ok(TransientPoint {
+        converters_per_core: 0,
+        decap_per_core_f: decap_f,
+        initial_drop: resp.initial_drop,
+        peak_drop: resp.peak_drop(),
+        final_drop: resp.final_drop(),
+        overshoot: resp.overshoot(),
+        settling_time_s: resp.settling_time(0.001),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_grows_with_imbalance_target() {
+        let small = vs_step_study(Fidelity::Quick, 4, 0.3, &[8], &[40e-9]).unwrap();
+        let large = vs_step_study(Fidelity::Quick, 4, 0.8, &[8], &[40e-9]).unwrap();
+        assert!(large[0].final_drop > small[0].final_drop);
+        assert!(large[0].peak_drop >= large[0].final_drop - 1e-9);
+    }
+
+    #[test]
+    fn more_converters_settle_to_lower_drop() {
+        let pts = vs_step_study(Fidelity::Quick, 4, 0.65, &[4, 8], &[40e-9]).unwrap();
+        let four = pts.iter().find(|p| p.converters_per_core == 4).unwrap();
+        let eight = pts.iter().find(|p| p.converters_per_core == 8).unwrap();
+        assert!(eight.final_drop < four.final_drop);
+    }
+
+    #[test]
+    fn regular_reference_settles() {
+        let r = regular_step_reference(Fidelity::Quick, 4, 40e-9).unwrap();
+        assert!(r.final_drop > r.initial_drop);
+        assert!(r.settling_time_s.is_some());
+    }
+}

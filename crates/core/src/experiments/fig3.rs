@@ -1,0 +1,153 @@
+//! Fig 3 — validation of the SC-converter compact model against detailed
+//! switched-netlist simulation.
+//!
+//! The paper simulates its 28 nm converter with Spectre and shows the
+//! compact model tracking (a) closed-loop efficiency over a 1.6–100 mA
+//! load sweep and (b) open-loop efficiency *and* output-voltage drop over
+//! 10–90 mA. We run the identical comparison against the
+//! `vstack-sc::detailed` switched netlist.
+
+use vstack_circuit::CircuitError;
+use vstack_sc::compact::ScConverter;
+use vstack_sc::detailed::DetailedSim;
+
+/// One load point of the validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Row {
+    /// Load current in mA.
+    pub load_ma: f64,
+    /// Compact-model efficiency (0–1).
+    pub model_efficiency: f64,
+    /// Detailed-simulation efficiency (0–1).
+    pub sim_efficiency: f64,
+    /// Compact-model output-voltage drop in mV.
+    pub model_vdrop_mv: f64,
+    /// Detailed-simulation output-voltage drop in mV.
+    pub sim_vdrop_mv: f64,
+}
+
+impl Fig3Row {
+    /// Absolute efficiency error between model and simulation.
+    pub fn efficiency_error(&self) -> f64 {
+        (self.model_efficiency - self.sim_efficiency).abs()
+    }
+
+    /// Absolute V-drop error in mV.
+    pub fn vdrop_error_mv(&self) -> f64 {
+        (self.model_vdrop_mv - self.sim_vdrop_mv).abs()
+    }
+}
+
+/// The validation input voltage: a 2-layer stack presents 2 V across the
+/// converter (paper §3.1 validates "for a 2-layer 3D-IC").
+pub const V_IN: f64 = 2.0;
+
+/// The paper's Fig 3a load points (mA), halving from 100 mA down to 1.6.
+pub const CLOSED_LOOP_LOADS_MA: [f64; 7] = [1.6, 3.1, 6.3, 12.5, 25.0, 50.0, 100.0];
+
+/// The paper's Fig 3b load points (mA).
+pub const OPEN_LOOP_LOADS_MA: [f64; 5] = [10.0, 30.0, 50.0, 70.0, 90.0];
+
+fn sweep(converter: ScConverter, loads_ma: &[f64]) -> Result<Vec<Fig3Row>, CircuitError> {
+    let sim = DetailedSim::new(converter);
+    loads_ma
+        .iter()
+        .map(|&ma| {
+            let i = ma / 1000.0;
+            let op = converter.operate(V_IN, 0.0, i);
+            let m = sim.simulate(V_IN, i)?;
+            Ok(Fig3Row {
+                load_ma: ma,
+                model_efficiency: op.efficiency,
+                sim_efficiency: m.efficiency,
+                model_vdrop_mv: op.v_drop * 1000.0,
+                sim_vdrop_mv: m.v_drop * 1000.0,
+            })
+        })
+        .collect()
+}
+
+/// Fig 3a: the closed-loop sweep.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from the detailed transient engine.
+pub fn closed_loop_validation() -> Result<Vec<Fig3Row>, CircuitError> {
+    sweep(ScConverter::paper_28nm_closed_loop(), &CLOSED_LOOP_LOADS_MA)
+}
+
+/// Fig 3b: the open-loop sweep.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from the detailed transient engine.
+pub fn open_loop_validation() -> Result<Vec<Fig3Row>, CircuitError> {
+    sweep(ScConverter::paper_28nm(), &OPEN_LOOP_LOADS_MA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_model_tracks_simulation() {
+        let rows = open_loop_validation().unwrap();
+        for r in &rows {
+            assert!(
+                r.efficiency_error() < 0.10,
+                "at {} mA: model {:.3} vs sim {:.3}",
+                r.load_ma,
+                r.model_efficiency,
+                r.sim_efficiency
+            );
+            assert!(
+                r.vdrop_error_mv() < 12.0,
+                "at {} mA: vdrop model {:.1} vs sim {:.1} mV",
+                r.load_ma,
+                r.model_vdrop_mv,
+                r.sim_vdrop_mv
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_vdrop_spans_paper_range() {
+        // Fig 3b's right axis runs 0–60 mV across 10–90 mA.
+        let rows = open_loop_validation().unwrap();
+        assert!(rows.first().unwrap().model_vdrop_mv < 10.0);
+        let last = rows.last().unwrap();
+        assert!(
+            last.model_vdrop_mv > 45.0 && last.model_vdrop_mv < 60.0,
+            "got {:.1} mV at 90 mA",
+            last.model_vdrop_mv
+        );
+    }
+
+    #[test]
+    fn closed_loop_model_tracks_simulation() {
+        let rows = closed_loop_validation().unwrap();
+        for r in &rows {
+            assert!(
+                r.efficiency_error() < 0.12,
+                "at {} mA: model {:.3} vs sim {:.3}",
+                r.load_ma,
+                r.model_efficiency,
+                r.sim_efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_efficiency_stays_high() {
+        // Fig 3a: efficiency well above 50% across the whole sweep.
+        let rows = closed_loop_validation().unwrap();
+        for r in &rows {
+            assert!(
+                r.sim_efficiency > 0.5,
+                "at {} mA closed-loop sim eff {:.3}",
+                r.load_ma,
+                r.sim_efficiency
+            );
+        }
+    }
+}

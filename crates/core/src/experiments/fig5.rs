@@ -1,0 +1,213 @@
+//! Fig 5 — EM-induced lifetime of TSV and C4 arrays vs layer count.
+//!
+//! All lifetimes are normalized to the 2-layer V-S PDN, exactly as in the
+//! paper. The workload is full activity on every layer (EM is driven by
+//! sustained average current).
+//!
+//! Both studies evaluate V-S at the figures' 25% power-pad allocation.
+//! Per-TSV currents include the local crowding model (see
+//! `PdnParams::tsv_hot_conductors_per_core`), which is what makes the regular
+//! series nearly insensitive to the TSV topology — the paper's "adding
+//! more TSVs … only marginally increases MTTF" observation.
+
+use vstack_em::black::BlackModel;
+use vstack_pdn::TsvTopology;
+use vstack_sparse::SolveError;
+
+use crate::em_study::{c4_array_lifetime, tsv_array_lifetime};
+use crate::experiments::Fidelity;
+use crate::scenario::DesignScenario;
+
+/// Layer counts swept by both sub-figures.
+pub const LAYER_COUNTS: [usize; 4] = [2, 4, 6, 8];
+
+/// C4 power fractions swept by Fig 5b's regular-PDN series.
+pub const C4_FRACTIONS: [f64; 4] = [0.25, 0.50, 0.75, 1.00];
+
+/// One series of normalized lifetimes (one line of Fig 5a or 5b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeSeries {
+    /// Legend label matching the paper.
+    pub label: String,
+    /// `(layer_count, normalized_lifetime)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl LifetimeSeries {
+    /// Lifetime at a given layer count, if present.
+    pub fn at(&self, layers: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(l, _)| *l == layers)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Complete data for one sub-figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Data {
+    /// All series; the V-S series is last.
+    pub series: Vec<LifetimeSeries>,
+}
+
+impl Fig5Data {
+    /// Finds a series by its label prefix.
+    pub fn series_named(&self, prefix: &str) -> Option<&LifetimeSeries> {
+        self.series.iter().find(|s| s.label.starts_with(prefix))
+    }
+}
+
+/// Fig 5a: power-TSV array EM lifetime. Series: regular PDN with Dense,
+/// Sparse and Few TSVs, plus the V-S PDN with Few TSVs.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the PDN solves.
+pub fn tsv_lifetimes(fidelity: Fidelity) -> Result<Fig5Data, SolveError> {
+    let model = BlackModel::paper_tsv();
+    let base = |s: DesignScenario| {
+        let mut p = s.pdn_params().clone();
+        p.grid_refinement = fidelity.grid_refinement();
+        s.params(p)
+    };
+
+    // Reference: 2-layer V-S with Few TSVs and the §5.1 pad allocation.
+    let vs_scenario = |layers: usize| {
+        base(DesignScenario::paper_baseline())
+            .layers(layers)
+            .tsv_topology(TsvTopology::Few)
+            .power_c4_fraction(0.25)
+    };
+    let reference = tsv_array_lifetime(&vs_scenario(2).solve_voltage_stacked(0.0)?, &model);
+
+    let mut series = Vec::new();
+    for topo in [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few] {
+        let mut points = Vec::new();
+        for &n in &LAYER_COUNTS {
+            let sol = base(DesignScenario::paper_baseline())
+                .layers(n)
+                .tsv_topology(topo)
+                .power_c4_fraction(0.25)
+                .solve_regular_peak()?;
+            points.push((n, tsv_array_lifetime(&sol, &model) / reference));
+        }
+        series.push(LifetimeSeries {
+            label: format!("Reg. PDN, {}", topo.name()),
+            points,
+        });
+    }
+    let mut points = Vec::new();
+    for &n in &LAYER_COUNTS {
+        let sol = vs_scenario(n).solve_voltage_stacked(0.0)?;
+        points.push((n, tsv_array_lifetime(&sol, &model) / reference));
+    }
+    series.push(LifetimeSeries {
+        label: "V-S PDN, Few TSV".to_owned(),
+        points,
+    });
+    Ok(Fig5Data { series })
+}
+
+/// Fig 5b: C4 pad array EM lifetime. Series: regular PDN at 25/50/75/100%
+/// power-pad allocation plus the V-S PDN at 25%.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the PDN solves.
+pub fn c4_lifetimes(fidelity: Fidelity) -> Result<Fig5Data, SolveError> {
+    let model = BlackModel::paper_c4();
+    let base = |s: DesignScenario| {
+        let mut p = s.pdn_params().clone();
+        p.grid_refinement = fidelity.grid_refinement();
+        s.params(p)
+    };
+
+    let vs_scenario = |layers: usize| {
+        base(DesignScenario::paper_baseline())
+            .layers(layers)
+            .tsv_topology(TsvTopology::Few)
+            .power_c4_fraction(0.25)
+    };
+    let reference = c4_array_lifetime(&vs_scenario(2).solve_voltage_stacked(0.0)?, &model);
+
+    let mut series = Vec::new();
+    for &frac in &C4_FRACTIONS {
+        let mut points = Vec::new();
+        for &n in &LAYER_COUNTS {
+            // C4 EM robustness is insensitive to the TSV topology (paper
+            // §5.1 uses a fixed topology for this study).
+            let sol = base(DesignScenario::paper_baseline())
+                .layers(n)
+                .tsv_topology(TsvTopology::Sparse)
+                .power_c4_fraction(frac)
+                .solve_regular_peak()?;
+            points.push((n, c4_array_lifetime(&sol, &model) / reference));
+        }
+        series.push(LifetimeSeries {
+            label: format!("Reg. PDN ({:.0}% Power C4)", frac * 100.0),
+            points,
+        });
+    }
+    let mut points = Vec::new();
+    for &n in &LAYER_COUNTS {
+        let sol = vs_scenario(n).solve_voltage_stacked(0.0)?;
+        points.push((n, c4_array_lifetime(&sol, &model) / reference));
+    }
+    series.push(LifetimeSeries {
+        label: "V-S PDN (25% Power C4)".to_owned(),
+        points,
+    });
+    Ok(Fig5Data { series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_shapes_match_paper() {
+        let data = tsv_lifetimes(Fidelity::Quick).unwrap();
+        let vs = data.series_named("V-S").unwrap();
+        let few = data.series_named("Reg. PDN, Few").unwrap();
+
+        // Normalization anchor.
+        assert!((vs.at(2).unwrap() - 1.0).abs() < 1e-6);
+        // Regular PDN degrades steeply with stacking (paper: up to 84%).
+        let drop = 1.0 - few.at(8).unwrap() / few.at(2).unwrap();
+        assert!(drop > 0.60, "regular TSV MTTF should collapse, got {drop}");
+        // V-S is much less sensitive to layer count.
+        let vs_drop = 1.0 - vs.at(8).unwrap() / vs.at(2).unwrap();
+        assert!(vs_drop < 0.5, "V-S TSV MTTF ≈flat, got drop {vs_drop}");
+        // Regular beats V-S at 2 layers (through-via current dominates)…
+        assert!(few.at(2).unwrap() > 1.0);
+        // …but V-S wins by ≥3× at 8 layers (paper: "more than 3x").
+        assert!(
+            vs.at(8).unwrap() > 3.0 * few.at(8).unwrap(),
+            "V-S {} vs Few {}",
+            vs.at(8).unwrap(),
+            few.at(8).unwrap()
+        );
+    }
+
+    #[test]
+    fn fig5b_shapes_match_paper() {
+        let data = c4_lifetimes(Fidelity::Quick).unwrap();
+        let vs = data.series_named("V-S").unwrap();
+        let reg25 = data.series_named("Reg. PDN (25%").unwrap();
+        let reg100 = data.series_named("Reg. PDN (100%").unwrap();
+
+        assert!((vs.at(2).unwrap() - 1.0).abs() < 1e-6);
+        // V-S C4 lifetime independent of layer count.
+        assert!((vs.at(8).unwrap() - 1.0).abs() < 0.1);
+        // Regular degrades with layers; more pads help but cannot catch up.
+        assert!(reg25.at(8).unwrap() < reg25.at(2).unwrap());
+        assert!(reg100.at(8).unwrap() > reg25.at(8).unwrap());
+        assert!(
+            vs.at(8).unwrap() > reg100.at(8).unwrap(),
+            "even 100% power pads can't match V-S (paper §5.1)"
+        );
+        // The headline: ≈5× gap at matched allocation and 8 layers.
+        let gap = vs.at(8).unwrap() / reg25.at(8).unwrap();
+        assert!(gap > 4.0, "paper reports up to 5x, got {gap}");
+    }
+}

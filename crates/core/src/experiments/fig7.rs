@@ -1,0 +1,106 @@
+//! Fig 7 — distributions of workload imbalance within and across Parsec
+//! applications.
+//!
+//! One thousand 2k-cycle samples per application (Gem5 + McPAT substitute,
+//! see `vstack-power::workload`), reported as the paper's box plot: per-app
+//! min / 25th / median / 75th / max of 16-core layer power, plus the
+//! derived imbalance statistics the paper quotes in §5.2.
+
+use vstack_power::workload::{Distribution, ParsecApp, WorkloadSampler, PARSEC_APPS};
+
+/// One row of the box plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Application.
+    pub app: ParsecApp,
+    /// Five-number summary of 16-core layer power (watts).
+    pub power_w: Distribution,
+    /// The application's maximum intra-app imbalance (0–1).
+    pub max_imbalance: f64,
+}
+
+/// Complete Fig 7 data plus the §5.2 headline statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Data {
+    /// Per-application rows, in the paper's order.
+    pub rows: Vec<Fig7Row>,
+    /// Average of per-app maximum imbalance (paper: ≈65%).
+    pub average_max_imbalance: f64,
+    /// Maximum imbalance across all samples of all apps (paper: >90%).
+    pub global_max_imbalance: f64,
+}
+
+impl Fig7Data {
+    /// Row for one application.
+    pub fn row(&self, app: ParsecApp) -> Option<&Fig7Row> {
+        self.rows.iter().find(|r| r.app == app)
+    }
+}
+
+/// Runs the Fig 7 study with the paper's sampling setup.
+pub fn workload_distributions() -> Fig7Data {
+    let sampler = WorkloadSampler::paper_setup();
+    let rows = PARSEC_APPS
+        .iter()
+        .map(|&app| {
+            let powers: Vec<f64> = sampler
+                .samples(app)
+                .iter()
+                .map(|s| s.layer_power_w(16))
+                .collect();
+            Fig7Row {
+                app,
+                power_w: Distribution::from_values(&powers),
+                max_imbalance: sampler.max_imbalance(app),
+            }
+        })
+        .collect();
+    Fig7Data {
+        rows,
+        average_max_imbalance: sampler.average_max_imbalance(),
+        global_max_imbalance: sampler.global_max_imbalance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_statistics_match_paper() {
+        let d = workload_distributions();
+        assert!(
+            (0.60..=0.70).contains(&d.average_max_imbalance),
+            "≈65%, got {}",
+            d.average_max_imbalance
+        );
+        assert!(d.global_max_imbalance > 0.90);
+        let bs = d.row(ParsecApp::Blackscholes).unwrap();
+        assert!(bs.max_imbalance < 0.12, "blackscholes ≈10%");
+    }
+
+    #[test]
+    fn per_app_boxes_are_ordered() {
+        for r in workload_distributions().rows {
+            let p = r.power_w;
+            assert!(p.min <= p.q25 && p.q25 <= p.median);
+            assert!(p.median <= p.q75 && p.q75 <= p.max);
+            assert!(p.min > 0.0, "leakage floors every sample above zero");
+        }
+    }
+
+    #[test]
+    fn apps_differ_in_median_power() {
+        // Fig 7 shows large cross-app differences (canneal low, swaptions
+        // and blackscholes high).
+        let d = workload_distributions();
+        let canneal = d.row(ParsecApp::Canneal).unwrap().power_w.median;
+        let blackscholes = d.row(ParsecApp::Blackscholes).unwrap().power_w.median;
+        assert!(blackscholes > 1.5 * canneal);
+    }
+
+    #[test]
+    fn all_thirteen_apps_present() {
+        assert_eq!(workload_distributions().rows.len(), 13);
+    }
+}

@@ -1,0 +1,54 @@
+//! One driver per table/figure of the paper's evaluation (§4–§5).
+//!
+//! Every driver returns plain data structs; the `vstack-bench` binaries
+//! render them as the paper's rows/series, and the workspace integration
+//! tests assert the paper's qualitative claims against them.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig3`] | Fig 3 — SC-converter compact-model validation |
+//! | [`fig5`] | Fig 5a/5b — TSV and C4 EM-lifetime vs layer count |
+//! | [`fig6`] | Fig 6 — max IR drop vs workload imbalance |
+//! | [`fig7`] | Fig 7 — Parsec power-distribution box plot |
+//! | [`fig8`] | Fig 8 — system power efficiency vs imbalance |
+//! | [`tables`] | Tables 1 & 2 — model parameters and TSV configs |
+//!
+//! Four extension studies go beyond the paper: [`ext_closed_loop`]
+//! (frequency-modulated converters at system level — the paper's deferred
+//! future work), [`ext_transient`] (di/dt load-step response),
+//! [`ext_trace`] (trace-driven noise replay with phase-correlated
+//! workloads) and [`ext_sensitivity`] (parameter tornado analysis).
+
+pub mod ext_closed_loop;
+pub mod ext_sensitivity;
+pub mod ext_trace;
+pub mod ext_transient;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod tables;
+
+/// Fidelity switch shared by the PDN-solving experiments.
+///
+/// `Paper` fidelity uses the refined electrical grid and the full sweep
+/// resolution (minutes of CPU); `Quick` coarsens the grid and thins the
+/// sweeps for CI-speed runs with the same qualitative shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Full grid, full sweeps — use for reported numbers.
+    #[default]
+    Paper,
+    /// Coarse grid, thinned sweeps — use in tests.
+    Quick,
+}
+
+impl Fidelity {
+    pub(crate) fn grid_refinement(self) -> usize {
+        match self {
+            Fidelity::Paper => 3,
+            Fidelity::Quick => 1,
+        }
+    }
+}

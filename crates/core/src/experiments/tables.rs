@@ -1,0 +1,113 @@
+//! Tables 1 and 2 — the model-parameter tables, regenerated from the live
+//! configuration structs so the printed tables can never drift from the
+//! code.
+
+use vstack_pdn::tsv::TSV_TOPOLOGIES;
+use vstack_pdn::{PdnParams, TsvTopology};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Parameter name as printed in the paper.
+    pub name: &'static str,
+    /// Formatted value.
+    pub value: String,
+}
+
+/// Regenerates Table 1 from a parameter set.
+pub fn table1(params: &PdnParams) -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            name: "C4 Pad Pitch (um)",
+            value: format!("{:.0}", params.c4_pitch_um),
+        },
+        Table1Row {
+            name: "C4 Pad Resistance (mOhm)",
+            value: format!("{:.0}", params.c4_resistance_ohm * 1000.0),
+        },
+        Table1Row {
+            name: "Minimum TSV Pitch (um)",
+            value: format!("{:.0}", params.tsv_min_pitch_um),
+        },
+        Table1Row {
+            name: "TSV Diameter (um)",
+            value: format!("{:.0}", params.tsv_diameter_um),
+        },
+        Table1Row {
+            name: "Single TSV's Resistance (mOhm)",
+            value: format!("{:.3}", params.tsv_resistance_ohm * 1000.0),
+        },
+        Table1Row {
+            name: "TSV Keep-Out Zone's Side Length (um)",
+            value: format!("{:.2}", params.tsv_koz_side_um),
+        },
+        Table1Row {
+            name: "On-chip PDN's Pitch,Width,Thickness (um)",
+            value: format!(
+                "{:.0},{:.0},{:.2}",
+                params.grid_pitch_um, params.grid_width_um, params.grid_thickness_um
+            ),
+        },
+    ]
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// TSV topology.
+    pub topology: TsvTopology,
+    /// Effective pitch in µm.
+    pub effective_pitch_um: f64,
+    /// Power TSVs per core.
+    pub tsvs_per_core: usize,
+    /// KoZ area overhead as a fraction of core area.
+    pub area_overhead: f64,
+}
+
+/// Regenerates Table 2.
+pub fn table2(params: &PdnParams) -> Vec<Table2Row> {
+    TSV_TOPOLOGIES
+        .iter()
+        .map(|&t| Table2Row {
+            topology: t,
+            effective_pitch_um: t.effective_pitch_um(),
+            tsvs_per_core: t.tsvs_per_core(),
+            area_overhead: t.area_overhead(params),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let rows = table1(&PdnParams::paper_defaults());
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.name.starts_with(name))
+                .map(|r| r.value.clone())
+                .unwrap()
+        };
+        assert_eq!(get("C4 Pad Pitch"), "200");
+        assert_eq!(get("C4 Pad Resistance"), "10");
+        assert_eq!(get("Minimum TSV Pitch"), "10");
+        assert_eq!(get("TSV Diameter"), "5");
+        assert_eq!(get("Single TSV's Resistance"), "44.539");
+        assert_eq!(get("TSV Keep-Out"), "9.88");
+    }
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let rows = table2(&PdnParams::paper_defaults());
+        assert_eq!(rows.len(), 3);
+        let dense = &rows[0];
+        assert_eq!(dense.effective_pitch_um, 20.0);
+        assert_eq!(dense.tsvs_per_core, 6650);
+        assert!((dense.area_overhead - 0.242).abs() < 0.01);
+        let few = &rows[2];
+        assert_eq!(few.tsvs_per_core, 110);
+        assert!((few.area_overhead - 0.004).abs() < 0.001);
+    }
+}

@@ -1,0 +1,56 @@
+//! `vstack` — a cross-layer design-exploration toolkit for charge-recycled
+//! (voltage-stacked) power delivery in many-layer 3D-ICs.
+//!
+//! This crate is a from-scratch reproduction of
+//! *Zhang et al., "A Cross-Layer Design Exploration of Charge-Recycled
+//! Power-Delivery in Many-Layer 3D-IC", DAC 2015*: a system-level PDN model
+//! for 3D-ICs that evaluates EM-induced reliability and supply-voltage
+//! noise for both **regular** and **voltage-stacked** power delivery, on
+//! top of re-implemented substrates for every tool the paper used
+//! (VoltSpot, Spectre, McPAT, ArchFP, Gem5+Parsec, HotSpot).
+//!
+//! * [`scenario`] — the [`scenario::DesignScenario`] builder: pick layer
+//!   count, TSV topology, C4 allocation and converter configuration, then
+//!   solve operating points.
+//! * [`em_study`] — EM-lifetime evaluation of a solved PDN's C4 and TSV
+//!   arrays (paper §3.3 / §5.1).
+//! * [`experiments`] — one driver per table/figure of the paper's
+//!   evaluation, each returning plain data that the benchmark binaries
+//!   print and the integration tests assert against.
+//!
+//! The substrate crates are re-exported (`vstack::pdn`, `vstack::sc`, …)
+//! so downstream users need a single dependency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vstack::scenario::DesignScenario;
+//! use vstack::pdn::TsvTopology;
+//!
+//! # fn main() -> Result<(), vstack_sparse::SolveError> {
+//! // An 8-layer voltage-stacked processor with 4 converters per core.
+//! let scenario = DesignScenario::paper_baseline()
+//!     .layers(8)
+//!     .tsv_topology(TsvTopology::Few)
+//!     .converters_per_core(4)
+//!     .coarse_grid(); // fast grid for doc tests
+//! let op = scenario.solve_voltage_stacked(0.65)?;
+//! assert!(op.max_ir_drop_frac > 0.0 && op.max_ir_drop_frac < 0.10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod em_study;
+pub mod experiments;
+pub mod scenario;
+
+pub use vstack_circuit as circuit;
+pub use vstack_em as em;
+pub use vstack_pdn as pdn;
+pub use vstack_power as power;
+pub use vstack_sc as sc;
+pub use vstack_sparse as sparse;
+pub use vstack_thermal as thermal;

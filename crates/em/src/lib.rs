@@ -1,0 +1,41 @@
+//! Electromigration (EM) lifetime models for power-delivery conductors.
+//!
+//! Implements the paper's §3.3 methodology end to end:
+//!
+//! 1. **Black's equation** ([`black::BlackModel`]) gives each conductor's
+//!    *median* time-to-failure from its current density and temperature:
+//!    `MTTF = A · J⁻ⁿ · exp(Eₐ / kT)`.
+//! 2. A conductor's failure time follows a **lognormal distribution**
+//!    ([`lognormal::Lognormal`]) around that median.
+//! 3. A pad or TSV **array** fails when its first conductor fails:
+//!    `P(t) = 1 − Π(1 − Fᵢ(t))` ([`mod@array`]). The paper's robustness metric
+//!    is the time where `P(t) = 0.5` — the *expected EM-damage-free
+//!    lifetime* — computed here by bisection on `log t`.
+//!
+//! The figures normalize lifetimes to a reference configuration (the
+//! 2-layer V-S PDN), so the absolute prefactor `A` cancels; the defaults
+//! are nevertheless chosen to give hour-scale numbers typical of
+//! accelerated-stress extrapolations.
+//!
+//! # Example
+//!
+//! ```
+//! use vstack_em::{array::expected_em_free_lifetime, black::BlackModel};
+//!
+//! let model = BlackModel::c4_bump();
+//! // An array of 100 pads at 50 mA each outlives one at 100 mA each.
+//! let light = expected_em_free_lifetime(&[(0.05, 100.0)], &model);
+//! let heavy = expected_em_free_lifetime(&[(0.10, 100.0)], &model);
+//! assert!(light > heavy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod black;
+pub mod lognormal;
+
+pub use array::expected_em_free_lifetime;
+pub use black::BlackModel;
+pub use lognormal::Lognormal;

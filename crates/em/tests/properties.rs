@@ -1,0 +1,85 @@
+//! Property-based tests for the EM lifetime models.
+
+use proptest::prelude::*;
+use vstack_em::array::{array_failure_probability, expected_em_free_lifetime};
+use vstack_em::black::BlackModel;
+use vstack_em::lognormal::{normal_cdf, Lognormal};
+
+fn model() -> BlackModel {
+    BlackModel::c4_bump()
+}
+
+proptest! {
+    /// Lifetime strictly decreases when any conductor's current increases.
+    #[test]
+    fn lifetime_monotone_in_current(
+        base in 0.01..0.2f64,
+        extra in 0.001..0.2f64,
+        count in 1.0..500.0f64,
+    ) {
+        let m = model();
+        let low = expected_em_free_lifetime(&[(base, count)], &m);
+        let high = expected_em_free_lifetime(&[(base + extra, count)], &m);
+        prop_assert!(high < low);
+    }
+
+    /// Lifetime strictly decreases when conductors are added at the same
+    /// stress.
+    #[test]
+    fn lifetime_monotone_in_count(current in 0.01..0.2f64, count in 1.0..500.0f64) {
+        let m = model();
+        let small = expected_em_free_lifetime(&[(current, count)], &m);
+        let large = expected_em_free_lifetime(&[(current, count * 2.0)], &m);
+        prop_assert!(large < small);
+    }
+
+    /// Splitting a group into two identical halves changes nothing.
+    #[test]
+    fn group_split_invariance(current in 0.01..0.2f64, count in 2.0..500.0f64) {
+        let m = model();
+        let whole = expected_em_free_lifetime(&[(current, count)], &m);
+        let split = expected_em_free_lifetime(
+            &[(current, count / 2.0), (current, count / 2.0)],
+            &m,
+        );
+        prop_assert!((whole - split).abs() / whole < 1e-6);
+    }
+
+    /// The solved lifetime really is the 50% point of the array CDF.
+    #[test]
+    fn lifetime_is_median_of_array_cdf(
+        current in 0.01..0.2f64,
+        count in 1.0..200.0f64,
+    ) {
+        let m = model();
+        let groups = [(current, count)];
+        let t50 = expected_em_free_lifetime(&groups, &m);
+        let p = array_failure_probability(&groups, &m, t50);
+        prop_assert!((p - 0.5).abs() < 1e-3, "P(t50) = {p}");
+    }
+
+    /// Black scaling: lifetime ratio follows (I1/I2)^n exactly for a
+    /// single conductor.
+    #[test]
+    fn black_power_law(i1 in 0.01..0.1f64, ratio in 1.1..5.0f64) {
+        let m = model();
+        let t1 = m.median_ttf_hours(i1);
+        let t2 = m.median_ttf_hours(i1 * ratio);
+        let expect = ratio.powf(m.current_exponent);
+        prop_assert!((t1 / t2 - expect).abs() / expect < 1e-9);
+    }
+
+    /// Lognormal CDF is a proper distribution function.
+    #[test]
+    fn lognormal_cdf_bounds(median in 1.0..1e6f64, t in 0.0..1e7f64) {
+        let d = Lognormal::new(median, 0.3);
+        let f = d.cdf(t);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Normal CDF is monotone.
+    #[test]
+    fn normal_cdf_monotone(z in -5.0..5.0f64, dz in 0.001..2.0f64) {
+        prop_assert!(normal_cdf(z + dz) >= normal_cdf(z));
+    }
+}

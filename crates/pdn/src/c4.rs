@@ -1,0 +1,185 @@
+//! C4 pad arrays and power-pad allocation.
+//!
+//! The chip exposes a full-area C4 array at 200 µm pitch (≈1100 pads for
+//! the 44 mm² die). A configurable fraction is allocated to power delivery
+//! — the paper sweeps 25% / 50% / 75% / 100% in its Fig 5b — with the
+//! power pads split evenly between supply and return in a checkerboard, the
+//! standard practice for minimizing loop inductance.
+
+use crate::params::PdnParams;
+
+/// Electrical role of a pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PadNet {
+    /// Supply pad.
+    Vdd,
+    /// Ground-return pad.
+    Gnd,
+    /// Signal/IO pad (not modelled electrically).
+    Io,
+}
+
+/// One placed C4 pad.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct C4Pad {
+    /// X position in mm.
+    pub x_mm: f64,
+    /// Y position in mm.
+    pub y_mm: f64,
+    /// Net assignment.
+    pub net: PadNet,
+}
+
+/// The full C4 array with its power allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct C4Array {
+    pads: Vec<C4Pad>,
+    power_fraction: f64,
+}
+
+impl C4Array {
+    /// Places the array on the chip of `params` and allocates
+    /// `power_fraction` of the pads to power delivery.
+    ///
+    /// Power pads are chosen evenly across the array (every k-th pad) and
+    /// alternate Vdd/Gnd so both nets stay spatially uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < power_fraction <= 1`.
+    pub fn new(params: &PdnParams, power_fraction: f64) -> Self {
+        assert!(
+            power_fraction > 0.0 && power_fraction <= 1.0,
+            "power fraction must be in (0,1], got {power_fraction}"
+        );
+        let fp = params.floorplan();
+        let pitch = params.c4_pitch_um / 1000.0;
+        let nx = (fp.chip_width_mm() / pitch).floor() as usize;
+        let ny = (fp.chip_height_mm() / pitch).floor() as usize;
+        // Center the array on the die.
+        let x0 = (fp.chip_width_mm() - (nx - 1) as f64 * pitch) / 2.0;
+        let y0 = (fp.chip_height_mm() - (ny - 1) as f64 * pitch) / 2.0;
+
+        let total = nx * ny;
+        let n_power = ((total as f64) * power_fraction).round() as usize;
+        // Spread power pads uniformly through the (row-major) array.
+        let stride = total as f64 / n_power.max(1) as f64;
+
+        let mut pads = Vec::with_capacity(total);
+        let mut next_power = 0.0f64;
+        let mut power_placed = 0usize;
+        for idx in 0..total {
+            let ix = idx % nx;
+            let iy = idx / nx;
+            let net = if power_placed < n_power && idx as f64 >= next_power {
+                next_power += stride;
+                power_placed += 1;
+                // Checkerboard the power pads between the two nets.
+                if power_placed % 2 == 1 {
+                    PadNet::Vdd
+                } else {
+                    PadNet::Gnd
+                }
+            } else {
+                PadNet::Io
+            };
+            pads.push(C4Pad {
+                x_mm: x0 + ix as f64 * pitch,
+                y_mm: y0 + iy as f64 * pitch,
+                net,
+            });
+        }
+        C4Array {
+            pads,
+            power_fraction,
+        }
+    }
+
+    /// All pads.
+    pub fn pads(&self) -> &[C4Pad] {
+        &self.pads
+    }
+
+    /// Pads on a given net.
+    pub fn pads_on(&self, net: PadNet) -> impl Iterator<Item = &C4Pad> {
+        self.pads.iter().filter(move |p| p.net == net)
+    }
+
+    /// Number of supply pads.
+    pub fn vdd_count(&self) -> usize {
+        self.pads_on(PadNet::Vdd).count()
+    }
+
+    /// Number of return pads.
+    pub fn gnd_count(&self) -> usize {
+        self.pads_on(PadNet::Gnd).count()
+    }
+
+    /// The configured power fraction.
+    pub fn power_fraction(&self) -> f64 {
+        self.power_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_allocation_counts() {
+        let p = PdnParams::paper_defaults();
+        let arr = C4Array::new(&p, 0.25);
+        let total = arr.pads().len();
+        let power = arr.vdd_count() + arr.gnd_count();
+        let frac = power as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn vdd_and_gnd_balanced() {
+        let p = PdnParams::paper_defaults();
+        for f in [0.25, 0.5, 0.75, 1.0] {
+            let arr = C4Array::new(&p, f);
+            let (v, g) = (arr.vdd_count() as i64, arr.gnd_count() as i64);
+            assert!((v - g).abs() <= 1, "fraction {f}: {v} vs {g}");
+            assert!(v > 0, "fraction {f} must place Vdd pads");
+        }
+    }
+
+    #[test]
+    fn full_allocation_leaves_no_io() {
+        let p = PdnParams::paper_defaults();
+        let arr = C4Array::new(&p, 1.0);
+        assert_eq!(arr.pads_on(PadNet::Io).count(), 0);
+    }
+
+    #[test]
+    fn pads_inside_die() {
+        let p = PdnParams::paper_defaults();
+        let fp = p.floorplan();
+        let arr = C4Array::new(&p, 0.5);
+        for pad in arr.pads() {
+            assert!(pad.x_mm >= 0.0 && pad.x_mm <= fp.chip_width_mm());
+            assert!(pad.y_mm >= 0.0 && pad.y_mm <= fp.chip_height_mm());
+        }
+    }
+
+    #[test]
+    fn power_pads_spatially_spread() {
+        // The first and last rows of the array should both contain power
+        // pads — i.e. allocation is not clumped at one edge.
+        let p = PdnParams::paper_defaults();
+        let arr = C4Array::new(&p, 0.25);
+        let ys: Vec<f64> = arr.pads_on(PadNet::Vdd).map(|pad| pad.y_mm).collect();
+        let span = ys.iter().cloned().fold(f64::MIN, f64::max)
+            - ys.iter().cloned().fold(f64::MAX, f64::min);
+        let fp = p.floorplan();
+        assert!(span > 0.8 * fp.chip_height_mm(), "span {span}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power fraction")]
+    fn zero_fraction_rejected() {
+        C4Array::new(&PdnParams::paper_defaults(), 0.0);
+    }
+}

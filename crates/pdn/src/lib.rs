@@ -1,0 +1,60 @@
+//! VoltSpot-style pre-RTL power-delivery-network (PDN) model for 3D-ICs,
+//! with both **regular** and **voltage-stacked** (V-S) topologies.
+//!
+//! This crate is the paper's §3.2: it extends a 2D on-chip PDN model
+//! (VoltSpot, paper ref \[18\]) to many-layer 3D-ICs. Each silicon layer
+//! carries two on-chip metal grids (supply and return); C4 pads connect the
+//! stack to the board; TSVs connect adjacent layers. Loads are ideal
+//! current sources derived from the `vstack-power` models.
+//!
+//! * [`regular`] builds the conventional topology (paper Fig 4a): all
+//!   layers' Vdd nets parallel-connected by TSV stacks, all ground nets
+//!   likewise, every layer's current flowing through the same pads.
+//! * [`vstacked`] builds the charge-recycled topology (paper Fig 4b):
+//!   layers in series, `N·Vdd` delivered to the top layer through
+//!   dedicated through-via stacks, ground returned from the bottom layer,
+//!   and push-pull SC converters regulating every intermediate rail.
+//!
+//! Both reduce to **symmetric positive-definite** sparse systems — the SC
+//! converter compact model (ideal `(V_top + V_bottom)/2` source behind
+//! `R_SERIES`) Norton-transforms into a rank-1 PSD stamp
+//! `(1/R)·u·uᵀ, u = (1, −½, −½)` over its (out, top, bottom) nodes — so a
+//! single preconditioned conjugate-gradient solve yields every node
+//! voltage, pad current, TSV current and converter current.
+//!
+//! # Example
+//!
+//! ```
+//! use vstack_pdn::{params::PdnParams, regular::RegularPdn, stack::StackLoads, tsv::TsvTopology};
+//! use vstack_power::workload::ImbalancePattern;
+//!
+//! # fn main() -> Result<(), vstack_sparse::SolveError> {
+//! let params = PdnParams::paper_defaults();
+//! let pdn = RegularPdn::new(&params, 2, TsvTopology::Sparse, 0.5);
+//! let loads = StackLoads::interleaved(&params, 2, &ImbalancePattern::new(0.0));
+//! let solution = pdn.solve(&loads)?;
+//! assert!(solution.max_ir_drop_frac > 0.0 && solution.max_ir_drop_frac < 0.10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c4;
+pub mod network;
+pub mod params;
+pub mod regular;
+pub mod solution;
+pub mod stack;
+pub mod transient;
+pub mod tsv;
+pub mod vstacked;
+
+pub use params::PdnParams;
+pub use regular::RegularPdn;
+pub use solution::{ConductorCurrents, PdnSolution};
+pub use stack::StackLoads;
+pub use transient::{PdnTransientConfig, StepResponse};
+pub use tsv::TsvTopology;
+pub use vstacked::{ConverterReference, VstackPdn};

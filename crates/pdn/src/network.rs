@@ -1,0 +1,445 @@
+//! Electrical-network assembly: grid geometry, SPD stamping and the CG
+//! solve shared by the regular and voltage-stacked topologies.
+
+use vstack_sparse::solver::{cg_with_guess, CgOptions};
+use vstack_sparse::{SolveError, TripletMatrix};
+
+use crate::params::PdnParams;
+
+/// Geometry of one on-chip power grid (one metal net on one layer).
+///
+/// Nodes sit on a uniform `nx × ny` lattice spanning the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Nodes along x.
+    pub nx: usize,
+    /// Nodes along y.
+    pub ny: usize,
+    /// Node spacing along x in mm.
+    pub dx_mm: f64,
+    /// Node spacing along y in mm.
+    pub dy_mm: f64,
+}
+
+impl GridSpec {
+    /// Builds the modeling grid for the chip described by `params`.
+    pub fn from_params(params: &PdnParams) -> Self {
+        let fp = params.floorplan();
+        let pitch = params.model_pitch_mm();
+        let nx = ((fp.chip_width_mm() / pitch).round() as usize).max(2) + 1;
+        let ny = ((fp.chip_height_mm() / pitch).round() as usize).max(2) + 1;
+        GridSpec {
+            nx,
+            ny,
+            dx_mm: fp.chip_width_mm() / (nx - 1) as f64,
+            dy_mm: fp.chip_height_mm() / (ny - 1) as f64,
+        }
+    }
+
+    /// Number of nodes in the grid.
+    pub fn count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Flat index of node `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.nx && j < self.ny, "grid index out of range");
+        j * self.nx + i
+    }
+
+    /// Physical position of node `(i, j)` in mm.
+    pub fn position(&self, i: usize, j: usize) -> (f64, f64) {
+        (i as f64 * self.dx_mm, j as f64 * self.dy_mm)
+    }
+
+    /// Nearest node to a physical position (clamped to the die).
+    pub fn nearest(&self, x_mm: f64, y_mm: f64) -> (usize, usize) {
+        let i = (x_mm / self.dx_mm).round().clamp(0.0, (self.nx - 1) as f64) as usize;
+        let j = (y_mm / self.dy_mm).round().clamp(0.0, (self.ny - 1) as f64) as usize;
+        (i, j)
+    }
+}
+
+/// Incremental builder for the SPD nodal system `G v = i`.
+///
+/// Supports the four stamp kinds every PDN variant needs: node-to-node
+/// conductances, Dirichlet ties to fixed external rails, current
+/// injections, and the rank-1 PSD switched-capacitor converter stamp.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    matrix: TripletMatrix,
+    rhs: Vec<f64>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder for `n` unknown node voltages.
+    pub fn new(n: usize) -> Self {
+        NetworkBuilder {
+            matrix: TripletMatrix::with_capacity(n, n, 8 * n),
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Whether the network has no unknowns.
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// Conductance `g` between unknown nodes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not finite and positive or an index is out of
+    /// range.
+    pub fn conductance(&mut self, a: usize, b: usize, g: f64) {
+        assert!(g.is_finite() && g > 0.0, "conductance must be positive");
+        self.matrix.stamp_conductance(Some(a), Some(b), g);
+    }
+
+    /// Conductance `g` from node `a` to an external rail fixed at
+    /// `v_rail` volts (Dirichlet elimination: the rail is not an unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not finite and positive.
+    pub fn conductance_to_rail(&mut self, a: usize, g: f64, v_rail: f64) {
+        assert!(g.is_finite() && g > 0.0, "conductance must be positive");
+        self.matrix.stamp_conductance(Some(a), None, g);
+        self.rhs[a] += g * v_rail;
+    }
+
+    /// Injects `amps` into node `a` (negative extracts).
+    pub fn current(&mut self, a: usize, amps: f64) {
+        assert!(amps.is_finite(), "current must be finite");
+        self.rhs[a] += amps;
+    }
+
+    /// The SC-converter stamp: an ideal `(V_top + V_bottom)/2` source
+    /// behind series conductance `g = 1/R_SERIES` driving node `out`.
+    ///
+    /// Norton analysis gives the symmetric rank-1 PSD contribution
+    /// `g·u·uᵀ` with `u = (+1, −½, −½)` over `(out, top, bottom)`, which
+    /// keeps the overall system SPD (see crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not finite and positive, or the three nodes are
+    /// not distinct.
+    pub fn converter(&mut self, out: usize, top: usize, bottom: usize, g: f64) {
+        self.converter_with_ratio(out, top, bottom, g, 0.5);
+    }
+
+    /// Generalized converter stamp: an ideal source
+    /// `V_ideal = α·V_top + (1−α)·V_bottom` behind conductance `g`
+    /// driving `out`, drawing the α/(1−α) split of its output current from
+    /// the sensed rails (power-conserving). Used with `α = r/N` to model
+    /// the multi-output **ladder** SC whose rail-r output references the
+    /// stack boundaries.
+    ///
+    /// The stamp is `g·u·uᵀ` with `u = (+1, −α, −(1−α))` — rank-1 PSD for
+    /// any `α`, so the system stays SPD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not finite and positive, `α ∉ (0, 1)`, or the
+    /// three nodes are not distinct.
+    pub fn converter_with_ratio(
+        &mut self,
+        out: usize,
+        top: usize,
+        bottom: usize,
+        g: f64,
+        alpha: f64,
+    ) {
+        assert!(g.is_finite() && g > 0.0, "conductance must be positive");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "conversion ratio must be inside (0,1), got {alpha}"
+        );
+        assert!(
+            out != top && out != bottom && top != bottom,
+            "converter terminals must be distinct nodes"
+        );
+        let nodes = [out, top, bottom];
+        let u = [1.0, -alpha, -(1.0 - alpha)];
+        for (ni, ui) in nodes.iter().zip(u) {
+            for (nj, uj) in nodes.iter().zip(u) {
+                self.matrix.push(*ni, *nj, g * ui * uj);
+            }
+        }
+    }
+
+    /// Adds the 2-D grid Laplacian of `grid` with per-segment resistance
+    /// `segment_r`, offsetting node indices by `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_r` is not finite and positive.
+    pub fn grid_laplacian(&mut self, grid: &GridSpec, offset: usize, segment_r: f64) {
+        assert!(
+            segment_r.is_finite() && segment_r > 0.0,
+            "segment resistance must be positive"
+        );
+        let g = 1.0 / segment_r;
+        for j in 0..grid.ny {
+            for i in 0..grid.nx {
+                let n = offset + grid.index(i, j);
+                if i + 1 < grid.nx {
+                    self.conductance(n, offset + grid.index(i + 1, j), g);
+                }
+                if j + 1 < grid.ny {
+                    self.conductance(n, offset + grid.index(i, j + 1), g);
+                }
+            }
+        }
+    }
+
+    /// Solves the assembled system with preconditioned CG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the solver (non-convergence means the
+    /// network was left floating somewhere — a construction bug).
+    pub fn solve(&self, guess: Option<&[f64]>) -> Result<Vec<f64>, SolveError> {
+        let a = self.matrix.to_csr();
+        let opts = CgOptions {
+            tolerance: 1e-9,
+            max_iterations: 50_000,
+            ..CgOptions::default()
+        };
+        Ok(cg_with_guess(&a, &self.rhs, guess, &opts)?.x)
+    }
+
+    /// Finalizes the conductance matrix (CSR). Used by the transient
+    /// stepper, which factors the stamping cost out of the time loop.
+    pub fn to_matrix(&self) -> vstack_sparse::CsrMatrix {
+        self.matrix.to_csr()
+    }
+
+    /// The assembled right-hand side (Dirichlet + current injections).
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+}
+
+/// Assigns every grid node to the core tile containing it.
+///
+/// Returns, for each core, the flat (single-grid) node indices inside its
+/// bounding box. Nodes on shared edges go to the first matching core;
+/// every node belongs to exactly one core because the tiles partition the
+/// die.
+pub fn core_node_map(
+    grid: &GridSpec,
+    floorplan: &vstack_power::floorplan::Floorplan,
+) -> Vec<Vec<usize>> {
+    let mut map = vec![Vec::new(); floorplan.core_count()];
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            let (x, y) = grid.position(i, j);
+            if let Some(core) = floorplan.core_at(x, y) {
+                map[core].push(grid.index(i, j));
+            }
+        }
+    }
+    map
+}
+
+/// Per-core, per-node load weights (parallel to [`core_node_map`]'s node
+/// lists, each core's weights summing to 1).
+///
+/// With [`crate::params::LoadDistribution::PerBlock`], a node's weight
+/// follows the power density of the functional block covering it; with
+/// `Uniform`, all nodes in a tile share equally.
+pub fn core_load_weights(
+    grid: &GridSpec,
+    floorplan: &vstack_power::floorplan::Floorplan,
+    core: &vstack_power::mcpat::CoreModel,
+    node_map: &[Vec<usize>],
+    distribution: crate::params::LoadDistribution,
+) -> Vec<Vec<f64>> {
+    use crate::params::LoadDistribution;
+    use vstack_power::mcpat::UNITS;
+
+    match distribution {
+        LoadDistribution::Uniform => node_map
+            .iter()
+            .map(|nodes| vec![1.0 / nodes.len() as f64; nodes.len()])
+            .collect(),
+        LoadDistribution::PerBlock => {
+            // Power density (W/mm²) per unit index.
+            let density: Vec<f64> = UNITS
+                .iter()
+                .map(|&u| {
+                    let b = core.budget(u);
+                    (b.peak_dynamic_w + b.leakage_w) / (b.area_fraction * core.area_mm2())
+                })
+                .collect();
+            node_map
+                .iter()
+                .enumerate()
+                .map(|(core_idx, nodes)| {
+                    let mut w: Vec<f64> = nodes
+                        .iter()
+                        .map(|&n| {
+                            let i = n % grid.nx;
+                            let j = n / grid.nx;
+                            let (x, y) = grid.position(i, j);
+                            floorplan
+                                .blocks()
+                                .iter()
+                                .find(|b| b.core == core_idx && b.rect.contains(x, y))
+                                .map(|b| density[b.unit])
+                                // Shared-edge nodes assigned to this core but
+                                // covered by a neighbour's block: average
+                                // density.
+                                .unwrap_or_else(|| {
+                                    density.iter().sum::<f64>() / density.len() as f64
+                                })
+                        })
+                        .collect();
+                    let total: f64 = w.iter().sum();
+                    for wi in &mut w {
+                        *wi /= total;
+                    }
+                    w
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_weights_sum_to_one_and_vary_per_block() {
+        use crate::params::LoadDistribution;
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        let fp = p.floorplan();
+        let map = core_node_map(&g, &fp);
+        for dist in [LoadDistribution::Uniform, LoadDistribution::PerBlock] {
+            let w = core_load_weights(&g, &fp, &p.core, &map, dist);
+            for (core, weights) in w.iter().enumerate() {
+                let sum: f64 = weights.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "core {core} weights sum {sum}");
+                assert!(weights.iter().all(|&x| x > 0.0));
+            }
+        }
+        // Per-block weights are non-uniform (hot LSU vs cool L2 slice).
+        let per_block = core_load_weights(&g, &fp, &p.core, &map, LoadDistribution::PerBlock);
+        let w0 = &per_block[0];
+        let spread = w0.iter().cloned().fold(f64::MIN, f64::max)
+            / w0.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.2, "expected density contrast, got {spread}");
+    }
+
+    #[test]
+    fn core_map_partitions_grid() {
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        let map = core_node_map(&g, &p.floorplan());
+        let assigned: usize = map.iter().map(Vec::len).sum();
+        assert_eq!(assigned, g.count(), "every node must belong to a core");
+        for (core, nodes) in map.iter().enumerate() {
+            assert!(!nodes.is_empty(), "core {core} got no grid nodes");
+        }
+    }
+
+    #[test]
+    fn grid_spec_covers_die() {
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        assert!(g.nx > 10 && g.ny > 10, "grid too coarse: {}x{}", g.nx, g.ny);
+        let fp = p.floorplan();
+        let (x, y) = g.position(g.nx - 1, g.ny - 1);
+        assert!((x - fp.chip_width_mm()).abs() < 1e-9);
+        assert!((y - fp.chip_height_mm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_round_trips_node_positions() {
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        for (i, j) in [(0, 0), (3, 5), (g.nx - 1, g.ny - 1)] {
+            let (x, y) = g.position(i, j);
+            assert_eq!(g.nearest(x, y), (i, j));
+        }
+    }
+
+    #[test]
+    fn nearest_clamps_outside_die() {
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        assert_eq!(g.nearest(-5.0, -5.0), (0, 0));
+        assert_eq!(g.nearest(1e9, 1e9), (g.nx - 1, g.ny - 1));
+    }
+
+    #[test]
+    fn dirichlet_divider_solves() {
+        // Two nodes: rail(1V) --1Ω-- a --1Ω-- b --1Ω-- rail(0V)
+        let mut nb = NetworkBuilder::new(2);
+        nb.conductance_to_rail(0, 1.0, 1.0);
+        nb.conductance(0, 1, 1.0);
+        nb.conductance_to_rail(1, 1.0, 0.0);
+        let v = nb.solve(None).unwrap();
+        assert!((v[0] - 2.0 / 3.0).abs() < 1e-8);
+        assert!((v[1] - 1.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn converter_stamp_splits_rails() {
+        // Rails at 2 V and 0 V through small resistances to nodes t and b;
+        // converter drives node o, which has a load to ground.
+        let mut nb = NetworkBuilder::new(3); // 0 = out, 1 = top, 2 = bottom
+        nb.conductance_to_rail(1, 1e3, 2.0);
+        nb.conductance_to_rail(2, 1e3, 0.0);
+        nb.converter(0, 1, 2, 1.0 / 0.6);
+        // Load drawing 50 mA out of the output node.
+        nb.current(0, -0.05);
+        let v = nb.solve(None).unwrap();
+        // v_out ≈ (2 + 0)/2 − 0.05·0.6 = 0.97 (minus tiny rail droop).
+        assert!((v[0] - 0.97).abs() < 0.005, "v_out {}", v[0]);
+    }
+
+    #[test]
+    fn converter_balances_at_zero_load() {
+        let mut nb = NetworkBuilder::new(3);
+        nb.conductance_to_rail(1, 1e3, 3.0);
+        nb.conductance_to_rail(2, 1e3, 1.0);
+        nb.converter(0, 1, 2, 1.0 / 0.6);
+        let v = nb.solve(None).unwrap();
+        assert!((v[0] - 2.0).abs() < 1e-6, "v_out {}", v[0]);
+    }
+
+    #[test]
+    fn grid_laplacian_uniform_current_is_symmetric() {
+        let p = PdnParams::paper_defaults();
+        let g = GridSpec::from_params(&p);
+        let mut nb = NetworkBuilder::new(g.count());
+        nb.grid_laplacian(&g, 0, 0.05);
+        // Tie the four corners to 1 V and pull current from the center.
+        for (i, j) in [(0, 0), (g.nx - 1, 0), (0, g.ny - 1), (g.nx - 1, g.ny - 1)] {
+            nb.conductance_to_rail(g.index(i, j), 100.0, 1.0);
+        }
+        let center = g.index(g.nx / 2, g.ny / 2);
+        nb.current(center, -0.1);
+        let v = nb.solve(None).unwrap();
+        assert!(v[center] < 1.0);
+        // The source sits on the main diagonal of a square grid, so the two
+        // off-diagonal corners are mirror images.
+        let a = v[g.index(g.nx - 1, 0)];
+        let b = v[g.index(0, g.ny - 1)];
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,186 @@
+//! PDN modeling parameters (the paper's Table 1).
+
+use vstack_power::floorplan::Floorplan;
+use vstack_power::mcpat::CoreModel;
+
+/// Copper resistivity in Ω·µm (1.75 × 10⁻⁸ Ω·m).
+pub const RHO_COPPER_OHM_UM: f64 = 0.0175;
+
+/// How a core's load current is spread over the grid nodes inside its
+/// tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadDistribution {
+    /// Every grid node in the tile draws the same share.
+    Uniform,
+    /// Nodes draw in proportion to the local power density of the
+    /// functional block above them (the McPAT per-unit budgets mapped
+    /// through the ArchFP floorplan) — the "fine-grained modeling
+    /// granularity" VoltSpot provides (paper §1/§3.2). Hot blocks like
+    /// the load-store unit concentrate current and raise the realistic
+    /// worst-node IR drop.
+    #[default]
+    PerBlock,
+}
+
+/// All electrical and geometric parameters of the PDN model.
+///
+/// Defaults come from the paper's Table 1 plus the platform constants of
+/// §4.1. The on-chip grid entry `pitch, width, thickness = 810, 400, 0.72`
+/// uses the aggregate-strap interpretation documented in `DESIGN.md`: each
+/// grid edge bundles the straps of one 810 µm routing channel into a single
+/// 400 µm × 0.72 µm copper conductor (≈ 49 mΩ per segment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnParams {
+    /// C4 pad pitch in µm (Table 1: 200).
+    pub c4_pitch_um: f64,
+    /// Single C4 pad resistance in Ω (Table 1: 10 mΩ).
+    pub c4_resistance_ohm: f64,
+    /// Package/board series resistance attributed to each pad, in Ω.
+    /// Not in Table 1; calibrated so the regular PDN's worst-case IR drop
+    /// lands in the 2–3% Vdd band the paper's Fig 6 reference lines show.
+    pub package_r_per_pad_ohm: f64,
+    /// Minimum TSV pitch in µm (Table 1: 10).
+    pub tsv_min_pitch_um: f64,
+    /// TSV diameter in µm (Table 1: 5).
+    pub tsv_diameter_um: f64,
+    /// Single TSV resistance in Ω (Table 1: 44.539 mΩ).
+    pub tsv_resistance_ohm: f64,
+    /// TSV keep-out-zone side length in µm (Table 1: 9.88).
+    pub tsv_koz_side_um: f64,
+    /// On-chip PDN routing-channel pitch in µm (Table 1: 810).
+    pub grid_pitch_um: f64,
+    /// Aggregate strap width per channel in µm (Table 1: 400).
+    pub grid_width_um: f64,
+    /// Metal thickness in µm (Table 1 entry 720 read as nm; see DESIGN.md).
+    pub grid_thickness_um: f64,
+    /// Modeling-grid refinement: the electrical grid is solved at pitch
+    /// `grid_pitch_um / refinement` with per-segment resistance scaled
+    /// accordingly (sheet behaviour preserved). 3 gives ≈6 nodes across a
+    /// core — the "fine-grained modeling granularity" of §1.
+    pub grid_refinement: usize,
+    /// Local TSV current-crowding model: the number of TSVs per core that
+    /// effectively carry the core's vertical (interface) current.
+    ///
+    /// At TSV length scales the local power straps are far more resistive
+    /// than a TSV (ρ·pitch/(w·t) ≈ 0.5 Ω per 20 µm hop vs 44.5 mΩ per
+    /// TSV), so current descends through the TSVs nearest each vertical
+    /// current path — roughly one small cluster per power pad — instead of
+    /// spreading across the whole array. This is what makes the paper's
+    /// regular-PDN TSV lifetime nearly independent of the TSV topology
+    /// (§5.1: "adding more TSVs … only marginally increases MTTF").
+    /// Affects only the EM current extraction; the electrical solve keeps
+    /// the macro array conductance. Deliberately independent of the
+    /// modeling-grid refinement.
+    pub tsv_hot_conductors_per_core: f64,
+    /// Fraction of a core's vertical current that does spread across the
+    /// non-crowded remainder of its TSVs.
+    pub tsv_crowding_spread: f64,
+    /// Per-layer nominal supply voltage in volts (1.0 V platform).
+    pub vdd: f64,
+    /// How core current maps onto the electrical grid nodes.
+    pub load_distribution: LoadDistribution,
+    /// The modelled core (power + area).
+    pub core: CoreModel,
+    /// Core grid columns on a layer (4×4 = 16 cores).
+    pub core_cols: usize,
+    /// Core grid rows on a layer.
+    pub core_rows: usize,
+}
+
+impl PdnParams {
+    /// Table 1 defaults on the 16-core Cortex-A9 platform of §4.1.
+    pub fn paper_defaults() -> Self {
+        PdnParams {
+            c4_pitch_um: 200.0,
+            c4_resistance_ohm: 0.010,
+            package_r_per_pad_ohm: 0.050,
+            tsv_min_pitch_um: 10.0,
+            tsv_diameter_um: 5.0,
+            tsv_resistance_ohm: 0.044539,
+            tsv_koz_side_um: 9.88,
+            grid_pitch_um: 810.0,
+            grid_width_um: 400.0,
+            grid_thickness_um: 0.72,
+            grid_refinement: 3,
+            tsv_hot_conductors_per_core: 10.0,
+            tsv_crowding_spread: 0.2,
+            vdd: 1.0,
+            load_distribution: LoadDistribution::PerBlock,
+            core: CoreModel::arm_cortex_a9(),
+            core_cols: 4,
+            core_rows: 4,
+        }
+    }
+
+    /// The single-layer floorplan (ArchFP substitute).
+    pub fn floorplan(&self) -> Floorplan {
+        Floorplan::grid(&self.core, self.core_cols, self.core_rows)
+    }
+
+    /// Number of cores per layer.
+    pub fn cores_per_layer(&self) -> usize {
+        self.core_cols * self.core_rows
+    }
+
+    /// Resistance of one electrical grid segment at the *modeling* pitch,
+    /// in Ω. `R = ρ · pitch / (width · thickness)` scaled by the
+    /// refinement (shorter segments of the same strap).
+    pub fn grid_segment_resistance_ohm(&self) -> f64 {
+        let model_pitch = self.grid_pitch_um / self.grid_refinement as f64;
+        RHO_COPPER_OHM_UM * model_pitch / (self.grid_width_um * self.grid_thickness_um)
+    }
+
+    /// Modeling-grid pitch in mm.
+    pub fn model_pitch_mm(&self) -> f64 {
+        self.grid_pitch_um / self.grid_refinement as f64 / 1000.0
+    }
+
+    /// Total C4 pad count over the chip (both power and I/O).
+    pub fn total_c4_pads(&self) -> usize {
+        let fp = self.floorplan();
+        let pitch_mm = self.c4_pitch_um / 1000.0;
+        let nx = (fp.chip_width_mm() / pitch_mm).floor() as usize;
+        let ny = (fp.chip_height_mm() / pitch_mm).floor() as usize;
+        nx * ny
+    }
+}
+
+impl Default for PdnParams {
+    fn default() -> Self {
+        PdnParams::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_resistance_near_49_mohm_at_table_pitch() {
+        let mut p = PdnParams::paper_defaults();
+        p.grid_refinement = 1;
+        let r = p.grid_segment_resistance_ohm();
+        assert!((r - 0.0492).abs() < 0.001, "got {r}");
+    }
+
+    #[test]
+    fn refinement_scales_segment_resistance() {
+        let p = PdnParams::paper_defaults();
+        let mut coarse = p.clone();
+        coarse.grid_refinement = 1;
+        let ratio = coarse.grid_segment_resistance_ohm() / p.grid_segment_resistance_ohm();
+        assert!((ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chip_has_about_1100_pads() {
+        let p = PdnParams::paper_defaults();
+        let n = p.total_c4_pads();
+        assert!((1000..1200).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn sixteen_cores() {
+        assert_eq!(PdnParams::paper_defaults().cores_per_layer(), 16);
+    }
+}

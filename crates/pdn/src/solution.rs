@@ -1,0 +1,210 @@
+//! Solved-network outputs: IR drop, conductor current profiles, power
+//! bookkeeping.
+
+/// A group of identical conductors carrying the same current — the unit the
+/// EM model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentGroup {
+    /// Current per conductor, in amperes (magnitude).
+    pub current_a: f64,
+    /// How many conductors carry this current. Fractional counts arise
+    /// when TSVs are lumped onto grid nodes; the EM model handles them
+    /// exactly (they appear as exponents of survival probabilities).
+    pub count: f64,
+}
+
+/// Per-conductor current profile of a pad or TSV array.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConductorCurrents {
+    groups: Vec<CurrentGroup>,
+}
+
+impl ConductorCurrents {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        ConductorCurrents::default()
+    }
+
+    /// Adds a group of `count` conductors each carrying `current_a`
+    /// (the sign is dropped — EM stress follows current magnitude).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not finite and positive or `current_a` is not
+    /// finite.
+    pub fn push(&mut self, current_a: f64, count: f64) {
+        assert!(current_a.is_finite(), "current must be finite");
+        assert!(count.is_finite() && count > 0.0, "count must be positive");
+        self.groups.push(CurrentGroup {
+            current_a: current_a.abs(),
+            count,
+        });
+    }
+
+    /// The conductor groups.
+    pub fn groups(&self) -> &[CurrentGroup] {
+        &self.groups
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total number of conductors.
+    pub fn total_count(&self) -> f64 {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Largest per-conductor current.
+    pub fn max_current(&self) -> f64 {
+        self.groups.iter().map(|g| g.current_a).fold(0.0, f64::max)
+    }
+
+    /// Count-weighted mean current.
+    pub fn mean_current(&self) -> f64 {
+        let n = self.total_count();
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.groups
+            .iter()
+            .map(|g| g.current_a * g.count)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Merges another profile into this one.
+    pub fn extend_from(&mut self, other: &ConductorCurrents) {
+        self.groups.extend_from_slice(&other.groups);
+    }
+
+    /// Adds a TSV bundle of `count` conductors sharing `total_current`
+    /// under the local crowding model: `neff` conductors carry
+    /// `(1 − spread)` of the current, the remainder shares the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `count`/`neff` or `spread ∉ [0, 1]`.
+    pub fn push_crowded(&mut self, total_current: f64, count: f64, neff: f64, spread: f64) {
+        assert!(neff > 0.0, "crowding neff must be positive");
+        assert!((0.0..=1.0).contains(&spread), "spread must be in [0,1]");
+        let i = total_current.abs();
+        if count <= neff {
+            self.push(i / count, count);
+            return;
+        }
+        self.push((1.0 - spread) * i / neff, neff);
+        let rest = count - neff;
+        self.push(spread * i / rest, rest);
+    }
+}
+
+/// Complete result of one PDN solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnSolution {
+    /// Worst on-chip IR drop as a fraction of the per-layer Vdd (the
+    /// y-axis of the paper's Fig 6).
+    pub max_ir_drop_frac: f64,
+    /// Load-node-averaged IR drop fraction.
+    pub mean_ir_drop_frac: f64,
+    /// Layer (0 = bottom) where the worst drop occurs.
+    pub worst_layer: usize,
+    /// Worst IR-drop fraction of each layer (index 0 = bottom).
+    pub per_layer_max_drop: Vec<f64>,
+    /// Per-conductor currents of the supply C4 pads.
+    pub vdd_c4: ConductorCurrents,
+    /// Per-conductor currents of the return C4 pads.
+    pub gnd_c4: ConductorCurrents,
+    /// Per-conductor currents of every power-TSV segment (including V-S
+    /// through-via segments).
+    pub tsv: ConductorCurrents,
+    /// Output current of every SC converter (V-S only; empty for regular
+    /// PDNs). Positive = sourcing into its rail.
+    pub converter_currents: Vec<f64>,
+    /// How many converters exceed their rated current (Fig 6 skips design
+    /// points where this is nonzero).
+    pub overloaded_converters: usize,
+    /// Power delivered into the loads, in watts.
+    pub p_loads_w: f64,
+    /// Power drawn from the board supply, in watts.
+    pub p_input_w: f64,
+    /// Aggregate converter parasitic (switching + controller) power, in
+    /// watts; zero for regular PDNs.
+    pub p_parasitic_w: f64,
+}
+
+impl PdnSolution {
+    /// System power efficiency: load power over total power drawn,
+    /// including converter parasitics (the y-axis of the paper's Fig 8).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.p_input_w + self.p_parasitic_w;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.p_loads_w / total
+    }
+
+    /// Whether any converter is overloaded.
+    pub fn has_overload(&self) -> bool {
+        self.overloaded_converters > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_group_statistics() {
+        let mut c = ConductorCurrents::new();
+        c.push(-0.2, 2.0); // sign dropped
+        c.push(0.1, 8.0);
+        assert_eq!(c.max_current(), 0.2);
+        assert_eq!(c.total_count(), 10.0);
+        assert!((c.mean_current() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_mean_is_zero() {
+        assert_eq!(ConductorCurrents::new().mean_current(), 0.0);
+        assert_eq!(ConductorCurrents::new().max_current(), 0.0);
+    }
+
+    #[test]
+    fn extend_merges_groups() {
+        let mut a = ConductorCurrents::new();
+        a.push(1.0, 1.0);
+        let mut b = ConductorCurrents::new();
+        b.push(2.0, 3.0);
+        a.extend_from(&b);
+        assert_eq!(a.total_count(), 4.0);
+        assert_eq!(a.max_current(), 2.0);
+    }
+
+    #[test]
+    fn efficiency_includes_parasitics() {
+        let sol = PdnSolution {
+            max_ir_drop_frac: 0.01,
+            mean_ir_drop_frac: 0.005,
+            worst_layer: 0,
+            per_layer_max_drop: vec![0.01],
+            vdd_c4: ConductorCurrents::new(),
+            gnd_c4: ConductorCurrents::new(),
+            tsv: ConductorCurrents::new(),
+            converter_currents: vec![],
+            overloaded_converters: 0,
+            p_loads_w: 90.0,
+            p_input_w: 95.0,
+            p_parasitic_w: 5.0,
+        };
+        assert!((sol.efficiency() - 0.9).abs() < 1e-12);
+        assert!(!sol.has_overload());
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be positive")]
+    fn zero_count_rejected() {
+        ConductorCurrents::new().push(1.0, 0.0);
+    }
+}

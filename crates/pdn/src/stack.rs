@@ -1,0 +1,178 @@
+//! Load descriptions for a 3D stack: how much current each core of each
+//! layer draws.
+
+use vstack_power::mcpat::ActivityVector;
+use vstack_power::workload::{ImbalancePattern, PowerSample};
+
+use crate::params::PdnParams;
+
+/// Per-layer, per-core load currents for one operating scenario.
+///
+/// Loads are ideal current sources (paper §3.2): current is power at the
+/// nominal supply voltage, independent of the local IR drop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackLoads {
+    /// `[layer][core]` load currents in amperes. Layer 0 is the bottom.
+    currents: Vec<Vec<f64>>,
+}
+
+impl StackLoads {
+    /// Builds loads from explicit per-layer, per-core currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents` is empty, ragged, or contains non-finite or
+    /// negative values.
+    pub fn from_currents(currents: Vec<Vec<f64>>) -> Self {
+        assert!(!currents.is_empty(), "need at least one layer");
+        let cores = currents[0].len();
+        assert!(cores > 0, "need at least one core");
+        for layer in &currents {
+            assert_eq!(layer.len(), cores, "ragged per-layer core counts");
+            for &c in layer {
+                assert!(c.is_finite() && c >= 0.0, "invalid load current {c}");
+            }
+        }
+        StackLoads { currents }
+    }
+
+    /// Every core on every layer fully active (the regular PDN's worst
+    /// case, used by the EM studies and the Fig 6 reference lines).
+    pub fn uniform_peak(params: &PdnParams, n_layers: usize) -> Self {
+        let i = params.core.peak_power().current_a(params.vdd);
+        StackLoads::from_currents(vec![vec![i; params.cores_per_layer()]; n_layers])
+    }
+
+    /// The interleaved high/low imbalance pattern of Figs 6 and 8.
+    pub fn interleaved(params: &PdnParams, n_layers: usize, pattern: &ImbalancePattern) -> Self {
+        let currents = (0..n_layers)
+            .map(|l| {
+                let p = pattern.layer_core_power(&params.core, l);
+                vec![p.current_a(params.vdd); params.cores_per_layer()]
+            })
+            .collect();
+        StackLoads::from_currents(currents)
+    }
+
+    /// Loads where every core of layer `l` runs workload sample
+    /// `samples[l]` (used for application-driven studies, e.g. scheduling
+    /// different Parsec samples onto different layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(params: &PdnParams, samples: &[PowerSample]) -> Self {
+        assert!(!samples.is_empty(), "need at least one layer sample");
+        let currents = samples
+            .iter()
+            .map(|s| vec![s.core_power.current_a(params.vdd); params.cores_per_layer()])
+            .collect();
+        StackLoads::from_currents(currents)
+    }
+
+    /// Loads from explicit per-layer uniform activities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activities` is empty or any activity is outside `[0,1]`.
+    pub fn from_activities(params: &PdnParams, activities: &[f64]) -> Self {
+        assert!(!activities.is_empty(), "need at least one layer");
+        let currents = activities
+            .iter()
+            .map(|&a| {
+                let p = params.core.power(&ActivityVector::uniform(a));
+                vec![p.current_a(params.vdd); params.cores_per_layer()]
+            })
+            .collect();
+        StackLoads::from_currents(currents)
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.currents.len()
+    }
+
+    /// Number of cores per layer.
+    pub fn cores_per_layer(&self) -> usize {
+        self.currents[0].len()
+    }
+
+    /// Current of one core, in amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn core_current(&self, layer: usize, core: usize) -> f64 {
+        self.currents[layer][core]
+    }
+
+    /// Total current of one layer.
+    pub fn layer_current(&self, layer: usize) -> f64 {
+        self.currents[layer].iter().sum()
+    }
+
+    /// Total current of the whole stack.
+    pub fn total_current(&self) -> f64 {
+        (0..self.n_layers()).map(|l| self.layer_current(l)).sum()
+    }
+
+    /// The largest per-layer current (the series current a V-S stack must
+    /// sustain).
+    pub fn max_layer_current(&self) -> f64 {
+        (0..self.n_layers())
+            .map(|l| self.layer_current(l))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_peak_matches_paper_layer_power() {
+        let p = PdnParams::paper_defaults();
+        let loads = StackLoads::uniform_peak(&p, 4);
+        // 7.6 A per layer at 1 V.
+        assert!((loads.layer_current(0) - 7.6).abs() < 1e-9);
+        assert!((loads.total_current() - 4.0 * 7.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interleaved_alternates() {
+        let p = PdnParams::paper_defaults();
+        let loads = StackLoads::interleaved(&p, 4, &ImbalancePattern::new(1.0));
+        assert!(loads.layer_current(0) > loads.layer_current(1));
+        assert!((loads.layer_current(0) - loads.layer_current(2)).abs() < 1e-12);
+        // Fully imbalanced low layer draws only leakage (20% of 7.6 W).
+        assert!((loads.layer_current(1) - 7.6 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_imbalance_is_uniform() {
+        let p = PdnParams::paper_defaults();
+        let a = StackLoads::interleaved(&p, 2, &ImbalancePattern::new(0.0));
+        let b = StackLoads::uniform_peak(&p, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activities_drive_currents() {
+        let p = PdnParams::paper_defaults();
+        let loads = StackLoads::from_activities(&p, &[1.0, 0.0]);
+        assert!(loads.layer_current(0) > loads.layer_current(1));
+        assert_eq!(loads.max_layer_current(), loads.layer_current(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_layers_rejected() {
+        StackLoads::from_currents(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load current")]
+    fn negative_current_rejected() {
+        StackLoads::from_currents(vec![vec![-1.0]]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Power-delivery TSV topologies (the paper's Table 2).
+//!
+//! The number of power TSVs is a first-class design knob: more TSVs lower
+//! vertical resistance and per-TSV current density (better noise and EM),
+//! but each TSV's keep-out zone (KoZ) costs active-silicon area. The paper
+//! studies three allocations:
+//!
+//! | Topology | Effective pitch | TSVs per core | Area overhead |
+//! |----------|-----------------|---------------|---------------|
+//! | Dense    | 20 µm           | 6650          | 24.2%         |
+//! | Sparse   | 40 µm           | 1675          | 6.1%          |
+//! | Few      | 240 µm          | 110           | 0.4%          |
+
+use crate::params::PdnParams;
+
+/// The three TSV allocations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TsvTopology {
+    /// Conservative allocation: 20 µm effective pitch.
+    Dense,
+    /// Average allocation: 40 µm effective pitch.
+    Sparse,
+    /// Aggressive allocation: 240 µm effective pitch.
+    Few,
+}
+
+/// All topologies in Table 2 order.
+pub const TSV_TOPOLOGIES: [TsvTopology; 3] =
+    [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few];
+
+impl TsvTopology {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TsvTopology::Dense => "Dense TSV",
+            TsvTopology::Sparse => "Sparse TSV",
+            TsvTopology::Few => "Few TSV",
+        }
+    }
+
+    /// Effective pitch in µm (Table 2).
+    pub fn effective_pitch_um(self) -> f64 {
+        match self {
+            TsvTopology::Dense => 20.0,
+            TsvTopology::Sparse => 40.0,
+            TsvTopology::Few => 240.0,
+        }
+    }
+
+    /// Power TSVs per core (Table 2), split evenly between supply and
+    /// return nets.
+    pub fn tsvs_per_core(self) -> usize {
+        match self {
+            TsvTopology::Dense => 6650,
+            TsvTopology::Sparse => 1675,
+            TsvTopology::Few => 110,
+        }
+    }
+
+    /// Supply-net TSVs per core (half the total).
+    pub fn vdd_tsvs_per_core(self) -> usize {
+        self.tsvs_per_core() / 2
+    }
+
+    /// Area overhead of the KoZs as a fraction of core area.
+    ///
+    /// Reproduces Table 2's totals (24.2% / 6.1% / 0.4%).
+    pub fn area_overhead(self, params: &PdnParams) -> f64 {
+        let koz_um2 = params.tsv_koz_side_um * params.tsv_koz_side_um;
+        let core_um2 = params.core.area_mm2() * 1e6;
+        self.tsvs_per_core() as f64 * koz_um2 / core_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_area_overheads() {
+        let p = PdnParams::paper_defaults();
+        let dense = TsvTopology::Dense.area_overhead(&p);
+        let sparse = TsvTopology::Sparse.area_overhead(&p);
+        let few = TsvTopology::Few.area_overhead(&p);
+        assert!((dense - 0.242).abs() < 0.01, "dense {dense}");
+        assert!((sparse - 0.061).abs() < 0.005, "sparse {sparse}");
+        assert!((few - 0.004).abs() < 0.001, "few {few}");
+    }
+
+    #[test]
+    fn denser_topology_has_more_tsvs() {
+        assert!(TsvTopology::Dense.tsvs_per_core() > TsvTopology::Sparse.tsvs_per_core());
+        assert!(TsvTopology::Sparse.tsvs_per_core() > TsvTopology::Few.tsvs_per_core());
+    }
+
+    #[test]
+    fn vdd_half_of_total() {
+        for t in TSV_TOPOLOGIES {
+            assert_eq!(t.vdd_tsvs_per_core(), t.tsvs_per_core() / 2);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(TsvTopology::Few.name(), "Few TSV");
+    }
+}

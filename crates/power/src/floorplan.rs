@@ -1,0 +1,277 @@
+//! ArchFP-style rapid floorplanning.
+//!
+//! The paper generates its 16-core floorplan with ArchFP (ref \[5\]). The PDN
+//! model only consumes block bounding boxes — it maps each block's current
+//! onto the nearest power-grid nodes — so a regular grid tiling with
+//! area-proportional intra-core slicing reproduces everything downstream
+//! models need.
+
+use crate::mcpat::{CoreModel, UNITS};
+
+/// Axis-aligned rectangle in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Center point `(x, y)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Whether the point lies inside (inclusive of edges).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x && x <= self.x + self.w && y >= self.y && y <= self.y + self.h
+    }
+}
+
+/// A placed functional block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Which core tile the block belongs to.
+    pub core: usize,
+    /// Unit index within [`UNITS`].
+    pub unit: usize,
+    /// Placement.
+    pub rect: Rect,
+}
+
+/// A single-layer floorplan: a `cols × rows` grid of core tiles, each
+/// sliced into its functional units.
+///
+/// # Example
+///
+/// ```
+/// use vstack_power::floorplan::Floorplan;
+/// use vstack_power::mcpat::CoreModel;
+///
+/// let fp = Floorplan::grid(&CoreModel::arm_cortex_a9(), 4, 4);
+/// assert_eq!(fp.core_count(), 16);
+/// assert!((fp.chip_width_mm() * fp.chip_height_mm() - 44.12).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    cols: usize,
+    rows: usize,
+    chip_w: f64,
+    chip_h: f64,
+    cores: Vec<Rect>,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Tiles `cols × rows` copies of `core` into a near-square chip and
+    /// slices each tile into unit blocks by area fraction (vertical strips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn grid(core: &CoreModel, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "floorplan grid must be non-empty");
+        let tile_area = core.area_mm2();
+        let tile_side = tile_area.sqrt();
+        let (tile_w, tile_h) = (tile_side, tile_side);
+        let chip_w = tile_w * cols as f64;
+        let chip_h = tile_h * rows as f64;
+
+        let mut cores = Vec::with_capacity(cols * rows);
+        let mut blocks = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let core_idx = r * cols + c;
+                let rect = Rect {
+                    x: c as f64 * tile_w,
+                    y: r as f64 * tile_h,
+                    w: tile_w,
+                    h: tile_h,
+                };
+                cores.push(rect);
+                // Slice the tile into vertical strips, one per unit, with
+                // widths proportional to unit area fractions.
+                let mut x = rect.x;
+                for (unit_idx, unit) in UNITS.iter().enumerate() {
+                    let frac = core.budget(*unit).area_fraction;
+                    let w = rect.w * frac;
+                    blocks.push(Block {
+                        core: core_idx,
+                        unit: unit_idx,
+                        rect: Rect {
+                            x,
+                            y: rect.y,
+                            w,
+                            h: rect.h,
+                        },
+                    });
+                    x += w;
+                }
+            }
+        }
+        Floorplan {
+            cols,
+            rows,
+            chip_w,
+            chip_h,
+            cores,
+            blocks,
+        }
+    }
+
+    /// Chip width in mm.
+    pub fn chip_width_mm(&self) -> f64 {
+        self.chip_w
+    }
+
+    /// Chip height in mm.
+    pub fn chip_height_mm(&self) -> f64 {
+        self.chip_h
+    }
+
+    /// Number of core tiles.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Grid shape `(cols, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Bounding box of core `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn core_bounds(&self, idx: usize) -> Rect {
+        self.cores[idx]
+    }
+
+    /// All placed unit blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The core tile containing a point, if any.
+    pub fn core_at(&self, x: f64, y: f64) -> Option<usize> {
+        self.cores.iter().position(|r| r.contains(x, y))
+    }
+
+    /// Evenly spaced positions inside core `core_idx` for placing `n`
+    /// on-core resources (SC converters, TSV clusters): a near-square
+    /// sub-grid of the tile, matching the paper's "uniformly distribute
+    /// them within each core" (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idx` is out of range or `n == 0`.
+    pub fn uniform_positions_in_core(&self, core_idx: usize, n: usize) -> Vec<(f64, f64)> {
+        assert!(n > 0, "need at least one position");
+        let rect = self.core_bounds(core_idx);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let mut out = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if out.len() == n {
+                    break 'outer;
+                }
+                let fx = (c as f64 + 0.5) / cols as f64;
+                let fy = (r as f64 + 0.5) / rows as f64;
+                out.push((rect.x + fx * rect.w, rect.y + fy * rect.h));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Floorplan {
+        Floorplan::grid(&CoreModel::arm_cortex_a9(), 4, 4)
+    }
+
+    #[test]
+    fn sixteen_tiles_cover_chip_area() {
+        let f = fp();
+        let total: f64 = (0..16).map(|i| f.core_bounds(i).area()).sum();
+        assert!((total - 44.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiles_do_not_overlap() {
+        let f = fp();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let (a, b) = (f.core_bounds(i), f.core_bounds(j));
+                let overlap_x = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let overlap_y = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                assert!(
+                    overlap_x <= 1e-12 || overlap_y <= 1e-12,
+                    "cores {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_partition_each_tile() {
+        let f = fp();
+        for core in 0..16 {
+            let area: f64 = f
+                .blocks()
+                .iter()
+                .filter(|b| b.core == core)
+                .map(|b| b.rect.area())
+                .sum();
+            assert!((area - f.core_bounds(core).area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn core_lookup_by_point() {
+        let f = fp();
+        let r = f.core_bounds(5);
+        let (cx, cy) = r.center();
+        assert_eq!(f.core_at(cx, cy), Some(5));
+        assert_eq!(f.core_at(-1.0, 0.0), None);
+    }
+
+    #[test]
+    fn uniform_positions_stay_inside_core() {
+        let f = fp();
+        for n in [1, 2, 4, 6, 8] {
+            let pts = f.uniform_positions_in_core(3, n);
+            assert_eq!(pts.len(), n);
+            let r = f.core_bounds(3);
+            for (x, y) in pts {
+                assert!(r.contains(x, y), "({x},{y}) escaped core 3");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_positions_are_distinct() {
+        let f = fp();
+        let pts = f.uniform_positions_in_core(0, 8);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d = (pts[i].0 - pts[j].0).hypot(pts[i].1 - pts[j].1);
+                assert!(d > 1e-6, "positions {i} and {j} coincide");
+            }
+        }
+    }
+}

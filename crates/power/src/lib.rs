@@ -1,0 +1,40 @@
+//! Processor power, floorplan and workload models for the `vstack` 3D-IC
+//! study.
+//!
+//! The paper builds its evaluation platform from three external tools, all
+//! re-implemented here at the fidelity the PDN study actually consumes:
+//!
+//! * **McPAT** → [`mcpat`]: an analytic per-unit power model of a 40 nm,
+//!   1 GHz ARM Cortex-A9-class core, calibrated to the paper's totals — a
+//!   16-core layer has a peak power of 7.6 W and an area of 44.12 mm² at
+//!   1 V (paper §4.1).
+//! * **ArchFP** → [`floorplan`]: a rapid grid floorplanner that places the
+//!   16 cores and their functional blocks, giving the PDN model its current
+//!   density map.
+//! * **Gem5 + Parsec 2.0** → [`workload`]: a statistical sampler that
+//!   reproduces the published per-application power distributions (1000 ×
+//!   2k-cycle samples per application, paper §5.2 / Fig 7), plus the
+//!   interleaved high/low "workload imbalance" stress pattern used by
+//!   Fig 6 and Fig 8.
+//!
+//! # Example
+//!
+//! ```
+//! use vstack_power::mcpat::{ActivityVector, CoreModel};
+//!
+//! let core = CoreModel::arm_cortex_a9();
+//! let peak = core.power(&ActivityVector::full());
+//! // 16 such cores draw the paper's 7.6 W peak layer power.
+//! assert!((16.0 * peak.total_w() - 7.6).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod floorplan;
+pub mod mcpat;
+pub mod workload;
+
+pub use floorplan::{Floorplan, Rect};
+pub use mcpat::{ActivityVector, CoreModel, CorePower};
+pub use workload::{ImbalancePattern, ParsecApp, PowerSample, WorkloadSampler};

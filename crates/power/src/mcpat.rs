@@ -1,0 +1,325 @@
+//! McPAT-style analytic core power model.
+//!
+//! McPAT decomposes a core into functional units, each with a peak dynamic
+//! power (scaled by an activity factor) and a leakage power. We reproduce
+//! that structure for the paper's platform: a 40 nm, dual-issue ARM
+//! Cortex-A9-class core at 1 GHz and 1 V, replicated 16× per layer. The
+//! per-unit budget below is calibrated so that a fully-active 16-core layer
+//! draws the paper's 7.6 W peak in 44.12 mm² (§4.1), with a 20% leakage
+//! share typical of 40 nm bulk CMOS.
+
+/// Functional units of the modelled core, in floorplan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Instruction fetch + branch prediction.
+    Fetch,
+    /// Decode/rename/dispatch.
+    Decode,
+    /// Integer execution cluster.
+    IntExec,
+    /// Floating-point / NEON cluster.
+    FpExec,
+    /// Load-store unit + L1 data cache.
+    LoadStore,
+    /// L1 instruction cache.
+    ICache,
+    /// Per-core slice of the shared L2.
+    L2Slice,
+    /// Clock tree and uncore glue attributed to the core tile.
+    ClockUncore,
+}
+
+/// All units in a fixed iteration order.
+pub const UNITS: [Unit; 8] = [
+    Unit::Fetch,
+    Unit::Decode,
+    Unit::IntExec,
+    Unit::FpExec,
+    Unit::LoadStore,
+    Unit::ICache,
+    Unit::L2Slice,
+    Unit::ClockUncore,
+];
+
+/// Per-unit activity factors in `[0, 1]`.
+///
+/// An activity of 1.0 on every unit reproduces the peak (TDP-style) power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityVector {
+    factors: [f64; 8],
+}
+
+impl ActivityVector {
+    /// All units fully active (peak power).
+    pub fn full() -> Self {
+        ActivityVector { factors: [1.0; 8] }
+    }
+
+    /// All units idle (leakage only).
+    pub fn idle() -> Self {
+        ActivityVector { factors: [0.0; 8] }
+    }
+
+    /// Uniform activity `a` on every unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ a ≤ 1`.
+    pub fn uniform(a: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&a),
+            "activity must be in [0,1], got {a}"
+        );
+        ActivityVector { factors: [a; 8] }
+    }
+
+    /// Sets one unit's activity, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ a ≤ 1`.
+    pub fn with(mut self, unit: Unit, a: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&a),
+            "activity must be in [0,1], got {a}"
+        );
+        self.factors[unit as usize] = a;
+        self
+    }
+
+    /// Activity of one unit.
+    pub fn factor(&self, unit: Unit) -> f64 {
+        self.factors[unit as usize]
+    }
+
+    /// Mean activity across units (used by coarse-grained reports).
+    pub fn mean(&self) -> f64 {
+        self.factors.iter().sum::<f64>() / self.factors.len() as f64
+    }
+}
+
+/// Power budget for one functional unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBudget {
+    /// Peak dynamic power at nominal voltage/frequency, in watts.
+    pub peak_dynamic_w: f64,
+    /// Leakage power at nominal voltage, in watts.
+    pub leakage_w: f64,
+    /// Area share of the core tile, as a fraction summing to 1.
+    pub area_fraction: f64,
+}
+
+/// Analytic model of one core tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreModel {
+    budgets: [UnitBudget; 8],
+    /// Core tile area in mm².
+    area_mm2: f64,
+    /// Nominal supply voltage in volts.
+    vdd: f64,
+    /// Nominal clock frequency in hertz.
+    frequency_hz: f64,
+}
+
+impl CoreModel {
+    /// The paper's platform core: 40 nm dual-core Cortex-A9 IP replicated
+    /// to 16 cores per layer; per-core tile 2.7575 mm² (44.12 mm² / 16),
+    /// peak 0.475 W (7.6 W / 16) at 1 V, 1 GHz, with a 20% leakage share.
+    pub fn arm_cortex_a9() -> Self {
+        const PEAK_TOTAL: f64 = 7.6 / 16.0; // 0.475 W
+        const LEAK_SHARE: f64 = 0.20;
+        let dyn_total = PEAK_TOTAL * (1.0 - LEAK_SHARE);
+        let leak_total = PEAK_TOTAL * LEAK_SHARE;
+        // Dynamic power split across units (fractions sum to 1), with
+        // leakage tracking SRAM-heavy units more strongly; area fractions
+        // follow the usual A9 die-photo proportions.
+        let split = [
+            // (dynamic, leakage, area) fractions per unit
+            (0.12, 0.08, 0.10), // Fetch
+            (0.10, 0.06, 0.08), // Decode
+            (0.16, 0.10, 0.12), // IntExec
+            (0.12, 0.08, 0.12), // FpExec
+            (0.18, 0.16, 0.16), // LoadStore + L1D
+            (0.08, 0.10, 0.08), // ICache
+            (0.14, 0.32, 0.24), // L2 slice (SRAM leakage heavy)
+            (0.10, 0.10, 0.10), // Clock/uncore
+        ];
+        let budgets = split.map(|(d, l, a)| UnitBudget {
+            peak_dynamic_w: dyn_total * d,
+            leakage_w: leak_total * l,
+            area_fraction: a,
+        });
+        CoreModel {
+            budgets,
+            area_mm2: 44.12 / 16.0,
+            vdd: 1.0,
+            frequency_hz: 1.0e9,
+        }
+    }
+
+    /// Core tile area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// Nominal supply voltage in volts.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Nominal clock frequency in hertz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Budget of one unit.
+    pub fn budget(&self, unit: Unit) -> UnitBudget {
+        self.budgets[unit as usize]
+    }
+
+    /// Evaluates core power for a per-unit activity vector at nominal
+    /// voltage and frequency.
+    pub fn power(&self, activity: &ActivityVector) -> CorePower {
+        self.power_scaled(activity, self.vdd, self.frequency_hz)
+    }
+
+    /// Evaluates core power at a non-nominal operating point: dynamic power
+    /// scales with `V²·f`, leakage approximately linearly with `V`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` or `frequency_hz` is not finite and positive.
+    pub fn power_scaled(
+        &self,
+        activity: &ActivityVector,
+        vdd: f64,
+        frequency_hz: f64,
+    ) -> CorePower {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "frequency must be positive"
+        );
+        let v_ratio = vdd / self.vdd;
+        let dyn_scale = v_ratio * v_ratio * (frequency_hz / self.frequency_hz);
+        let leak_scale = v_ratio;
+        let mut dynamic = 0.0;
+        let mut leakage = 0.0;
+        for (i, unit) in UNITS.iter().enumerate() {
+            let b = self.budgets[*unit as usize];
+            dynamic += b.peak_dynamic_w * activity.factors[i] * dyn_scale;
+            leakage += b.leakage_w * leak_scale;
+        }
+        CorePower { dynamic, leakage }
+    }
+
+    /// Peak (all-units-active) power at nominal conditions.
+    pub fn peak_power(&self) -> CorePower {
+        self.power(&ActivityVector::full())
+    }
+}
+
+/// Power of one core, split into dynamic and leakage components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CorePower {
+    /// Activity-dependent dynamic power in watts.
+    pub dynamic: f64,
+    /// Activity-independent leakage power in watts.
+    pub leakage: f64,
+}
+
+impl CorePower {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic + self.leakage
+    }
+
+    /// Supply current in amperes at voltage `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not finite and positive.
+    pub fn current_a(&self, vdd: f64) -> f64 {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        self.total_w() / vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_cores_peak_at_paper_power() {
+        let core = CoreModel::arm_cortex_a9();
+        let total = 16.0 * core.peak_power().total_w();
+        assert!((total - 7.6).abs() < 1e-9, "got {total}");
+    }
+
+    #[test]
+    fn sixteen_cores_cover_paper_area() {
+        let core = CoreModel::arm_cortex_a9();
+        assert!((16.0 * core.area_mm2() - 44.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_power_is_leakage_only() {
+        let core = CoreModel::arm_cortex_a9();
+        let idle = core.power(&ActivityVector::idle());
+        assert_eq!(idle.dynamic, 0.0);
+        assert!((idle.leakage - 0.475 * 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_fractions_sum_to_one() {
+        let core = CoreModel::arm_cortex_a9();
+        let area: f64 = UNITS.iter().map(|&u| core.budget(u).area_fraction).sum();
+        assert!((area - 1.0).abs() < 1e-9);
+        let dyn_sum: f64 = UNITS.iter().map(|&u| core.budget(u).peak_dynamic_w).sum();
+        assert!((dyn_sum - 0.475 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_linear_in_activity() {
+        let core = CoreModel::arm_cortex_a9();
+        let half = core.power(&ActivityVector::uniform(0.5));
+        let full = core.power(&ActivityVector::full());
+        assert!((half.dynamic - full.dynamic / 2.0).abs() < 1e-12);
+        assert_eq!(half.leakage, full.leakage);
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_for_dynamic() {
+        let core = CoreModel::arm_cortex_a9();
+        let a = ActivityVector::full();
+        let nominal = core.power_scaled(&a, 1.0, 1e9);
+        let low_v = core.power_scaled(&a, 0.8, 1e9);
+        assert!((low_v.dynamic - nominal.dynamic * 0.64).abs() < 1e-12);
+        assert!((low_v.leakage - nominal.leakage * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_unit_override() {
+        let core = CoreModel::arm_cortex_a9();
+        let fp_idle = ActivityVector::full().with(Unit::FpExec, 0.0);
+        let p = core.power(&fp_idle);
+        let expect = core.peak_power().dynamic - core.budget(Unit::FpExec).peak_dynamic_w;
+        assert!((p.dynamic - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_at_one_volt_equals_watts() {
+        let p = CorePower {
+            dynamic: 0.3,
+            leakage: 0.1,
+        };
+        assert!((p.current_a(1.0) - 0.4).abs() < 1e-12);
+        assert!((p.current_a(2.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in [0,1]")]
+    fn activity_out_of_range_rejected() {
+        ActivityVector::uniform(1.5);
+    }
+}

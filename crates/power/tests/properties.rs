@@ -1,0 +1,72 @@
+//! Property-based tests for the power and workload models.
+
+use proptest::prelude::*;
+use vstack_power::mcpat::{ActivityVector, CoreModel};
+use vstack_power::workload::{dynamic_imbalance, Distribution, ImbalancePattern};
+
+proptest! {
+    /// Core power is affine in uniform activity: leakage floor plus a
+    /// linear dynamic term.
+    #[test]
+    fn power_affine_in_activity(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let core = CoreModel::arm_cortex_a9();
+        let pa = core.power(&ActivityVector::uniform(a));
+        let pb = core.power(&ActivityVector::uniform(b));
+        prop_assert!((pa.leakage - pb.leakage).abs() < 1e-12);
+        if a > 0.0 {
+            let slope_a = pa.dynamic / a;
+            if b > 0.0 {
+                let slope_b = pb.dynamic / b;
+                prop_assert!((slope_a - slope_b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Voltage scaling keeps dynamic power quadratic and leakage linear.
+    #[test]
+    fn scaling_laws(v in 0.5..1.2f64) {
+        let core = CoreModel::arm_cortex_a9();
+        let act = ActivityVector::uniform(0.7);
+        let nom = core.power_scaled(&act, 1.0, 1e9);
+        let s = core.power_scaled(&act, v, 1e9);
+        prop_assert!((s.dynamic - nom.dynamic * v * v).abs() < 1e-9);
+        prop_assert!((s.leakage - nom.leakage * v).abs() < 1e-9);
+    }
+
+    /// The imbalance metric is symmetric, bounded, and zero iff equal.
+    #[test]
+    fn imbalance_metric_properties(a in 0.001..1.0f64, b in 0.001..1.0f64) {
+        let i = dynamic_imbalance(a, b);
+        prop_assert!((0.0..1.0).contains(&i));
+        prop_assert!((dynamic_imbalance(b, a) - i).abs() < 1e-12);
+        if (a - b).abs() < 1e-12 {
+            prop_assert!(i < 1e-9);
+        }
+    }
+
+    /// Five-number summaries are order statistics of the input.
+    #[test]
+    fn distribution_bounds(values in prop::collection::vec(0.0..100.0f64, 1..200)) {
+        let d = Distribution::from_values(&values);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(d.min, min);
+        prop_assert_eq!(d.max, max);
+        prop_assert!(d.min <= d.q25 && d.q25 <= d.median);
+        prop_assert!(d.median <= d.q75 && d.q75 <= d.max);
+    }
+
+    /// The interleaved pattern's layer dynamic ratio equals 1 − imbalance.
+    #[test]
+    fn pattern_ratio(x in 0.0..1.0f64) {
+        let core = CoreModel::arm_cortex_a9();
+        let p = ImbalancePattern::new(x);
+        let hi = p.layer_core_power(&core, 0);
+        let lo = p.layer_core_power(&core, 1);
+        if hi.dynamic > 0.0 {
+            prop_assert!((lo.dynamic / hi.dynamic - (1.0 - x)).abs() < 1e-9);
+        }
+        // And the measured imbalance between the layers is exactly x.
+        prop_assert!((dynamic_imbalance(hi.dynamic, lo.dynamic) - x).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! Converter area as a function of integrated-capacitor technology.
+//!
+//! The fly capacitors dominate an SC converter's silicon area. The paper
+//! implements the converter with MIM capacitors (0.472 mm² per converter)
+//! and also reports the area if built with higher-density ferroelectric
+//! (0.102 mm²) or deep-trench (0.082 mm²) capacitors (§3.1). With
+//! high-density capacitors, one converter costs ≈3% of an ARM core's area —
+//! the exchange rate behind the paper's equal-area comparison of a V-S PDN
+//! (8 converters/core, Few TSVs) against a regular PDN (Dense TSVs).
+
+/// Integrated capacitor technology used for the converter fly caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CapacitorTech {
+    /// Metal–insulator–metal capacitors (baseline implementation).
+    Mim,
+    /// Ferroelectric capacitors (paper ref \[17\]).
+    #[default]
+    Ferroelectric,
+    /// Deep-trench capacitors (paper ref \[12\]).
+    DeepTrench,
+}
+
+impl CapacitorTech {
+    /// Area of one converter (8 nF total fly capacitance, 4-way
+    /// interleaved) in mm², as reported in paper §3.1.
+    pub fn converter_area_mm2(self) -> f64 {
+        match self {
+            CapacitorTech::Mim => 0.472,
+            CapacitorTech::Ferroelectric => 0.102,
+            CapacitorTech::DeepTrench => 0.082,
+        }
+    }
+
+    /// Capacitance density relative to MIM (useful for scaling studies).
+    pub fn density_vs_mim(self) -> f64 {
+        CapacitorTech::Mim.converter_area_mm2() / self.converter_area_mm2()
+    }
+}
+
+/// Total converter area for `converters_per_core` converters on each of
+/// `cores` cores, in mm².
+pub fn total_converter_area_mm2(
+    tech: CapacitorTech,
+    converters_per_core: usize,
+    cores: usize,
+) -> f64 {
+    tech.converter_area_mm2() * converters_per_core as f64 * cores as f64
+}
+
+/// Converter area as a fraction of a core's area.
+///
+/// With the paper's 2.76 mm² ARM core (44.12 mm² / 16 cores) and
+/// high-density capacitors this evaluates to ≈3% (paper §5.2).
+pub fn area_overhead_per_core(tech: CapacitorTech, core_area_mm2: f64) -> f64 {
+    assert!(
+        core_area_mm2.is_finite() && core_area_mm2 > 0.0,
+        "core area must be positive"
+    );
+    tech.converter_area_mm2() / core_area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORE_AREA_MM2: f64 = 44.12 / 16.0;
+
+    #[test]
+    fn paper_area_values() {
+        assert_eq!(CapacitorTech::Mim.converter_area_mm2(), 0.472);
+        assert_eq!(CapacitorTech::Ferroelectric.converter_area_mm2(), 0.102);
+        assert_eq!(CapacitorTech::DeepTrench.converter_area_mm2(), 0.082);
+    }
+
+    #[test]
+    fn high_density_converter_is_about_three_percent_of_core() {
+        let frac = area_overhead_per_core(CapacitorTech::Ferroelectric, CORE_AREA_MM2);
+        assert!(frac > 0.025 && frac < 0.045, "got {frac}");
+        let frac = area_overhead_per_core(CapacitorTech::DeepTrench, CORE_AREA_MM2);
+        assert!(frac > 0.02 && frac < 0.04, "got {frac}");
+    }
+
+    #[test]
+    fn density_ordering() {
+        assert!(
+            CapacitorTech::DeepTrench.density_vs_mim()
+                > CapacitorTech::Ferroelectric.density_vs_mim()
+        );
+        assert!(CapacitorTech::Ferroelectric.density_vs_mim() > 1.0);
+        assert_eq!(CapacitorTech::Mim.density_vs_mim(), 1.0);
+    }
+
+    #[test]
+    fn total_area_scales_linearly() {
+        let one = total_converter_area_mm2(CapacitorTech::Mim, 1, 1);
+        let many = total_converter_area_mm2(CapacitorTech::Mim, 8, 16);
+        assert!((many - one * 128.0).abs() < 1e-12);
+    }
+}

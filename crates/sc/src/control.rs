@@ -1,0 +1,90 @@
+//! Switching-frequency control policies.
+//!
+//! The paper evaluates two schemes (its Fig 3): **open-loop** control keeps
+//! the switching frequency constant, so the fixed switching losses dominate
+//! at light load; **closed-loop** control modulates frequency with load
+//! current, which scales switching loss down and raises light-load
+//! efficiency. The paper's system-level studies use open-loop converters
+//! (closed-loop is future work there); we implement both.
+
+/// Frequency-modulation policy of an SC converter.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ControlPolicy {
+    /// Constant switching frequency at the nominal value.
+    #[default]
+    OpenLoop,
+    /// Frequency proportional to load current:
+    /// `f = f_nom · clamp(|i| / i_rated, min_ratio, 1)`.
+    ClosedLoop {
+        /// Lower bound on `f / f_nom`, preventing the converter from
+        /// stalling at zero load. The paper's converter sweeps down to
+        /// 1.6 mA from a 100 mA rating, so 1/64 is the default used by
+        /// [`ControlPolicy::closed_loop`].
+        min_ratio: f64,
+    },
+}
+
+impl ControlPolicy {
+    /// Closed-loop policy with the default minimum frequency ratio (1/64).
+    pub fn closed_loop() -> Self {
+        ControlPolicy::ClosedLoop {
+            min_ratio: 1.0 / 64.0,
+        }
+    }
+
+    /// Switching frequency for a given load, where `f_nom` is the nominal
+    /// (open-loop) frequency and `i_rated` the converter's rated current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_nom` or `i_rated` is not finite and positive.
+    pub fn frequency(&self, f_nom: f64, i_load: f64, i_rated: f64) -> f64 {
+        assert!(f_nom.is_finite() && f_nom > 0.0, "f_nom must be positive");
+        assert!(
+            i_rated.is_finite() && i_rated > 0.0,
+            "i_rated must be positive"
+        );
+        match *self {
+            ControlPolicy::OpenLoop => f_nom,
+            ControlPolicy::ClosedLoop { min_ratio } => {
+                let ratio = (i_load.abs() / i_rated).clamp(min_ratio, 1.0);
+                f_nom * ratio
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_is_constant() {
+        let p = ControlPolicy::OpenLoop;
+        assert_eq!(p.frequency(50e6, 0.001, 0.1), 50e6);
+        assert_eq!(p.frequency(50e6, 0.1, 0.1), 50e6);
+    }
+
+    #[test]
+    fn closed_loop_scales_with_load() {
+        let p = ControlPolicy::closed_loop();
+        assert_eq!(p.frequency(50e6, 0.05, 0.1), 25e6);
+        assert_eq!(p.frequency(50e6, 0.1, 0.1), 50e6);
+        // Above rating: clamped to nominal.
+        assert_eq!(p.frequency(50e6, 0.2, 0.1), 50e6);
+    }
+
+    #[test]
+    fn closed_loop_floor() {
+        let p = ControlPolicy::closed_loop();
+        let f = p.frequency(64e6, 0.0, 0.1);
+        assert_eq!(f, 1e6);
+    }
+
+    #[test]
+    fn closed_loop_uses_magnitude() {
+        // Push-pull converters sink as well as source; frequency follows |i|.
+        let p = ControlPolicy::closed_loop();
+        assert_eq!(p.frequency(50e6, -0.05, 0.1), 25e6);
+    }
+}

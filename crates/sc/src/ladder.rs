@@ -1,0 +1,178 @@
+//! Multi-output ladder extension of the 2:1 converter for many-layer
+//! stacks.
+//!
+//! The paper extends the two-load converter of ref \[9\] "into a scalable,
+//! multi-output ladder SC" (§2.1, Fig 1): an `N`-layer stack has `N − 1`
+//! intermediate rails, and each intermediate rail `r_i` is regulated by 2:1
+//! cells spanning its neighbours `r_{i+1}` and `r_{i-1}` — so converters at
+//! adjacent interfaces share rails, exactly like the ladder capacitor
+//! string in the paper's Fig 1 (three loads, two converters).
+//!
+//! [`LadderSc`] captures that structure: which rail each converter
+//! regulates, which rails it senses, and how many converter cells sit at
+//! each interface. The PDN model consumes this to place converter stamps;
+//! the efficiency model consumes it to aggregate per-cell losses.
+
+use crate::compact::ScConverter;
+
+/// One 2:1 cell within a ladder: regulates `rail_out` between `rail_top`
+/// and `rail_bottom` (rail 0 is board ground, rail `n_layers` the off-chip
+/// supply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderCell {
+    /// Rail index the cell drives.
+    pub rail_out: usize,
+    /// Upper sensed rail (`rail_out + 1`).
+    pub rail_top: usize,
+    /// Lower sensed rail (`rail_out − 1`).
+    pub rail_bottom: usize,
+}
+
+/// A ladder of push-pull 2:1 cells regulating every intermediate rail of an
+/// `n_layers` stack.
+///
+/// # Example
+///
+/// ```
+/// use vstack_sc::ladder::LadderSc;
+/// use vstack_sc::compact::ScConverter;
+///
+/// let ladder = LadderSc::new(ScConverter::paper_28nm(), 4, 2);
+/// // A 4-layer stack has 3 intermediate rails, each with 2 cells.
+/// assert_eq!(ladder.cells().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderSc {
+    converter: ScConverter,
+    n_layers: usize,
+    cells_per_rail: usize,
+    cells: Vec<LadderCell>,
+}
+
+impl LadderSc {
+    /// Builds a ladder for `n_layers` stacked loads with `cells_per_rail`
+    /// parallel converter cells on each intermediate rail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_layers < 2` or `cells_per_rail == 0`.
+    pub fn new(converter: ScConverter, n_layers: usize, cells_per_rail: usize) -> Self {
+        assert!(n_layers >= 2, "a stack needs at least two layers");
+        assert!(cells_per_rail >= 1, "each rail needs at least one cell");
+        let mut cells = Vec::with_capacity((n_layers - 1) * cells_per_rail);
+        for rail in 1..n_layers {
+            for _ in 0..cells_per_rail {
+                cells.push(LadderCell {
+                    rail_out: rail,
+                    rail_top: rail + 1,
+                    rail_bottom: rail - 1,
+                });
+            }
+        }
+        LadderSc {
+            converter,
+            n_layers,
+            cells_per_rail,
+            cells,
+        }
+    }
+
+    /// The underlying converter design.
+    pub fn converter(&self) -> &ScConverter {
+        &self.converter
+    }
+
+    /// Number of stacked layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Parallel cells per intermediate rail.
+    pub fn cells_per_rail(&self) -> usize {
+        self.cells_per_rail
+    }
+
+    /// All cells, ordered by rail then replica.
+    pub fn cells(&self) -> &[LadderCell] {
+        &self.cells
+    }
+
+    /// Ideal (lossless, balanced) voltage of rail `i` when the off-chip
+    /// supply is `n_layers · vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rail > n_layers`.
+    pub fn ideal_rail_voltage(&self, rail: usize, vdd: f64) -> f64 {
+        assert!(rail <= self.n_layers, "rail {rail} out of range");
+        rail as f64 * vdd
+    }
+
+    /// Total current capability at one intermediate rail (all parallel
+    /// cells combined).
+    pub fn rail_current_limit(&self) -> f64 {
+        self.converter.i_rated * self.cells_per_rail as f64
+    }
+
+    /// Splits a rail mismatch current evenly across the rail's parallel
+    /// cells and reports the per-cell current.
+    pub fn per_cell_current(&self, rail_mismatch: f64) -> f64 {
+        rail_mismatch / self.cells_per_rail as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: usize, k: usize) -> LadderSc {
+        LadderSc::new(ScConverter::paper_28nm(), n, k)
+    }
+
+    #[test]
+    fn two_layer_ladder_is_single_interface() {
+        let l = ladder(2, 1);
+        assert_eq!(l.cells().len(), 1);
+        let c = l.cells()[0];
+        assert_eq!((c.rail_bottom, c.rail_out, c.rail_top), (0, 1, 2));
+    }
+
+    #[test]
+    fn eight_layer_ladder_has_seven_rails() {
+        let l = ladder(8, 4);
+        assert_eq!(l.cells().len(), 7 * 4);
+        // Every intermediate rail 1..=7 appears exactly 4 times.
+        for rail in 1..8 {
+            let count = l.cells().iter().filter(|c| c.rail_out == rail).count();
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    fn cells_span_adjacent_rails() {
+        for cell in ladder(6, 2).cells() {
+            assert_eq!(cell.rail_top, cell.rail_out + 1);
+            assert_eq!(cell.rail_bottom, cell.rail_out - 1);
+        }
+    }
+
+    #[test]
+    fn ideal_rail_voltages_are_multiples_of_vdd() {
+        let l = ladder(4, 1);
+        assert_eq!(l.ideal_rail_voltage(0, 1.0), 0.0);
+        assert_eq!(l.ideal_rail_voltage(2, 1.0), 2.0);
+        assert_eq!(l.ideal_rail_voltage(4, 1.0), 4.0);
+    }
+
+    #[test]
+    fn rail_limit_scales_with_parallel_cells() {
+        assert!((ladder(4, 8).rail_current_limit() - 0.8).abs() < 1e-12);
+        assert!((ladder(4, 8).per_cell_current(0.4) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layers")]
+    fn single_layer_rejected() {
+        ladder(1, 1);
+    }
+}

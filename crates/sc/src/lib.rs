@@ -1,0 +1,55 @@
+//! Switched-capacitor (SC) converter models for voltage-stacked power
+//! delivery.
+//!
+//! Voltage stacking needs *differential* regulators: push-pull converters
+//! that source or sink only the current **mismatch** between adjacent layers
+//! (paper §2.1). This crate models the 2:1 push-pull SC converter the paper
+//! implements in 28 nm (its Fig 1) at two levels of abstraction:
+//!
+//! * [`compact`] — the analytic output-impedance model of Seeman's design
+//!   methodology (paper ref \[14\], and the paper's Fig 2):
+//!   slow-switching limit `R_SSL`, fast-switching limit `R_FSL`, series
+//!   resistance `R_SERIES = √(R_SSL² + R_FSL²)`, plus parasitic
+//!   (bottom-plate, gate-drive, controller) losses and
+//!   [`control::ControlPolicy`] open-/closed-loop frequency modulation.
+//! * [`detailed`] — a full switched netlist of the converter (two fly
+//!   capacitors, eight clocked switches, bottom-plate parasitics) simulated
+//!   with the `vstack-circuit` transient engine. This is the crate's
+//!   "Spectre substitute" and powers the Fig 3 model-validation experiment.
+//!
+//! The [`stacked`] module assembles the paper's Fig 1 system — three
+//! stacked loads with two of these converter cells — entirely at the
+//! switched-netlist level, demonstrating charge-recycled regulation from
+//! raw switch/capacitor physics.
+//!
+//! Supporting modules: [`area`] (MIM / ferroelectric / deep-trench capacitor
+//! area, the 3%-of-an-ARM-core figure used by the equal-area comparison of
+//! Fig 6) and [`ladder`] (the scalable multi-output ladder extension for
+//! many-layer stacks, paper §2.1).
+//!
+//! # Example
+//!
+//! ```
+//! use vstack_sc::compact::ScConverter;
+//!
+//! let sc = ScConverter::paper_28nm();
+//! // R_SERIES of the implemented converter is 0.6 Ω (paper §3.1).
+//! assert!((sc.r_series_at_nominal() - 0.6).abs() < 0.01);
+//! // Open-loop operating point at 50 mA load from a 2 V input:
+//! let op = sc.operate(2.0, 0.0, 0.05);
+//! assert!(op.v_out < 1.0 && op.v_out > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compact;
+pub mod control;
+pub mod detailed;
+pub mod ladder;
+pub mod stacked;
+
+pub use area::CapacitorTech;
+pub use compact::{ScConverter, ScOperatingPoint};
+pub use control::ControlPolicy;

@@ -1,0 +1,229 @@
+//! Circuit-level simulation of the paper's Fig 1: three stacked loads with
+//! two push-pull SC converters regulating the intermediate rails.
+//!
+//! This is the smallest complete voltage-stacking system, simulated at the
+//! switched-netlist level (no compact models anywhere): each converter is
+//! the full two-fly-cap, eight-switch cell of [`crate::detailed`], the
+//! loads are current sources between adjacent rails, and the off-chip
+//! supply is `3·Vdd`. It demonstrates — from raw switch/capacitor physics —
+//! that the converters really do hold every load's headroom near `Vdd`
+//! while sourcing/sinking only the inter-layer mismatch.
+//!
+//! The PDN crate's architecture-level converter stamps are the compact
+//! abstraction of exactly this circuit.
+
+use vstack_circuit::transient::{Clock, InitialState, Transient};
+use vstack_circuit::{Circuit, CircuitError, NodeId, SwitchPhase, GROUND};
+
+use crate::compact::ScConverter;
+
+/// Configuration of the three-layer stacked-load bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackedSim {
+    /// Converter design for both cells.
+    pub converter: ScConverter,
+    /// Per-layer nominal supply (1 V platform).
+    pub vdd: f64,
+    /// Switching periods to simulate.
+    pub periods: usize,
+    /// Timesteps per period.
+    pub steps_per_period: usize,
+    /// Trailing periods for measurement.
+    pub measure_periods: usize,
+    /// Rail decoupling capacitance at each intermediate rail.
+    pub c_rail: f64,
+}
+
+impl StackedSim {
+    /// Default bench for a converter design.
+    pub fn new(converter: ScConverter) -> Self {
+        StackedSim {
+            converter,
+            vdd: 1.0,
+            periods: 60,
+            steps_per_period: 160,
+            measure_periods: 15,
+            c_rail: 10e-9,
+        }
+    }
+
+    /// Adds one push-pull 2:1 cell between `top` and `bottom` with its
+    /// output on `mid`.
+    fn add_cell(&self, ckt: &mut Circuit, top: NodeId, mid: NodeId, bottom: NodeId, tag: &str) {
+        let sc = &self.converter;
+        let c_fly = sc.c_tot / 2.0;
+        let r_on = 1.43 / sc.g_tot;
+        let r_off = 1e9;
+        let bp = sc.parasitics.bottom_plate_ratio;
+        let nominal = self.vdd;
+
+        let c1t = ckt.node(&format!("{tag}_c1t"));
+        let c1b = ckt.node(&format!("{tag}_c1b"));
+        ckt.capacitor_with_ic(c1t, c1b, c_fly, nominal);
+        ckt.capacitor(c1b, GROUND, bp * c_fly);
+        ckt.switch(c1t, top, r_on, r_off, SwitchPhase::A);
+        ckt.switch(c1b, mid, r_on, r_off, SwitchPhase::A);
+        ckt.switch(c1t, mid, r_on, r_off, SwitchPhase::B);
+        ckt.switch(c1b, bottom, r_on, r_off, SwitchPhase::B);
+
+        let c2t = ckt.node(&format!("{tag}_c2t"));
+        let c2b = ckt.node(&format!("{tag}_c2b"));
+        ckt.capacitor_with_ic(c2t, c2b, c_fly, nominal);
+        ckt.capacitor(c2b, GROUND, bp * c_fly);
+        ckt.switch(c2t, top, r_on, r_off, SwitchPhase::B);
+        ckt.switch(c2b, mid, r_on, r_off, SwitchPhase::B);
+        ckt.switch(c2t, mid, r_on, r_off, SwitchPhase::A);
+        ckt.switch(c2b, bottom, r_on, r_off, SwitchPhase::A);
+    }
+
+    /// Simulates the three stacked loads drawing `i_loads = [i_bottom,
+    /// i_middle, i_top]` amperes and returns the steady-state rail
+    /// measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CircuitError`] from the transient engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any load current is not finite and non-negative.
+    pub fn simulate(&self, i_loads: [f64; 3]) -> Result<StackedMeasurement, CircuitError> {
+        assert!(
+            i_loads.iter().all(|i| i.is_finite() && *i >= 0.0),
+            "load currents must be finite and non-negative"
+        );
+        let f_sw = self.converter.f_nom;
+        let period = 1.0 / f_sw;
+
+        let mut ckt = Circuit::new();
+        let v3 = ckt.node("rail3");
+        let v2 = ckt.node("rail2");
+        let v1 = ckt.node("rail1");
+        ckt.voltage_source(v3, GROUND, 3.0 * self.vdd);
+
+        // Intermediate-rail decoupling, pre-charged to the ideal split.
+        ckt.capacitor_with_ic(v2, GROUND, self.c_rail, 2.0 * self.vdd);
+        ckt.capacitor_with_ic(v1, GROUND, self.c_rail, self.vdd);
+
+        // Three stacked loads (current sources between adjacent rails).
+        ckt.current_source(v1, GROUND, i_loads[0]);
+        ckt.current_source(v2, v1, i_loads[1]);
+        ckt.current_source(v3, v2, i_loads[2]);
+
+        // Two ladder cells: rail2 regulated from (rail3, rail1), rail1
+        // from (rail2, ground) — the Fig 1 arrangement.
+        self.add_cell(&mut ckt, v3, v2, v1, "u");
+        self.add_cell(&mut ckt, v2, v1, GROUND, "l");
+
+        let tr = Transient {
+            dt: period / self.steps_per_period as f64,
+            duration: period * self.periods as f64,
+            clock: Some(Clock { frequency_hz: f_sw }),
+            initial: InitialState::Zero,
+        };
+        let result = tr.run(&ckt, &[v1, v2])?;
+
+        let t_end = period * self.periods as f64;
+        let t0 = t_end - period * self.measure_periods as f64;
+        let rail1 = result
+            .voltage(v1)
+            .expect("probed")
+            .average_between(t0, t_end)
+            .expect("window");
+        let rail2 = result
+            .voltage(v2)
+            .expect("probed")
+            .average_between(t0, t_end)
+            .expect("window");
+        Ok(StackedMeasurement {
+            rail1,
+            rail2,
+            headroom: [rail1, rail2 - rail1, 3.0 * self.vdd - rail2],
+        })
+    }
+}
+
+/// Steady-state rail voltages of the stacked bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackedMeasurement {
+    /// Intermediate rail 1 (ideal: `Vdd`).
+    pub rail1: f64,
+    /// Intermediate rail 2 (ideal: `2·Vdd`).
+    pub rail2: f64,
+    /// Per-layer voltage headroom `[bottom, middle, top]` (ideal: `Vdd`
+    /// each).
+    pub headroom: [f64; 3],
+}
+
+impl StackedMeasurement {
+    /// Largest deviation of any layer's headroom from the nominal `vdd`.
+    pub fn worst_headroom_error(&self, vdd: f64) -> f64 {
+        self.headroom
+            .iter()
+            .map(|h| (h - vdd).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> StackedSim {
+        StackedSim::new(ScConverter::paper_28nm())
+    }
+
+    #[test]
+    fn balanced_loads_split_evenly() {
+        let m = bench().simulate([0.05, 0.05, 0.05]).unwrap();
+        assert!(
+            m.worst_headroom_error(1.0) < 0.05,
+            "balanced stack should sit at Vdd per layer: {:?}",
+            m.headroom
+        );
+    }
+
+    #[test]
+    fn converters_absorb_imbalance() {
+        // Middle layer idles: without regulation its headroom would rail
+        // toward 3 V while the others collapse; the converters must hold
+        // every layer within a few percent of Vdd.
+        let m = bench().simulate([0.06, 0.005, 0.06]).unwrap();
+        assert!(
+            m.worst_headroom_error(1.0) < 0.10,
+            "regulated stack must bound imbalance noise: {:?}",
+            m.headroom
+        );
+    }
+
+    #[test]
+    fn heavier_imbalance_means_more_rail_error() {
+        let mild = bench().simulate([0.05, 0.04, 0.05]).unwrap();
+        let harsh = bench().simulate([0.06, 0.005, 0.06]).unwrap();
+        assert!(
+            harsh.worst_headroom_error(1.0) > mild.worst_headroom_error(1.0),
+            "mild {:?} vs harsh {:?}",
+            mild.headroom,
+            harsh.headroom
+        );
+    }
+
+    #[test]
+    fn top_heavy_and_bottom_heavy_are_mirrored() {
+        let top = bench().simulate([0.01, 0.03, 0.06]).unwrap();
+        let bottom = bench().simulate([0.06, 0.03, 0.01]).unwrap();
+        // Mirror symmetry of the ladder: headroom profiles reverse.
+        assert!(
+            (top.headroom[0] - bottom.headroom[2]).abs() < 0.03,
+            "top {:?} vs bottom {:?}",
+            top.headroom,
+            bottom.headroom
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_load_rejected() {
+        let _ = bench().simulate([-0.01, 0.0, 0.0]);
+    }
+}

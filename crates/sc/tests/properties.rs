@@ -1,0 +1,68 @@
+//! Property-based tests for the SC converter compact model.
+
+use proptest::prelude::*;
+use vstack_sc::compact::ScConverter;
+use vstack_sc::ControlPolicy;
+
+proptest! {
+    /// Output impedance formulas behave: R_SSL falls with frequency,
+    /// R_FSL is frequency-independent, R_SERIES ≥ both components.
+    #[test]
+    fn impedance_structure(f1 in 1e6..100e6f64, f2 in 1e6..100e6f64) {
+        let sc = ScConverter::paper_28nm();
+        let (lo, hi) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(sc.r_ssl(lo) >= sc.r_ssl(hi));
+        prop_assert!((sc.r_fsl() - sc.r_fsl()).abs() < 1e-15);
+        prop_assert!(sc.r_series(f1) >= sc.r_ssl(f1));
+        prop_assert!(sc.r_series(f1) >= sc.r_fsl());
+    }
+
+    /// The operating point is consistent: output voltage, drop and losses
+    /// satisfy their defining identities for any feasible input.
+    #[test]
+    fn operating_point_identities(
+        v_top in 1.2..4.0f64,
+        i in -0.1..0.1f64,
+    ) {
+        let sc = ScConverter::paper_28nm();
+        let op = sc.operate(v_top, 0.0, i);
+        let v_ideal = v_top / 2.0;
+        prop_assert!((op.v_out - (v_ideal - i * op.r_series)).abs() < 1e-12);
+        prop_assert!((op.v_drop - (i * op.r_series).abs()).abs() < 1e-12);
+        prop_assert!((op.p_conduction - i * i * op.r_series).abs() < 1e-12);
+        prop_assert!(op.p_parasitic > 0.0);
+        prop_assert!(op.efficiency >= 0.0 && op.efficiency < 1.0);
+    }
+
+    /// Closed-loop never has lower efficiency than open loop for the same
+    /// sourcing load (its switching loss can only shrink).
+    #[test]
+    fn closed_loop_dominates(i in 0.001..0.1f64) {
+        let open = ScConverter::paper_28nm();
+        let closed = ScConverter::paper_28nm_closed_loop();
+        let e_open = open.operate(2.0, 0.0, i).efficiency;
+        let e_closed = closed.operate(2.0, 0.0, i).efficiency;
+        prop_assert!(e_closed >= e_open - 1e-9, "{e_closed} vs {e_open}");
+    }
+
+    /// Frequency control is monotone in load and clamped to its bounds.
+    #[test]
+    fn control_monotone(i1 in 0.0..0.2f64, i2 in 0.0..0.2f64) {
+        let policy = ControlPolicy::closed_loop();
+        let f = |i: f64| policy.frequency(50e6, i, 0.1);
+        let (lo, hi) = if i1 < i2 { (i1, i2) } else { (i2, i1) };
+        prop_assert!(f(lo) <= f(hi));
+        prop_assert!(f(i1) >= 50e6 / 64.0 - 1.0);
+        prop_assert!(f(i1) <= 50e6 + 1.0);
+    }
+
+    /// Symmetric push-pull: sourcing and sinking the same magnitude give
+    /// mirror-image output voltages around the ideal midpoint.
+    #[test]
+    fn push_pull_symmetry(i in 0.0..0.1f64) {
+        let sc = ScConverter::paper_28nm();
+        let source = sc.operate(2.0, 0.0, i);
+        let sink = sc.operate(2.0, 0.0, -i);
+        prop_assert!(((source.v_out + sink.v_out) / 2.0 - 1.0).abs() < 1e-12);
+    }
+}

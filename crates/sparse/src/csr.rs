@@ -1,0 +1,353 @@
+/// Compressed-sparse-row (CSR) matrix.
+///
+/// The workhorse storage format for all `vstack` solvers. Construct one from
+/// a [`crate::TripletMatrix`] (duplicates summed) or directly from raw
+/// triplets with [`CsrMatrix::from_triplets`].
+///
+/// # Example
+///
+/// ```
+/// use vstack_sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 1, 3.0)]);
+/// let y = m.mul_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![1.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Nonzero values, parallel to `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw `(row, col, value)` triplets, summing
+    /// duplicates. Column indices within each row end up sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        // Scatter into row buckets.
+        let mut next = counts.clone();
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0f64; triplets.len()];
+        for &(r, c, v) in triplets {
+            let slot = next[r];
+            col_idx[slot] = c;
+            values[slot] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and compact duplicates in place.
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut out_col: Vec<usize> = Vec::with_capacity(triplets.len());
+        let mut out_val: Vec<f64> = Vec::with_capacity(triplets.len());
+        for r in 0..rows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            let mut pairs: Vec<(usize, f64)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < pairs.len() {
+                let c = pairs[i].0;
+                let mut v = pairs[i].1;
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == c {
+                    v += pairs[j].1;
+                    j += 1;
+                }
+                out_col.push(c);
+                out_val.push(v);
+                i = j;
+            }
+            row_ptr[r + 1] = out_col.len();
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: out_col,
+            values: out_val,
+        }
+    }
+
+    /// Builds an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(row, col)`, or `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns `(column indices, values)` of the stored entries in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A x` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch (x)");
+        assert_eq!(y.len(), self.rows, "mul_vec dimension mismatch (y)");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Returns the transpose `Aᵀ`.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Returns the main diagonal as a dense vector (zeros where unset).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// `‖b − A x‖₂` — handy for verifying solver output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.rows, "residual dimension mismatch");
+        let ax = self.mul_vec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(a, bb)| (bb - a) * (bb - a))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Checks symmetry to an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        for (r, c, v) in self.iter() {
+            if (t.get(r, c) - v).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over stored `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            matrix: self,
+            row: 0,
+            k: 0,
+        }
+    }
+
+    /// Converts to a dense row-major `Vec<Vec<f64>>` (for small matrices and
+    /// tests).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.cols]; self.rows];
+        for (r, c, v) in self.iter() {
+            d[r][c] += v;
+        }
+        d
+    }
+}
+
+/// Iterator over the stored entries of a [`CsrMatrix`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    matrix: &'a CsrMatrix,
+    row: usize,
+    k: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (usize, usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.matrix.rows {
+            if self.k < self.matrix.row_ptr[self.row + 1] {
+                let item = (
+                    self.row,
+                    self.matrix.col_idx[self.k],
+                    self.matrix.values[self.k],
+                );
+                self.k += 1;
+                return Some(item);
+            }
+            self.row += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 4.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = m.mul_vec(&x);
+        assert_eq!(y, vec![2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, -2.0)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 1), -2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(sample().is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x), x.to_vec());
+        assert_eq!(i.nnz(), 4);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let m = sample();
+        assert_eq!(m.iter().count(), 7);
+        let total: f64 = m.iter().map(|(_, _, v)| v).sum();
+        assert_eq!(total, 12.0 - 4.0);
+    }
+
+    #[test]
+    fn residual_norm_of_exact_solution_is_zero() {
+        let m = CsrMatrix::identity(3);
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(m.residual_norm(&b, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_wrong_len_panics() {
+        sample().mul_vec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0)]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![1.0, 0.0, 0.0]);
+        assert_eq!(m.row(1).0.len(), 0);
+    }
+}

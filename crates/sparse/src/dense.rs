@@ -1,0 +1,289 @@
+//! Small dense matrices with LU factorization.
+//!
+//! The detailed switched-capacitor transient simulations in `vstack-circuit`
+//! produce systems with only tens of unknowns per timestep, where a dense LU
+//! with partial pivoting beats any sparse iterative method. The factorization
+//! is also reused across the thousands of timesteps that share a switch
+//! phase, so [`LuFactors`] is exposed as a first-class value.
+
+use crate::SolveError;
+
+/// Row-major dense matrix.
+///
+/// # Example
+///
+/// ```
+/// use vstack_sparse::dense::DenseMatrix;
+///
+/// # fn main() -> Result<(), vstack_sparse::SolveError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            n_rows: rows,
+            n_cols: cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows in DenseMatrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "mul_vec dimension mismatch");
+        (0..self.n_rows)
+            .map(|r| {
+                let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Factorizes the matrix (LU with partial pivoting).
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::NotSquare`] if the matrix is not square.
+    /// * [`SolveError::SingularMatrix`] if a pivot is numerically zero.
+    pub fn lu(&self) -> Result<LuFactors, SolveError> {
+        if self.n_rows != self.n_cols {
+            return Err(SolveError::NotSquare {
+                rows: self.n_rows,
+                cols: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |value| in column k at/below row k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SolveError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, p * n + c);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let f = lu[r * n + k] / pivot;
+                lu[r * n + k] = f;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= f * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Convenience: factorize and solve `A x = b` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseMatrix::lu`], plus
+    /// [`SolveError::DimensionMismatch`] if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        self.lu()?.solve(b)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &self.data[r * self.n_cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &mut self.data[r * self.n_cols + c]
+    }
+}
+
+/// LU factors of a [`DenseMatrix`], reusable across many right-hand sides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// Row permutation: factorized row `i` came from original row `perm[i]`.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for (c, xc) in x.iter().enumerate().take(r) {
+                acc -= self.lu[r * n + c] * xc;
+            }
+            x[r] = acc;
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for (c, xc) in x.iter().enumerate().take(n).skip(r + 1) {
+                acc -= self.lu[r * n + c] * xc;
+            }
+            x[r] = acc / self.lu[r * n + r];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let i = DenseMatrix::identity(3);
+        let b = [1.0, -2.0, 3.0];
+        assert_eq!(i.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn solve_3x3_known_answer() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SolveError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn nonsquare_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(SolveError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn lu_factors_reused_across_rhs() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [2.0, -5.0]] {
+            let x = lu.solve(&b).unwrap();
+            let ax = a.mul_vec(&x);
+            for (u, v) in ax.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 1)] = 9.0;
+        assert_eq!(a[(0, 1)], 9.0);
+        assert_eq!(a[(1, 0)], 0.0);
+    }
+}

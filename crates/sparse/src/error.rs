@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear solve cannot produce a solution.
+///
+/// All solver entry points in this crate return `Result<_, SolveError>`.
+/// The variants distinguish *structural* problems (caller bugs, e.g. shape
+/// mismatches) from *numerical* problems (singular matrices, stagnating
+/// iterations), because callers typically want to panic on the former and
+/// recover — e.g. by switching solvers or loosening tolerances — on the
+/// latter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Matrix and right-hand-side dimensions are inconsistent.
+    DimensionMismatch {
+        /// What the operation expected (rows/cols description).
+        expected: usize,
+        /// What was actually supplied.
+        found: usize,
+    },
+    /// The matrix must be square for this operation but is not.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A zero (or numerically negligible) pivot was encountered during a
+    /// direct factorization; the matrix is singular to working precision.
+    SingularMatrix {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+    /// The iteration broke down (division by a vanishing inner product).
+    Breakdown {
+        /// Iteration at which breakdown occurred.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            SolveError::SingularMatrix { pivot } => {
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
+            }
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (relative residual {residual:.3e})"
+            ),
+            SolveError::Breakdown { iterations } => {
+                write!(f, "iterative solver broke down at iteration {iterations}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SolveError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.starts_with("iterative"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

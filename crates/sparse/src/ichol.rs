@@ -1,0 +1,283 @@
+//! Zero-fill incomplete Cholesky factorization, IC(0).
+//!
+//! Jacobi preconditioning only rescales the diagonal; for the PDN's grid
+//! Laplacians the iteration count still grows with the grid diameter.
+//! IC(0) computes a lower-triangular factor `L` with the sparsity pattern
+//! of `A`'s lower triangle such that `L·Lᵀ ≈ A`, and preconditions CG with
+//! `M⁻¹ = (L·Lᵀ)⁻¹` (two sparse triangular solves per iteration). On the
+//! refined 8-layer PDN this typically cuts CG iterations by 3–5× for ~2×
+//! the per-iteration cost — see the `solver_kernels` bench group.
+//!
+//! The factorization is only guaranteed to exist for M-matrices (which
+//! grid Laplacians with Dirichlet ties are); for general SPD input a
+//! breakdown (non-positive pivot) is reported as an error so callers can
+//! fall back to Jacobi.
+
+use crate::{CsrMatrix, SolveError};
+
+/// An IC(0) factor `L` (lower triangular, unit-free, CSR-like storage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompleteCholesky {
+    n: usize,
+    /// Row pointers into `col_idx`/`values`, length `n + 1`. Each row's
+    /// entries are sorted by column and end with the diagonal.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+    /// Column-major access for the transpose solve: for each column `j`,
+    /// the (row, value-index) pairs of sub-diagonal entries.
+    col_ptr: Vec<usize>,
+    col_rows: Vec<usize>,
+    col_vals: Vec<usize>,
+}
+
+impl IncompleteCholesky {
+    /// Factorizes the lower triangle of `a` in place of pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::NotSquare`] if `a` is not square.
+    /// * [`SolveError::SingularMatrix`] if a pivot becomes non-positive
+    ///   (the matrix is not an M-matrix / not SPD enough for IC(0)).
+    pub fn factor(a: &CsrMatrix) -> Result<Self, SolveError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(SolveError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        // Extract the lower triangle (including diagonal), row-sorted.
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                if *c <= r {
+                    col_idx.push(*c);
+                    values.push(*v);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+
+        // Column lookup: position of (r, c) within row r, if present.
+        let find = |row_ptr: &[usize], col_idx: &[usize], r: usize, c: usize| -> Option<usize> {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            col_idx[lo..hi].binary_search(&c).ok().map(|k| lo + k)
+        };
+
+        // Standard IC(0): for each row r, for each stored (r, c) with
+        // c < r: L[r,c] = (A[r,c] − Σ_k L[r,k]·L[c,k]) / L[c,c]; then
+        // L[r,r] = sqrt(A[r,r] − Σ_k L[r,k]²).
+        for r in 0..n {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            for idx in lo..hi {
+                let c = col_idx[idx];
+                if c == r {
+                    // Diagonal: subtract squares of the strictly-lower row.
+                    let mut acc = values[idx];
+                    for k in lo..idx {
+                        acc -= values[k] * values[k];
+                    }
+                    if acc <= 0.0 || !acc.is_finite() {
+                        return Err(SolveError::SingularMatrix { pivot: r });
+                    }
+                    values[idx] = acc.sqrt();
+                } else {
+                    // Off-diagonal: sparse dot of rows r and c over shared
+                    // columns < c.
+                    let mut acc = values[idx];
+                    let (clo, chi) = (row_ptr[c], row_ptr[c + 1]);
+                    let mut i = lo;
+                    let mut j = clo;
+                    while i < idx && j < chi && col_idx[j] < c {
+                        match col_idx[i].cmp(&col_idx[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                acc -= values[i] * values[j];
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    let diag = find(&row_ptr, &col_idx, c, c)
+                        .map(|k| values[k])
+                        .unwrap_or(0.0);
+                    if diag == 0.0 {
+                        return Err(SolveError::SingularMatrix { pivot: c });
+                    }
+                    values[idx] = acc / diag;
+                }
+            }
+        }
+
+        // Build the column-major view of the strictly-lower entries for
+        // the Lᵀ solve.
+        let mut col_counts = vec![0usize; n + 1];
+        for r in 0..n {
+            for idx in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[idx];
+                if c < r {
+                    col_counts[c + 1] += 1;
+                }
+            }
+        }
+        for j in 0..n {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let col_ptr = col_counts.clone();
+        let mut next = col_counts;
+        let nnz_lower = col_ptr[n];
+        let mut col_rows = vec![0usize; nnz_lower];
+        let mut col_vals = vec![0usize; nnz_lower];
+        for r in 0..n {
+            for idx in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[idx];
+                if c < r {
+                    let slot = next[c];
+                    col_rows[slot] = r;
+                    col_vals[slot] = idx;
+                    next[c] += 1;
+                }
+            }
+        }
+
+        Ok(IncompleteCholesky {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+            col_ptr,
+            col_rows,
+            col_vals,
+        })
+    }
+
+    /// Dimension of the factor.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Applies the preconditioner: solves `L·Lᵀ·z = r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` or `z.len()` differs from [`Self::dim`].
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "apply: r length mismatch");
+        assert_eq!(z.len(), self.n, "apply: z length mismatch");
+        // Forward solve L y = r (y stored in z).
+        for row in 0..self.n {
+            let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            let mut acc = r[row];
+            // All entries before the diagonal are strictly lower.
+            for idx in lo..hi - 1 {
+                acc -= self.values[idx] * z[self.col_idx[idx]];
+            }
+            z[row] = acc / self.values[hi - 1];
+        }
+        // Backward solve Lᵀ z = y, column-oriented.
+        for col in (0..self.n).rev() {
+            let hi = self.row_ptr[col + 1];
+            let diag = self.values[hi - 1];
+            let mut acc = z[col];
+            for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                acc -= self.values[self.col_vals[k]] * z[self.col_rows[k]];
+            }
+            z[col] = acc / diag;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn laplacian_2d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n * n, n * n);
+        for j in 0..n {
+            for i in 0..n {
+                let a = j * n + i;
+                t.push(a, a, 1e-6); // weak ground tie keeps it PD
+                if i + 1 < n {
+                    t.stamp_conductance(Some(a), Some(a + 1), 1.0);
+                }
+                if j + 1 < n {
+                    t.stamp_conductance(Some(a), Some(a + n), 1.0);
+                }
+            }
+        }
+        t.push(0, 0, 10.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn exact_for_diagonal_matrices() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 4.0), (1, 1, 9.0), (2, 2, 16.0)]);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let r = [8.0, 27.0, 32.0];
+        let mut z = vec![0.0; 3];
+        ic.apply(&r, &mut z);
+        assert!((z[0] - 2.0).abs() < 1e-12);
+        assert!((z[1] - 3.0).abs() < 1e-12);
+        assert!((z[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_for_tridiagonal_spd() {
+        // IC(0) on a tridiagonal matrix is the exact Cholesky factor, so
+        // apply() must solve the system exactly.
+        let mut t = TripletMatrix::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 3.0);
+            if i + 1 < 5 {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 0.5, 3.0, -1.0];
+        let b = a.mul_vec(&x_true);
+        let mut z = vec![0.0; 5];
+        ic.apply(&b, &mut z);
+        for (u, v) in z.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-10, "{z:?}");
+        }
+    }
+
+    #[test]
+    fn preconditioner_is_spd_like() {
+        // z = M⁻¹ r must preserve positivity of the inner product ⟨r, z⟩.
+        let a = laplacian_2d(8);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let r: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut z = vec![0.0; 64];
+        ic.apply(&r, &mut z);
+        let dot: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        assert!(dot > 0.0);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, -1.0)]);
+        assert!(matches!(
+            IncompleteCholesky::factor(&a),
+            Err(SolveError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            IncompleteCholesky::factor(&a),
+            Err(SolveError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Sparse linear algebra kernels for the `vstack` 3D-IC power-delivery toolkit.
+//!
+//! The power-delivery-network (PDN), circuit (MNA) and thermal models in
+//! `vstack` all reduce to solving large, sparse systems of linear equations
+//! `A x = b`. This crate provides everything those models need, with no
+//! external dependencies:
+//!
+//! * [`TripletMatrix`] — a coordinate-format builder that tolerates duplicate
+//!   entries (they are summed), which is exactly how nodal-analysis stamping
+//!   works.
+//! * [`CsrMatrix`] — compressed-sparse-row storage with matrix–vector
+//!   products, transpose, and structural queries.
+//! * [`solver`] — iterative solvers: preconditioned conjugate gradient
+//!   ([`solver::cg`]) for the symmetric positive-definite systems produced by
+//!   resistive grids and thermal networks, and BiCGSTAB
+//!   ([`solver::bicgstab`]) for the mildly non-symmetric systems produced by
+//!   MNA matrices with voltage and controlled sources.
+//! * [`dense`] — a small dense matrix with LU factorization (partial
+//!   pivoting), used for tiny systems (converter test benches) and as a
+//!   reference implementation in tests.
+//!
+//! # Example
+//!
+//! Solve the 1-D Poisson system `tridiag(-1, 2, -1) x = b`:
+//!
+//! ```
+//! use vstack_sparse::{TripletMatrix, solver::{cg, CgOptions}};
+//!
+//! # fn main() -> Result<(), vstack_sparse::SolveError> {
+//! let n = 64;
+//! let mut a = TripletMatrix::new(n, n);
+//! for i in 0..n {
+//!     a.push(i, i, 2.0);
+//!     if i + 1 < n {
+//!         a.push(i, i + 1, -1.0);
+//!         a.push(i + 1, i, -1.0);
+//!     }
+//! }
+//! let a = a.to_csr();
+//! let b = vec![1.0; n];
+//! let x = cg(&a, &b, &CgOptions::default())?;
+//! let r = a.residual_norm(&x, &b);
+//! assert!(r < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod error;
+mod triplet;
+
+pub mod dense;
+pub mod ichol;
+pub mod solver;
+pub mod vecops;
+
+pub use csr::CsrMatrix;
+pub use error::SolveError;
+pub use triplet::TripletMatrix;

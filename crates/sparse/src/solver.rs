@@ -1,0 +1,536 @@
+//! Iterative solvers for sparse linear systems.
+//!
+//! The resistive-grid and thermal systems in `vstack` are symmetric positive
+//! definite (SPD) — including the voltage-stacked PDN, whose switched-
+//! capacitor converter stamps are rank-1 PSD (see `vstack-pdn`) — so the
+//! preconditioned [conjugate gradient](cg) method is the default. The
+//! [BiCGSTAB](bicgstab) method is provided for general non-symmetric systems
+//! produced by full MNA matrices with unreduced controlled sources.
+//!
+//! Both solvers support Jacobi (diagonal) preconditioning, which is exact for
+//! diagonally dominant grid Laplacians' scaling and costs one divide per
+//! unknown per iteration.
+
+use crate::ichol::IncompleteCholesky;
+use crate::vecops::{axpy, dot, norm2, xpby};
+use crate::{CsrMatrix, SolveError};
+
+/// Preconditioner selection for the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preconditioner {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) scaling: `M⁻¹ = diag(A)⁻¹`.
+    #[default]
+    Jacobi,
+    /// Zero-fill incomplete Cholesky, `M = L·Lᵀ` (see
+    /// [`crate::ichol::IncompleteCholesky`]). Strongest of the three on
+    /// grid Laplacians; factorization fails (and the solve errors) if the
+    /// matrix is not SPD enough — fall back to Jacobi in that case.
+    IncompleteCholesky,
+}
+
+/// Options controlling a [`cg`] solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance `‖r‖/‖b‖` at which to stop.
+    pub tolerance: f64,
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Preconditioner to apply.
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+/// Options controlling a [`bicgstab`] solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiCgStabOptions {
+    /// Relative residual tolerance `‖r‖/‖b‖` at which to stop.
+    pub tolerance: f64,
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Preconditioner to apply.
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+fn inverse_diagonal(a: &CsrMatrix) -> Vec<f64> {
+    a.diagonal()
+        .into_iter()
+        .map(|d| {
+            if d.abs() > f64::MIN_POSITIVE {
+                1.0 / d
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Materialized preconditioner state.
+enum Precond {
+    None,
+    Jacobi(Vec<f64>),
+    Ic(Box<IncompleteCholesky>),
+}
+
+impl Precond {
+    fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolveError> {
+        Ok(match kind {
+            Preconditioner::None => Precond::None,
+            Preconditioner::Jacobi => Precond::Jacobi(inverse_diagonal(a)),
+            Preconditioner::IncompleteCholesky => {
+                Precond::Ic(Box::new(IncompleteCholesky::factor(a)?))
+            }
+        })
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            Precond::Jacobi(inv_d) => {
+                for ((zi, ri), di) in z.iter_mut().zip(r).zip(inv_d) {
+                    *zi = ri * di;
+                }
+            }
+            Precond::Ic(ic) => ic.apply(r, z),
+            Precond::None => z.copy_from_slice(r),
+        }
+    }
+}
+
+/// Solves the SPD system `A x = b` by preconditioned conjugate gradient.
+///
+/// Returns the solution vector. Use [`CsrMatrix::residual_norm`] to verify
+/// independently.
+///
+/// # Errors
+///
+/// * [`SolveError::NotSquare`] / [`SolveError::DimensionMismatch`] on shape
+///   problems.
+/// * [`SolveError::NotConverged`] if the relative residual fails to reach
+///   `options.tolerance` within `options.max_iterations`.
+/// * [`SolveError::Breakdown`] if an inner product vanishes (typically the
+///   matrix was not SPD).
+///
+/// # Example
+///
+/// ```
+/// use vstack_sparse::{CsrMatrix, solver::{cg, CgOptions}};
+///
+/// # fn main() -> Result<(), vstack_sparse::SolveError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (1, 1, 9.0)]);
+/// let x = cg(&a, &[8.0, 27.0], &CgOptions::default())?;
+/// assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cg(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<Vec<f64>, SolveError> {
+    let solved = cg_with_guess(a, b, None, options)?;
+    Ok(solved.x)
+}
+
+/// Output of [`cg_with_guess`]: solution plus convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solved {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Like [`cg`], but accepts a warm-start guess and reports diagnostics.
+///
+/// Warm starting matters in `vstack`: parameter sweeps (e.g. the Fig 6
+/// imbalance sweep) solve a sequence of nearby systems, and reusing the
+/// previous solution typically halves iteration counts.
+///
+/// # Errors
+///
+/// Same as [`cg`].
+pub fn cg_with_guess(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+) -> Result<Solved, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solved {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+
+    let pre = Precond::build(options.preconditioner, a)?;
+
+    let mut x = match guess {
+        Some(g) => {
+            if g.len() != n {
+                return Err(SolveError::DimensionMismatch {
+                    expected: n,
+                    found: g.len(),
+                });
+            }
+            g.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    // r = b − A x
+    let mut r = vec![0.0; n];
+    a.mul_vec_into(&x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+
+    let mut z = vec![0.0; n];
+    pre.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 0..options.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= options.tolerance {
+            return Ok(Solved {
+                x,
+                iterations: it,
+                relative_residual: res,
+            });
+        }
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        pre.apply(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        xpby(&z, beta, &mut p);
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= options.tolerance {
+        Ok(Solved {
+            x,
+            iterations: options.max_iterations,
+            relative_residual: res,
+        })
+    } else {
+        Err(SolveError::NotConverged {
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    }
+}
+
+/// Solves the (possibly non-symmetric) system `A x = b` by BiCGSTAB.
+///
+/// Used for full MNA matrices that retain voltage-source and controlled-
+/// source rows. For SPD systems prefer [`cg`], which is cheaper per
+/// iteration and guaranteed to converge.
+///
+/// # Errors
+///
+/// * [`SolveError::NotSquare`] / [`SolveError::DimensionMismatch`] on shape
+///   problems.
+/// * [`SolveError::NotConverged`] if the tolerance is not met in
+///   `options.max_iterations`.
+/// * [`SolveError::Breakdown`] on vanishing inner products.
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &BiCgStabOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(vec![0.0; n]);
+    }
+
+    let pre = Precond::build(options.preconditioner, a)?;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut phat = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for it in 0..options.max_iterations {
+        let rho_next = dot(&r_hat, &r);
+        if rho_next.abs() < f64::MIN_POSITIVE {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        let beta = (rho_next / rho) * (alpha / omega);
+        rho = rho_next;
+        // p = r + beta (p − omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        pre.apply(&p, &mut phat);
+        a.mul_vec_into(&phat, &mut v);
+        let denom = dot(&r_hat, &v);
+        if denom.abs() < f64::MIN_POSITIVE {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        alpha = rho / denom;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm2(&s) / b_norm <= options.tolerance {
+            axpy(alpha, &phat, &mut x);
+            return Ok(x);
+        }
+        pre.apply(&s, &mut shat);
+        a.mul_vec_into(&shat, &mut t);
+        let tt = dot(&t, &t);
+        if tt.abs() < f64::MIN_POSITIVE {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        omega = dot(&t, &s) / tt;
+        axpy(alpha, &phat, &mut x);
+        axpy(omega, &shat, &mut x);
+        for i in 0..n {
+            r[i] = s[i] - omega * t[i];
+        }
+        if norm2(&r) / b_norm <= options.tolerance {
+            return Ok(x);
+        }
+        if omega.abs() < f64::MIN_POSITIVE {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+    }
+
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        residual: norm2(&r) / b_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 100;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let x = cg(&a, &b, &CgOptions::default()).expect("cg should converge");
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-6, "max err {err}");
+    }
+
+    #[test]
+    fn cg_without_preconditioner() {
+        let a = laplacian_1d(50);
+        let b = vec![1.0; 50];
+        let opts = CgOptions {
+            preconditioner: Preconditioner::None,
+            ..CgOptions::default()
+        };
+        let x = cg(&a, &b, &opts).expect("cg should converge");
+        assert!(a.residual_norm(&x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = laplacian_1d(10);
+        let x = cg(&a, &[0.0; 10], &CgOptions::default()).expect("trivial solve");
+        assert_eq!(x, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn cg_warm_start_converges_faster() {
+        let n = 400;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let opts = CgOptions::default();
+        let cold = cg_with_guess(&a, &b, None, &opts).expect("cold solve");
+        let warm = cg_with_guess(&a, &b, Some(&cold.x), &opts).expect("warm solve");
+        assert!(warm.iterations <= 1, "warm start should converge instantly");
+    }
+
+    #[test]
+    fn cg_dimension_mismatch_rejected() {
+        let a = laplacian_1d(4);
+        let err = cg(&a, &[1.0; 3], &CgOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn cg_rejects_nonsquare() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        let err = cg(&a, &[1.0, 1.0], &CgOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn cg_not_converged_when_budget_too_small() {
+        let a = laplacian_1d(200);
+        let b = vec![1.0; 200];
+        let opts = CgOptions {
+            max_iterations: 2,
+            ..CgOptions::default()
+        };
+        let err = cg(&a, &b, &opts).unwrap_err();
+        assert!(matches!(err, SolveError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn cg_with_incomplete_cholesky_converges_faster() {
+        let a = laplacian_1d(400);
+        let b = vec![1.0; 400];
+        let jacobi = cg_with_guess(&a, &b, None, &CgOptions::default()).expect("jacobi");
+        let ic_opts = CgOptions {
+            preconditioner: Preconditioner::IncompleteCholesky,
+            ..CgOptions::default()
+        };
+        let ic = cg_with_guess(&a, &b, None, &ic_opts).expect("ic");
+        assert!(a.residual_norm(&ic.x, &b) < 1e-7);
+        assert!(
+            ic.iterations < jacobi.iterations / 2,
+            "IC(0) {} vs Jacobi {} iterations",
+            ic.iterations,
+            jacobi.iterations
+        );
+    }
+
+    #[test]
+    fn ic_preconditioner_matches_jacobi_solution() {
+        let a = laplacian_1d(64);
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x1 = cg(&a, &b, &CgOptions::default()).expect("jacobi");
+        let x2 = cg(
+            &a,
+            &b,
+            &CgOptions {
+                preconditioner: Preconditioner::IncompleteCholesky,
+                ..CgOptions::default()
+            },
+        )
+        .expect("ic");
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        // Upwind-like convection-diffusion matrix: non-symmetric, diagonally
+        // dominant.
+        let n = 60;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -0.5);
+                t.push(i + 1, i, -1.5);
+            }
+        }
+        let a = t.to_csr();
+        assert!(!a.is_symmetric(1e-12));
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let x = bicgstab(&a, &b, &BiCgStabOptions::default()).expect("bicgstab converges");
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-6, "max err {err}");
+    }
+
+    #[test]
+    fn bicgstab_matches_cg_on_spd() {
+        let a = laplacian_1d(64);
+        let b: Vec<f64> = (0..64).map(|i| (i as f64).cos()).collect();
+        let x1 = cg(&a, &b, &CgOptions::default()).expect("cg");
+        let x2 = bicgstab(&a, &b, &BiCgStabOptions::default()).expect("bicgstab");
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs() {
+        let a = laplacian_1d(8);
+        let x = bicgstab(&a, &[0.0; 8], &BiCgStabOptions::default()).expect("trivial");
+        assert_eq!(x, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,177 @@
+use crate::CsrMatrix;
+
+/// Coordinate-format (COO) sparse matrix builder.
+///
+/// Nodal-analysis "stamping" naturally produces duplicate `(row, col)`
+/// entries — each circuit element adds its conductance contribution to the
+/// same few matrix cells. `TripletMatrix` accepts duplicates and sums them
+/// during [`TripletMatrix::to_csr`], so element stamping code can stay
+/// simple.
+///
+/// # Example
+///
+/// ```
+/// use vstack_sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate: summed
+/// t.push(1, 1, 4.0);
+/// let m = t.to_csr();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// assert_eq!(m.get(1, 1), 4.0);
+/// assert_eq!(m.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows × cols` builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with room for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates are summed at conversion.
+    ///
+    /// Zero values are kept (they may still define the sparsity pattern,
+    /// which keeps repeated factorizations structurally identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Stamps a two-terminal conductance `g` between nodes `a` and `b`.
+    ///
+    /// This is the fundamental nodal-analysis operation: adds `+g` to the
+    /// diagonals `(a,a)`/`(b,b)` and `−g` to the off-diagonals. Either node
+    /// may be `None` to represent the ground/reference node (contributions
+    /// involving ground are dropped).
+    pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        if let Some(i) = a {
+            self.push(i, i, g);
+        }
+        if let Some(j) = b {
+            self.push(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (a, b) {
+            self.push(i, j, -g);
+            self.push(j, i, -g);
+        }
+    }
+
+    /// Converts to compressed-sparse-row form, summing duplicate entries.
+    ///
+    /// Entries that sum exactly to zero are retained so that the sparsity
+    /// pattern is deterministic for a given stamping sequence.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+
+    /// Iterates over the raw `(row, col, value)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_conductance_both_nodes() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(Some(0), Some(1), 2.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn stamp_conductance_to_ground() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(Some(1), None, 5.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn stamp_conductance_ground_to_ground_is_noop() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(None, None, 5.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn extend_collects_entries() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)]);
+        assert_eq!(t.len(), 3);
+        let m = t.to_csr();
+        assert_eq!(m.get(2, 2), 3.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the sparse kernels.
+
+use proptest::prelude::*;
+use vstack_sparse::dense::DenseMatrix;
+use vstack_sparse::solver::{bicgstab, cg, BiCgStabOptions, CgOptions};
+use vstack_sparse::{CsrMatrix, TripletMatrix};
+
+/// Strategy: a random list of triplets inside an `n × n` matrix.
+fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..n, 0..n, -10.0..10.0f64), 0..max_entries)
+}
+
+/// Strategy: a random SPD matrix built as `L Lᵀ + ε I` from a random sparse
+/// lower-triangular factor — guaranteed symmetric positive definite.
+fn spd_matrix(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec((0..n, 0..n, -2.0..2.0f64), 1..4 * n).prop_map(move |tris| {
+        // Accumulate dense L (lower triangular incl. diagonal shift).
+        let mut l = vec![vec![0.0; n]; n];
+        for (r, c, v) in tris {
+            let (r, c) = if r >= c { (r, c) } else { (c, r) };
+            l[r][c] += v;
+        }
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for (lik, ljk) in l[i].iter().zip(&l[j]) {
+                    acc += lik * ljk;
+                }
+                if i == j {
+                    acc += 1.0; // ε I keeps it strictly PD
+                }
+                if acc != 0.0 {
+                    t.push(i, j, acc);
+                }
+            }
+        }
+        t.to_csr()
+    })
+}
+
+proptest! {
+    /// CSR matrix–vector product agrees with a dense reference product.
+    #[test]
+    fn csr_mul_matches_dense(tris in triplets(12, 60), x in prop::collection::vec(-5.0..5.0f64, 12)) {
+        let m = CsrMatrix::from_triplets(12, 12, &tris);
+        let dense = m.to_dense();
+        let y = m.mul_vec(&x);
+        for r in 0..12 {
+            let want: f64 = dense[r].iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((y[r] - want).abs() < 1e-9);
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_is_involution(tris in triplets(10, 50)) {
+        let m = CsrMatrix::from_triplets(10, 10, &tris);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// `(Aᵀ)x·y == x·(Ay)` — the adjoint identity.
+    #[test]
+    fn transpose_adjoint_identity(
+        tris in triplets(8, 40),
+        x in prop::collection::vec(-3.0..3.0f64, 8),
+        y in prop::collection::vec(-3.0..3.0f64, 8),
+    ) {
+        let a = CsrMatrix::from_triplets(8, 8, &tris);
+        let at = a.transpose();
+        let lhs: f64 = at.mul_vec(&x).iter().zip(&y).map(|(u, v)| u * v).sum();
+        let rhs: f64 = a.mul_vec(&y).iter().zip(&x).map(|(u, v)| u * v).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    /// CG solves every randomly generated SPD system to tolerance.
+    #[test]
+    fn cg_solves_random_spd(a in spd_matrix(10), b in prop::collection::vec(-5.0..5.0f64, 10)) {
+        let x = cg(&a, &b, &CgOptions::default()).expect("SPD system must converge");
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(a.residual_norm(&x, &b) <= 1e-7 * bnorm.max(1.0));
+    }
+
+    /// BiCGSTAB agrees with CG on SPD systems.
+    #[test]
+    fn bicgstab_agrees_with_cg(a in spd_matrix(8), b in prop::collection::vec(-2.0..2.0f64, 8)) {
+        let x1 = cg(&a, &b, &CgOptions::default()).expect("cg");
+        let x2 = bicgstab(&a, &b, &BiCgStabOptions::default()).expect("bicgstab");
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    /// Dense LU solve then multiply reproduces the right-hand side.
+    #[test]
+    fn dense_lu_roundtrip(a in spd_matrix(6), b in prop::collection::vec(-4.0..4.0f64, 6)) {
+        let mut d = DenseMatrix::zeros(6, 6);
+        for (r, c, v) in a.iter() {
+            d[(r, c)] += v;
+        }
+        let x = d.solve(&b).expect("SPD dense solve");
+        let ax = d.mul_vec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    /// Triplet duplicate handling: pushing values one at a time or summed up
+    /// front yields the same matrix.
+    #[test]
+    fn duplicate_sum_equivalence(vals in prop::collection::vec(-5.0..5.0f64, 1..20)) {
+        let mut t1 = TripletMatrix::new(1, 1);
+        for &v in &vals {
+            t1.push(0, 0, v);
+        }
+        let mut t2 = TripletMatrix::new(1, 1);
+        t2.push(0, 0, vals.iter().sum());
+        let (a, b) = (t1.to_csr(), t2.to_csr());
+        prop_assert!((a.get(0, 0) - b.get(0, 0)).abs() < 1e-9);
+    }
+}

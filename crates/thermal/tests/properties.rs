@@ -1,0 +1,89 @@
+//! Property-based tests for the thermal model: heat-equation linearity
+//! and physical orderings.
+
+use proptest::prelude::*;
+use vstack_thermal::{StackThermalModel, ThermalParams};
+
+fn model(layers: usize) -> StackThermalModel {
+    StackThermalModel::new(ThermalParams::paper_air_cooled(), layers, 4, 4)
+}
+
+fn power_map(layers: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, 16), layers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Temperatures never fall below ambient with non-negative power.
+    #[test]
+    fn above_ambient(power in power_map(3)) {
+        let sol = model(3).solve(&power).expect("solvable");
+        for layer in 0..3 {
+            for cell in 0..16 {
+                prop_assert!(sol.temperature_c(layer, cell) >= 45.0 - 1e-9);
+            }
+        }
+    }
+
+    /// The temperature *rise* is linear in power: doubling every cell's
+    /// power doubles every rise.
+    #[test]
+    fn linearity(power in power_map(2)) {
+        let m = model(2);
+        let s1 = m.solve(&power).expect("solve");
+        let doubled: Vec<Vec<f64>> = power
+            .iter()
+            .map(|l| l.iter().map(|p| 2.0 * p).collect())
+            .collect();
+        let s2 = m.solve(&doubled).expect("solve");
+        for layer in 0..2 {
+            for cell in 0..16 {
+                let r1 = s1.temperature_c(layer, cell) - 45.0;
+                let r2 = s2.temperature_c(layer, cell) - 45.0;
+                prop_assert!((r2 - 2.0 * r1).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Superposition: the rise from two power maps applied together is
+    /// the sum of their separate rises.
+    #[test]
+    fn superposition(a in power_map(2), b in power_map(2)) {
+        let m = model(2);
+        let sum_map: Vec<Vec<f64>> = a
+            .iter()
+            .zip(&b)
+            .map(|(la, lb)| la.iter().zip(lb).map(|(x, y)| x + y).collect())
+            .collect();
+        let sa = m.solve(&a).expect("solve");
+        let sb = m.solve(&b).expect("solve");
+        let sab = m.solve(&sum_map).expect("solve");
+        for layer in 0..2 {
+            for cell in 0..16 {
+                let lhs = sab.temperature_c(layer, cell) - 45.0;
+                let rhs = (sa.temperature_c(layer, cell) - 45.0)
+                    + (sb.temperature_c(layer, cell) - 45.0);
+                prop_assert!((lhs - rhs).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Adding power anywhere can only heat every cell (monotonicity of
+    /// the resistive heat network).
+    #[test]
+    fn monotonicity(power in power_map(2), extra_cell in 0usize..16, extra in 0.1..1.0f64) {
+        let m = model(2);
+        let s1 = m.solve(&power).expect("solve");
+        let mut hotter = power.clone();
+        hotter[1][extra_cell] += extra;
+        let s2 = m.solve(&hotter).expect("solve");
+        for layer in 0..2 {
+            for cell in 0..16 {
+                prop_assert!(
+                    s2.temperature_c(layer, cell) >= s1.temperature_c(layer, cell) - 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Supply-noise exploration: sweep the workload-imbalance ratio and watch
+//! the V-S PDN's IR drop cross the equal-area regular PDN (the paper's
+//! Fig 6 experiment as a library walkthrough).
+//!
+//! Run with `cargo run --release -p vstack --example noise_vs_imbalance`.
+
+use vstack::pdn::TsvTopology;
+use vstack::scenario::DesignScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layers = 8;
+
+    // Equal-area comparison (paper §5.2): a V-S PDN with Few TSVs and
+    // 8 converters/core occupies about the same silicon as a regular PDN
+    // with Dense TSVs.
+    let vs = DesignScenario::paper_baseline()
+        .layers(layers)
+        .tsv_topology(TsvTopology::Few)
+        .converters_per_core(8);
+    let reg = DesignScenario::paper_baseline()
+        .layers(layers)
+        .tsv_topology(TsvTopology::Dense)
+        .power_c4_fraction(0.5);
+
+    println!(
+        "Equal-area check: V-S overhead {:.1}% vs Dense-TSV overhead {:.1}% per core\n",
+        100.0 * vs.vs_area_overhead_per_core(),
+        100.0 * TsvTopology::Dense.area_overhead(vs.pdn_params()),
+    );
+
+    let reg_drop = reg.solve_regular_peak()?.max_ir_drop_frac;
+    println!(
+        "Regular PDN (Dense TSV) worst-case IR drop: {:.2}% Vdd",
+        100.0 * reg_drop
+    );
+    println!("(independent of imbalance — its worst case is all layers active)\n");
+
+    println!(
+        "{:<12} {:>16} {:>12}",
+        "imbalance", "V-S IR drop", "V-S wins?"
+    );
+    let pdn = vs.voltage_stacked_pdn();
+    let mut crossover: Option<f64> = None;
+    let mut prev: Option<(f64, f64)> = None;
+    for pct in (0..=100).step_by(10) {
+        let x = pct as f64 / 100.0;
+        let sol = pdn.solve(&vs.interleaved_loads(x))?;
+        if sol.has_overload() {
+            println!("{:<12} {:>16} {:>12}", format!("{pct}%"), "(overload)", "-");
+            continue;
+        }
+        let drop = sol.max_ir_drop_frac;
+        println!(
+            "{:<12} {:>15.2}% {:>12}",
+            format!("{pct}%"),
+            100.0 * drop,
+            if drop < reg_drop { "yes" } else { "no" }
+        );
+        if let Some((px, pd)) = prev {
+            if pd < reg_drop && drop >= reg_drop {
+                // Linear interpolation of the crossover imbalance.
+                crossover = Some(px + (x - px) * (reg_drop - pd) / (drop - pd));
+            }
+        }
+        prev = Some((x, drop));
+    }
+
+    match crossover {
+        Some(x) => println!(
+            "\nCrossover at ≈{:.0}% imbalance (the paper reports ≈50%): below it,\n\
+             the V-S PDN is quieter than the equal-area regular PDN.",
+            100.0 * x
+        ),
+        None => println!("\nNo crossover within the feasible sweep."),
+    }
+    Ok(())
+}

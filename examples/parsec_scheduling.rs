@@ -1,0 +1,71 @@
+//! Imbalance-aware scheduling: the paper's §5.2 closing observation is
+//! that scheduling instances of the *same* application onto the cores of a
+//! core-stack keeps inter-layer imbalance (and hence V-S noise) low, while
+//! mixing applications across layers can be much worse.
+//!
+//! This example quantifies that with the Parsec workload sampler: it
+//! builds an 8-layer stack whose layers run (a) samples of one
+//! application and (b) samples of alternating applications, and compares
+//! the V-S PDN's IR drop.
+//!
+//! Run with `cargo run --release -p vstack --example parsec_scheduling`.
+
+use vstack::pdn::StackLoads;
+use vstack::power::workload::{ParsecApp, WorkloadSampler};
+use vstack::scenario::DesignScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layers = 8;
+    let scenario = DesignScenario::paper_baseline()
+        .layers(layers)
+        .converters_per_core(8);
+    let pdn = scenario.voltage_stacked_pdn();
+    let sampler = WorkloadSampler::paper_setup();
+
+    // (a) Same-application scheduling: all layers run blackscholes-like
+    //     samples — intra-app variation only.
+    let bs = sampler.samples(ParsecApp::Blackscholes);
+    let same_app: Vec<_> = bs.iter().take(layers).copied().collect();
+    let same_loads = StackLoads::from_samples(scenario.pdn_params(), &same_app);
+    let same_sol = pdn.solve(&same_loads)?;
+
+    // (b) Mixed scheduling: alternate a compute-bound app (swaptions) with
+    //     a memory-bound one (canneal) — the worst realistic pairing.
+    let hot = sampler.samples(ParsecApp::Swaptions);
+    let cold = sampler.samples(ParsecApp::Canneal);
+    let mixed: Vec<_> = (0..layers)
+        .map(|l| if l % 2 == 0 { hot[l] } else { cold[l] })
+        .collect();
+    let mixed_loads = StackLoads::from_samples(scenario.pdn_params(), &mixed);
+    let mixed_sol = pdn.solve(&mixed_loads)?;
+
+    println!("8-layer V-S PDN, 8 converters/core, Parsec-sampled layer loads\n");
+    println!(
+        "same-app scheduling (blackscholes on every layer): {:.2}% Vdd max IR drop",
+        100.0 * same_sol.max_ir_drop_frac
+    );
+    println!(
+        "mixed scheduling (swaptions / canneal interleaved): {:.2}% Vdd max IR drop",
+        100.0 * mixed_sol.max_ir_drop_frac
+    );
+    println!(
+        "\nconverter load: same-app max {:.0} mA, mixed max {:.0} mA (rating 100 mA)",
+        1000.0
+            * same_sol
+                .converter_currents
+                .iter()
+                .fold(0.0f64, |m, i| m.max(i.abs())),
+        1000.0
+            * mixed_sol
+                .converter_currents
+                .iter()
+                .fold(0.0f64, |m, i| m.max(i.abs())),
+    );
+    println!(
+        "\nReading: co-scheduling threads of the same application onto a\n\
+         core-stack keeps the stacked layers' currents matched, so the\n\
+         converters stay lightly loaded and the V-S noise penalty nearly\n\
+         vanishes — the paper's scheduling recommendation."
+    );
+    Ok(())
+}

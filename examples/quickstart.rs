@@ -1,0 +1,75 @@
+//! Quickstart: compare a regular and a voltage-stacked PDN on the paper's
+//! 8-layer, 16-core-per-layer platform.
+//!
+//! Run with `cargo run --release -p vstack --example quickstart`.
+
+use vstack::em_study::paper_em_lifetimes;
+use vstack::pdn::TsvTopology;
+use vstack::scenario::DesignScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layers = 8;
+    println!("== vstack quickstart: {layers}-layer, 16-core-per-layer 3D processor ==\n");
+
+    // --- Regular PDN: every layer's current crosses the same pads. ---
+    let regular = DesignScenario::paper_baseline()
+        .layers(layers)
+        .tsv_topology(TsvTopology::Sparse)
+        .power_c4_fraction(0.5);
+    let reg_sol = regular.solve_regular_peak()?;
+    let reg_life = paper_em_lifetimes(&reg_sol);
+    println!("Regular PDN (Sparse TSV, 50% power C4), all layers active:");
+    println!(
+        "  max IR drop        : {:.2}% Vdd",
+        100.0 * reg_sol.max_ir_drop_frac
+    );
+    println!(
+        "  max C4 pad current : {:.1} mA",
+        1000.0 * reg_sol.vdd_c4.max_current()
+    );
+    println!(
+        "  max TSV current    : {:.1} mA",
+        1000.0 * reg_sol.tsv.max_current()
+    );
+    println!("  C4 EM lifetime     : {:.2e} h", reg_life.c4_hours);
+    println!("  TSV EM lifetime    : {:.2e} h\n", reg_life.tsv_hours);
+
+    // --- Voltage-stacked PDN: layers in series, converters handle the
+    //     inter-layer mismatch. 65% is the paper's application-average
+    //     workload imbalance. ---
+    let stacked = DesignScenario::paper_baseline()
+        .layers(layers)
+        .tsv_topology(TsvTopology::Few)
+        .converters_per_core(8);
+    let vs_sol = stacked.solve_voltage_stacked(0.65)?;
+    let vs_life = paper_em_lifetimes(&vs_sol);
+    println!("Voltage-stacked PDN (Few TSV, 8 SC converters/core), 65% imbalance:");
+    println!(
+        "  max IR drop        : {:.2}% Vdd",
+        100.0 * vs_sol.max_ir_drop_frac
+    );
+    println!(
+        "  max C4 pad current : {:.1} mA",
+        1000.0 * vs_sol.vdd_c4.max_current()
+    );
+    println!(
+        "  max TSV current    : {:.1} mA",
+        1000.0 * vs_sol.tsv.max_current()
+    );
+    println!("  C4 EM lifetime     : {:.2e} h", vs_life.c4_hours);
+    println!("  TSV EM lifetime    : {:.2e} h", vs_life.tsv_hours);
+    println!(
+        "  system efficiency  : {:.1}%  ({} converters, {} overloaded)\n",
+        100.0 * vs_sol.efficiency(),
+        vs_sol.converter_currents.len(),
+        vs_sol.overloaded_converters
+    );
+
+    println!(
+        "V-S vs regular: {:.1}x C4 lifetime, {:.1}x TSV lifetime, {:+.2}% Vdd IR-drop delta",
+        vs_life.c4_hours / reg_life.c4_hours,
+        vs_life.tsv_hours / reg_life.tsv_hours,
+        100.0 * (vs_sol.max_ir_drop_frac - reg_sol.max_ir_drop_frac),
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Load-step transient walkthrough: what the V-S rails do in the
+//! nanoseconds after workload imbalance appears (extension study; the
+//! paper's analysis is steady-state).
+//!
+//! Run with `cargo run --release -p vstack --example transient_droop`.
+
+use vstack::pdn::transient::PdnTransientConfig;
+use vstack::scenario::DesignScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = DesignScenario::paper_baseline()
+        .layers(8)
+        .converters_per_core(8);
+    let pdn = scenario.voltage_stacked_pdn();
+    let before = scenario.interleaved_loads(0.0); // balanced
+    let after = scenario.interleaved_loads(0.65); // barrier: half the layers idle
+
+    println!("8-layer V-S PDN, 8 converters/core: balanced -> 65% imbalance at t=0\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "decap", "peak drop", "final drop", "settle"
+    );
+    for decap_nf in [10.0, 40.0, 100.0] {
+        let cfg = PdnTransientConfig {
+            decap_per_core_f: decap_nf * 1e-9,
+            ..PdnTransientConfig::default()
+        };
+        let resp = pdn.solve_transient_step(&before, &after, &cfg)?;
+        println!(
+            "{:>8.0}nF {:>11.2}% {:>11.2}% {:>12}",
+            decap_nf,
+            100.0 * resp.peak_drop(),
+            100.0 * resp.final_drop(),
+            resp.settling_time(0.001)
+                .map(|t| format!("{:.0} ns", t * 1e9))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+
+    // Sample trajectory for the 40 nF case.
+    let cfg = PdnTransientConfig::default();
+    let resp = pdn.solve_transient_step(&before, &after, &cfg)?;
+    println!("\nTrajectory (40 nF): worst drop vs time");
+    for step in [0usize, 9, 19, 49, 99, 199, 399] {
+        println!(
+            "  t = {:>5.1} ns : {:.2}% Vdd",
+            resp.times_s[step] * 1e9,
+            100.0 * resp.max_drop_series[step]
+        );
+    }
+    println!(
+        "\nReading: the rails slew monotonically to the new operating point\n\
+         (no inductive ringing on-chip); decap sets how long the stack\n\
+         coasts before the converters take over, so bigger decap buys time\n\
+         for closed-loop controllers to react, not a lower settled drop."
+    );
+    Ok(())
+}

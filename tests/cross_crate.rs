@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: exercise full pipelines that span
+//! several substrates (power → PDN → EM; SC → circuit; thermal → EM).
+
+use vstack::circuit::{Circuit, GROUND};
+use vstack::em::black::BlackModel;
+use vstack::em_study::{c4_array_lifetime, paper_em_lifetimes};
+use vstack::pdn::{StackLoads, TsvTopology};
+use vstack::power::workload::{ImbalancePattern, ParsecApp, WorkloadSampler};
+use vstack::sc::compact::ScConverter;
+use vstack::sc::detailed::DetailedSim;
+use vstack::scenario::DesignScenario;
+use vstack::thermal::{StackThermalModel, ThermalParams};
+
+/// Workload sampler → stack loads → V-S PDN solve → EM lifetime: the full
+/// pipeline used by the scheduling example.
+#[test]
+fn workload_to_lifetime_pipeline() {
+    let scenario = DesignScenario::paper_baseline().coarse_grid().layers(4);
+    let sampler = WorkloadSampler::paper_setup();
+    let samples: Vec<_> = sampler
+        .samples(ParsecApp::Ferret)
+        .into_iter()
+        .take(4)
+        .collect();
+    let loads = StackLoads::from_samples(scenario.pdn_params(), &samples);
+    let sol = scenario.voltage_stacked_pdn().solve(&loads).unwrap();
+    assert!(sol.max_ir_drop_frac > 0.0 && sol.max_ir_drop_frac < 0.1);
+    let life = paper_em_lifetimes(&sol);
+    assert!(life.c4_hours.is_finite() && life.c4_hours > 0.0);
+    assert!(life.tsv_hours.is_finite() && life.tsv_hours > 0.0);
+}
+
+/// The thermal model's hotspot temperature plugs into Black's equation and
+/// shortens lifetimes relative to a cool-junction assumption.
+#[test]
+fn thermal_coupling_shortens_lifetime() {
+    let scenario = DesignScenario::paper_baseline().coarse_grid().layers(8);
+    let sol = scenario.solve_regular_peak().unwrap();
+
+    let thermal = StackThermalModel::new(ThermalParams::paper_air_cooled(), 8, 4, 4);
+    let power = vec![vec![7.6 / 16.0; 16]; 8];
+    let hotspot_k = thermal.solve(&power).unwrap().max_temperature_k();
+    assert!(hotspot_k > 273.15 + 60.0);
+
+    let cool = c4_array_lifetime(&sol, &BlackModel::paper_c4().at_temperature(300.0));
+    let hot = c4_array_lifetime(&sol, &BlackModel::paper_c4().at_temperature(hotspot_k));
+    assert!(
+        hot < cool / 3.0,
+        "an ≈90 °C junction should cost well over 3x lifetime vs 27 °C"
+    );
+}
+
+/// Compact and detailed SC models agree on a point neither was explicitly
+/// calibrated against (30 mA).
+#[test]
+fn sc_models_agree_off_calibration_point() {
+    let sc = ScConverter::paper_28nm();
+    let compact = sc.operate(2.0, 0.0, 0.03);
+    let detailed = DetailedSim::new(sc).simulate(2.0, 0.03).unwrap();
+    assert!((compact.efficiency - detailed.efficiency).abs() < 0.10);
+    assert!((compact.v_drop - detailed.v_drop).abs() < 0.012);
+}
+
+/// The MNA engine reproduces the compact converter stamp: a discrete
+/// circuit with a VCVS + series R behaves like the PDN's rank-1 stamp.
+#[test]
+fn converter_stamp_matches_explicit_vcvs_circuit() {
+    // Explicit MNA circuit: rails 2 V / 0 V, VCVS out = (top+bottom)/2
+    // behind 0.6 Ω, load 50 mA.
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    let bottom = ckt.node("bottom");
+    let ideal = ckt.node("ideal");
+    let out = ckt.node("out");
+    ckt.voltage_source(top, GROUND, 2.0);
+    ckt.resistor(bottom, GROUND, 1e-3);
+    ckt.vcvs(ideal, GROUND, &[(top, GROUND, 0.5), (bottom, GROUND, 0.5)]);
+    ckt.resistor(ideal, out, 0.6);
+    ckt.current_source(out, GROUND, 0.05);
+    let op = ckt.dc_operating_point().unwrap();
+    // Expected: 1.0 − 0.05·0.6 = 0.97.
+    assert!((op.voltage(out) - 0.97).abs() < 1e-6);
+
+    // PDN-style solve of the same situation through the scenario API.
+    let scenario = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(2)
+        .converters_per_core(1);
+    let sol = scenario.solve_voltage_stacked(1.0).unwrap();
+    // Full imbalance on 2 layers: converters source the whole idle layer's
+    // dynamic current; drop should be visible but bounded.
+    assert!(sol.max_ir_drop_frac > 0.01);
+}
+
+/// Interleaved-pattern loads conserve current through the V-S stack: the
+/// board supplies ≈ the max layer current plus converter overhead.
+#[test]
+fn vs_input_current_tracks_max_layer() {
+    let scenario = DesignScenario::paper_baseline().coarse_grid().layers(4);
+    let loads = scenario.interleaved_loads(0.5);
+    let sol = scenario.voltage_stacked_pdn().solve(&loads).unwrap();
+    let i_input: f64 = sol
+        .vdd_c4
+        .groups()
+        .iter()
+        .map(|g| g.current_a * g.count)
+        .sum();
+    let i_max = loads.max_layer_current();
+    let i_min = (0..4)
+        .map(|l| loads.layer_current(l))
+        .fold(f64::MAX, f64::min);
+    let i_mean = (i_max + i_min) / 2.0;
+    assert!(
+        i_input > 0.95 * i_mean && i_input < 1.1 * i_max,
+        "input {i_input} A vs layer mean {i_mean} / max {i_max} A"
+    );
+}
+
+/// TSV density helps IR drop but — because of local current crowding —
+/// barely moves EM lifetime (the paper's §5.1 observation that designers
+/// cannot buy EM robustness with more TSVs).
+#[test]
+fn tsv_density_helps_noise_but_not_lifetime() {
+    let solve = |topo| {
+        DesignScenario::paper_baseline()
+            .coarse_grid()
+            .layers(4)
+            .tsv_topology(topo)
+            .solve_regular_peak()
+            .unwrap()
+    };
+    let dense = solve(TsvTopology::Dense);
+    let few = solve(TsvTopology::Few);
+    assert!(dense.max_ir_drop_frac < few.max_ir_drop_frac);
+    let dense_life = paper_em_lifetimes(&dense).tsv_hours;
+    let few_life = paper_em_lifetimes(&few).tsv_hours;
+    let ratio = dense_life / few_life;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "60x more TSVs must NOT translate into lifetime ({ratio:.2}x)"
+    );
+}
+
+/// Loads built from the imbalance pattern match loads built from
+/// activities.
+#[test]
+fn load_constructors_are_consistent() {
+    let params = DesignScenario::paper_baseline().pdn_params().clone();
+    let a = StackLoads::interleaved(&params, 4, &ImbalancePattern::new(0.4));
+    let b = StackLoads::from_activities(&params, &[1.0, 0.6, 1.0, 0.6]);
+    for layer in 0..4 {
+        assert!((a.layer_current(layer) - b.layer_current(layer)).abs() < 1e-12);
+    }
+}

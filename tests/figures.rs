@@ -1,0 +1,185 @@
+//! Shape tests for every figure driver at Quick fidelity: each figure's
+//! qualitative story — who wins, which way the curves bend, where they
+//! truncate — must match the paper.
+
+use vstack::experiments::{fig3, fig5, fig6, fig7, fig8, tables, Fidelity};
+use vstack::pdn::{PdnParams, TsvTopology};
+
+#[test]
+fn fig3_model_validation_holds() {
+    let open = fig3::open_loop_validation().unwrap();
+    assert_eq!(open.len(), fig3::OPEN_LOOP_LOADS_MA.len());
+    for r in &open {
+        assert!(r.efficiency_error() < 0.10, "open loop at {} mA", r.load_ma);
+        assert!(r.vdrop_error_mv() < 12.0, "open loop at {} mA", r.load_ma);
+    }
+    // Efficiency monotonically rises with load under open-loop control.
+    for w in open.windows(2) {
+        assert!(w[1].model_efficiency > w[0].model_efficiency);
+    }
+
+    let closed = fig3::closed_loop_validation().unwrap();
+    for r in &closed {
+        assert!(
+            r.efficiency_error() < 0.12,
+            "closed loop at {} mA",
+            r.load_ma
+        );
+    }
+    // Closed loop beats open loop at the lightest common comparison point.
+    let open_light = open[0].model_efficiency; // 10 mA
+    let closed_light = closed
+        .iter()
+        .find(|r| (r.load_ma - 12.5).abs() < 0.1)
+        .unwrap()
+        .model_efficiency;
+    assert!(closed_light > open_light);
+}
+
+#[test]
+fn fig5a_tsv_lifetime_shapes() {
+    let d = fig5::tsv_lifetimes(Fidelity::Quick).unwrap();
+    assert_eq!(d.series.len(), 4);
+    let vs = d.series_named("V-S").unwrap();
+    let few = d.series_named("Reg. PDN, Few").unwrap();
+    let dense = d.series_named("Reg. PDN, Dense").unwrap();
+
+    assert!(
+        (vs.at(2).unwrap() - 1.0).abs() < 1e-9,
+        "normalization anchor"
+    );
+    // Regular series decay monotonically with layers.
+    for s in [few, dense] {
+        for w in s.points.windows(2) {
+            assert!(w[1].1 < w[0].1, "{} must decay", s.label);
+        }
+    }
+    // V-S at 8 layers ≥3× any regular series.
+    for s in &d.series {
+        if !s.label.starts_with("V-S") {
+            assert!(vs.at(8).unwrap() > 3.0 * s.at(8).unwrap(), "{}", s.label);
+        }
+    }
+    // Regular beats V-S at 2 layers (the paper's through-via observation).
+    assert!(few.at(2).unwrap() > 1.0);
+}
+
+#[test]
+fn fig5b_c4_lifetime_shapes() {
+    let d = fig5::c4_lifetimes(Fidelity::Quick).unwrap();
+    assert_eq!(d.series.len(), 5);
+    let vs = d.series_named("V-S").unwrap();
+    // V-S flat within 10% across layers.
+    for (_, v) in &vs.points {
+        assert!((v - 1.0).abs() < 0.1);
+    }
+    // More power pads always help the regular PDN at fixed layer count…
+    let at8: Vec<f64> = ["25%", "50%", "75%", "100%"]
+        .iter()
+        .map(|p| {
+            d.series
+                .iter()
+                .find(|s| s.label.contains(p))
+                .unwrap()
+                .at(8)
+                .unwrap()
+        })
+        .collect();
+    for w in at8.windows(2) {
+        assert!(w[1] > w[0], "more pads must help: {at8:?}");
+    }
+    // …but never reach the V-S level.
+    assert!(vs.at(8).unwrap() > at8[3]);
+}
+
+#[test]
+fn fig6_ir_drop_shapes() {
+    let d = fig6::ir_drop_study(Fidelity::Quick, 8).unwrap();
+    // Reference lines ordered by TSV density.
+    let dense = d.regular(TsvTopology::Dense).unwrap();
+    let sparse = d.regular(TsvTopology::Sparse).unwrap();
+    let few = d.regular(TsvTopology::Few).unwrap();
+    assert!(dense < sparse && sparse < few);
+    // The paper's reference lines sit in the 2–3.5% Vdd band; our
+    // calibration lands ≈1.5–2× higher (EXPERIMENTS.md discusses why),
+    // so bound the band rather than the exact values.
+    assert!(dense > 0.01 && few < 0.08, "dense {dense}, few {few}");
+
+    // V-S series increase with imbalance and decrease with converter count.
+    for k in fig6::CONVERTERS_PER_CORE {
+        let s = d.vs(k).unwrap();
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].max_ir_drop_frac >= w[0].max_ir_drop_frac - 1e-6,
+                "k={k} must be non-decreasing"
+            );
+        }
+    }
+    let x = 0.5;
+    let four = d.vs(4).unwrap().at(x).unwrap();
+    let eight = d.vs(8).unwrap().at(x).unwrap();
+    assert!(eight < four);
+
+    // Equal-area story: V-S(8/core) beats Dense at 25% imbalance, loses at
+    // full imbalance by a bounded margin (paper: up to 1.58% Vdd).
+    let vs8 = d.vs(8).unwrap();
+    assert!(vs8.at(0.25).unwrap() < dense);
+    let worst = vs8.points.last().unwrap().max_ir_drop_frac;
+    assert!(worst > dense, "V-S must exceed Dense at full imbalance");
+    assert!(worst - dense < 0.035, "excess {:.3}", worst - dense);
+}
+
+#[test]
+fn fig7_box_plot_shapes() {
+    let d = fig7::workload_distributions();
+    assert_eq!(d.rows.len(), 13);
+    assert!((0.60..=0.70).contains(&d.average_max_imbalance));
+    assert!(d.global_max_imbalance > 0.90);
+    // Intra-app variance is much smaller than cross-app variance: the
+    // widest single-app box is narrower than the cross-app median spread.
+    let medians: Vec<f64> = d.rows.iter().map(|r| r.power_w.median).collect();
+    let cross_spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+        - medians.iter().cloned().fold(f64::MAX, f64::min);
+    let widest_box = d
+        .rows
+        .iter()
+        .map(|r| r.power_w.q75 - r.power_w.q25)
+        .fold(0.0f64, f64::max);
+    assert!(widest_box < cross_spread);
+}
+
+#[test]
+fn fig8_efficiency_shapes() {
+    let d = fig8::efficiency_study(Fidelity::Quick, 8).unwrap();
+    // Every V-S series decreases with imbalance.
+    for k in fig6::CONVERTERS_PER_CORE {
+        let s = d.vs(k).unwrap();
+        for w in s.points.windows(2) {
+            assert!(w[1].efficiency < w[0].efficiency, "k={k}");
+        }
+    }
+    // More converters → lower efficiency (open-loop overhead).
+    let e2 = d.vs(2).unwrap().at(0.1).unwrap();
+    let e8 = d.vs(8).unwrap().at(0.1).unwrap();
+    assert!(e2 > e8);
+    // V-S dominates the regular-PDN-SC baseline wherever feasible.
+    for p in &d.regular_sc_reference.points {
+        for k in fig6::CONVERTERS_PER_CORE {
+            if let Some(vs) = d.vs(k).unwrap().at(p.imbalance) {
+                assert!(vs > p.efficiency, "k={k} x={}", p.imbalance);
+            }
+        }
+    }
+}
+
+#[test]
+fn tables_match_paper() {
+    let p = PdnParams::paper_defaults();
+    let t1 = tables::table1(&p);
+    assert_eq!(t1.len(), 7);
+    let t2 = tables::table2(&p);
+    assert_eq!(t2.len(), 3);
+    assert_eq!(t2[0].tsvs_per_core, 6650);
+    assert_eq!(t2[1].tsvs_per_core, 1675);
+    assert_eq!(t2[2].tsvs_per_core, 110);
+}

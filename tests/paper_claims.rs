@@ -1,0 +1,211 @@
+//! Integration tests asserting the paper's headline quantitative claims
+//! (abstract + §5) against the full model stack.
+//!
+//! These run at `Quick` fidelity (coarse electrical grid); the claims
+//! tested are ratios and orderings, which the grid refinement does not
+//! change.
+
+use vstack::em_study::paper_em_lifetimes;
+use vstack::experiments::fig6::{imbalance_sweep, ir_drop_study};
+use vstack::experiments::Fidelity;
+use vstack::pdn::TsvTopology;
+use vstack::power::workload::WorkloadSampler;
+use vstack::scenario::DesignScenario;
+use vstack::thermal::{StackThermalModel, ThermalParams};
+
+/// Abstract: "significantly improving the EM-lifetime of C4 and TSV array
+/// (e.g., up to 5x)".
+#[test]
+fn claim_up_to_5x_c4_lifetime_at_8_layers() {
+    let vs = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .solve_voltage_stacked(0.0)
+        .unwrap();
+    let reg = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .tsv_topology(TsvTopology::Sparse)
+        .solve_regular_peak()
+        .unwrap();
+    let gap = paper_em_lifetimes(&vs).c4_hours / paper_em_lifetimes(&reg).c4_hours;
+    assert!(
+        gap >= 4.0,
+        "C4 lifetime gap at 8 layers should be ≈5x, got {gap:.1}x"
+    );
+}
+
+/// §5.1: "the increasing current density significantly reduces the
+/// lifetime of the regular PDN's TSV array by up to 84%".
+#[test]
+fn claim_regular_tsv_lifetime_collapses() {
+    let life = |layers: usize| {
+        let sol = DesignScenario::paper_baseline()
+            .coarse_grid()
+            .layers(layers)
+            .tsv_topology(TsvTopology::Few)
+            .solve_regular_peak()
+            .unwrap();
+        paper_em_lifetimes(&sol).tsv_hours
+    };
+    let drop = 1.0 - life(8) / life(2);
+    assert!(
+        drop > 0.6,
+        "regular TSV lifetime should drop heavily with stacking, got {:.0}%",
+        100.0 * drop
+    );
+}
+
+/// §5.1: "the EM-lifetime of V-S PDNs in 3D-ICs with more layers still
+/// surpasses that of the regular PDN by more than 3x".
+#[test]
+fn claim_vs_tsv_advantage_exceeds_3x() {
+    let vs = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .solve_voltage_stacked(0.0)
+        .unwrap();
+    let reg = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .tsv_topology(TsvTopology::Few)
+        .solve_regular_peak()
+        .unwrap();
+    let gap = paper_em_lifetimes(&vs).tsv_hours / paper_em_lifetimes(&reg).tsv_hours;
+    assert!(
+        gap > 3.0,
+        "V-S TSV advantage should exceed 3x, got {gap:.1}x"
+    );
+}
+
+/// §5.1: "it is not feasible to improve the regular PDN's EM-robustness to
+/// the same extent as with the V-S PDN by simply allocating more
+/// power-supply TSVs and C4 pads."
+#[test]
+fn claim_more_pads_cannot_catch_up() {
+    let vs = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .solve_voltage_stacked(0.0)
+        .unwrap();
+    let reg_all_pads = DesignScenario::paper_baseline()
+        .coarse_grid()
+        .layers(8)
+        .tsv_topology(TsvTopology::Dense)
+        .power_c4_fraction(1.0)
+        .solve_regular_peak()
+        .unwrap();
+    assert!(
+        paper_em_lifetimes(&vs).c4_hours > paper_em_lifetimes(&reg_all_pads).c4_hours,
+        "even 100% power pads + dense TSVs should not match V-S"
+    );
+}
+
+/// §5.2 + abstract: at the application-average imbalance (65%), the V-S
+/// PDN's IR drop exceeds the equal-area regular PDN's by only ≈0.75% Vdd.
+#[test]
+fn claim_075_percent_vdd_penalty_at_65_percent_imbalance() {
+    let data = ir_drop_study(Fidelity::Quick, 8).unwrap();
+    let vs = data
+        .vs(8)
+        .unwrap()
+        .interpolate(0.65)
+        .expect("65% must be feasible with 8 converters/core");
+    let dense = data.regular(TsvTopology::Dense).unwrap();
+    let penalty = vs - dense;
+    assert!(
+        penalty < 0.015,
+        "V-S penalty at 65% imbalance should be ≲1% Vdd, got {:.2}%",
+        100.0 * penalty
+    );
+}
+
+/// §5.2: with equal area, V-S has lower IR drop below ≈50% imbalance and
+/// exceeds the regular PDN by at most ≈1.6% Vdd at full imbalance.
+#[test]
+fn claim_crossover_near_50_percent() {
+    let data = ir_drop_study(Fidelity::Quick, 8).unwrap();
+    let vs = data.vs(8).unwrap();
+    let dense = data.regular(TsvTopology::Dense).unwrap();
+    assert!(
+        vs.interpolate(0.25).unwrap() < dense,
+        "V-S should win at low imbalance"
+    );
+    let worst = vs
+        .points
+        .iter()
+        .map(|p| p.max_ir_drop_frac)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst - dense < 0.035,
+        "V-S excess at worst feasible imbalance should stay small, got {:.2}%",
+        100.0 * (worst - dense)
+    );
+}
+
+/// Fig 6 methodology: design points overloading a converter are excluded,
+/// and 2 converters/core cannot cover the full sweep.
+#[test]
+fn claim_converter_limit_truncates_sweep() {
+    let data = ir_drop_study(Fidelity::Quick, 8).unwrap();
+    let two = data.vs(2).unwrap();
+    assert!(!two.skipped.is_empty());
+    let eight = data.vs(8).unwrap();
+    let sweep = imbalance_sweep(Fidelity::Quick);
+    assert_eq!(
+        eight.points.len(),
+        sweep.len(),
+        "8 converters/core must cover the whole sweep"
+    );
+}
+
+/// §4.1: up to 8 layers stay below 100 °C with conventional air cooling.
+#[test]
+fn claim_8_layers_air_coolable() {
+    let feasible = StackThermalModel::max_feasible_layers(
+        ThermalParams::paper_air_cooled(),
+        4,
+        4,
+        7.6 / 16.0,
+        100.0,
+        12,
+    )
+    .unwrap();
+    assert!(
+        (8..=10).contains(&feasible),
+        "paper builds up to 8 layers under air cooling, model says {feasible}"
+    );
+}
+
+/// §5.2: blackscholes ≈10% max imbalance; application average ≈65%;
+/// global worst case >90%.
+#[test]
+fn claim_parsec_imbalance_statistics() {
+    let s = WorkloadSampler::paper_setup();
+    assert!(s.max_imbalance(vstack::power::workload::ParsecApp::Blackscholes) < 0.12);
+    let avg = s.average_max_imbalance();
+    assert!((0.60..=0.70).contains(&avg), "got {avg}");
+    assert!(s.global_max_imbalance() > 0.90);
+}
+
+/// §5.2: one SC converter costs ≈3% of an ARM core's area with
+/// high-density capacitors, making V-S(Few TSV, 8 conv/core) area-
+/// comparable to regular(Dense TSV).
+#[test]
+fn claim_equal_area_comparison() {
+    let params = DesignScenario::paper_baseline();
+    let conv_frac = vstack::sc::area::area_overhead_per_core(
+        vstack::sc::CapacitorTech::Ferroelectric,
+        params.pdn_params().core.area_mm2(),
+    );
+    assert!((0.025..0.045).contains(&conv_frac), "got {conv_frac}");
+    let vs_total = DesignScenario::paper_baseline()
+        .tsv_topology(TsvTopology::Few)
+        .converters_per_core(8)
+        .vs_area_overhead_per_core();
+    let dense = TsvTopology::Dense.area_overhead(params.pdn_params());
+    assert!(
+        (vs_total - dense).abs() / dense < 0.35,
+        "{vs_total} vs {dense}"
+    );
+}
