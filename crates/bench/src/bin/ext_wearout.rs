@@ -1,0 +1,83 @@
+//! Regenerates the **fault-injection wearout extension** study: the EM
+//! feedback loop (solve → Black's-equation TTFs → kill the earliest-failure
+//! quantile → warm-started resilient re-solve) played forward on the
+//! regular and voltage-stacked topologies, reporting IR-drop-vs-faults
+//! degradation curves and every escalation-ladder fallback encountered.
+
+use vstack::experiments::ext_wearout::{self, WearoutConfig, WearoutOutcome};
+use vstack::experiments::Fidelity;
+use vstack_bench::{heading, pct};
+
+fn outcome_label(o: &WearoutOutcome) -> String {
+    match o {
+        WearoutOutcome::Disconnected {
+            round,
+            floating_nodes,
+        } => format!("DISCONNECTED at round {round} ({floating_nodes} floating nodes)"),
+        WearoutOutcome::DropLimitExceeded { round } => {
+            format!("drop limit exceeded at round {round}")
+        }
+        WearoutOutcome::SolverExhausted { round, error } => {
+            format!("electrically dead at round {round} (ladder exhausted: {error})")
+        }
+        WearoutOutcome::Survived => "survived the round budget".into(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Extension — EM wearout feedback loop (5%/round earliest-failure kills)");
+    let config = WearoutConfig {
+        fidelity: Fidelity::Paper,
+        ..WearoutConfig::default()
+    };
+    let curves = ext_wearout::wearout_comparison(&config, &[4, 8])?;
+    for c in &curves {
+        println!(
+            "\n{} PDN, {} layers — {}",
+            c.label,
+            c.n_layers,
+            outcome_label(&c.outcome)
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>14} {:>8}",
+            "round", "pads failed", "TSVs failed", "max drop", "min TTF (h)", "rescued"
+        );
+        for p in &c.points {
+            println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>14.3e} {:>8}",
+                p.round,
+                pct(p.fraction_pads_failed),
+                p.failed_tsvs,
+                pct(p.max_ir_drop_frac),
+                p.earliest_pad_ttf_hours,
+                if p.rescued { "yes" } else { "no" },
+            );
+        }
+        println!(
+            "degradation slope (drop per pad-fraction): {:.4}",
+            c.degradation_slope()
+        );
+        for trail in &c.fallback_trails {
+            println!("  fallback trail: {trail}");
+        }
+    }
+
+    println!();
+    for n in [4usize, 8] {
+        let reg = curves
+            .iter()
+            .find(|c| c.label == "regular" && c.n_layers == n)
+            .unwrap();
+        let vs = curves
+            .iter()
+            .find(|c| c.label == "voltage-stacked" && c.n_layers == n)
+            .unwrap();
+        println!(
+            "{n} layers: V-S degradation slope {:.4} vs regular {:.4} ({:.1}× more graceful)",
+            vs.degradation_slope(),
+            reg.degradation_slope(),
+            reg.degradation_slope() / vs.degradation_slope().max(f64::MIN_POSITIVE),
+        );
+    }
+    Ok(())
+}

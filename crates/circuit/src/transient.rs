@@ -170,7 +170,7 @@ impl Transient {
                     cap_prev.insert(idx, v_nodes[a.0] - v_nodes[b.0]);
                 }
             }
-            result.record(circuit, t, &v_nodes, &x, n_nodes);
+            result.record(circuit, t, &v_nodes, &x, n_nodes)?;
         }
         Ok(result)
     }
@@ -198,17 +198,29 @@ impl TransientResult {
         }
     }
 
-    fn record(&mut self, circuit: &Circuit, t: f64, v_nodes: &[f64], x: &[f64], n_nodes: usize) {
+    fn record(
+        &mut self,
+        circuit: &Circuit,
+        t: f64,
+        v_nodes: &[f64],
+        x: &[f64],
+        n_nodes: usize,
+    ) -> Result<(), CircuitError> {
+        let time_base = |e: crate::waveform::NonIncreasingTime| CircuitError::InvalidTimeBase {
+            message: e.to_string(),
+        };
         for (node, wave) in &mut self.probe_waves {
-            wave.push(t, v_nodes[node.0]);
+            wave.try_push(t, v_nodes[node.0]).map_err(time_base)?;
         }
         for (eid, wave) in &mut self.branch_waves {
             if let Element::VoltageSource { branch, .. } | Element::Vcvs { branch, .. } =
                 &circuit.elements[eid.0]
             {
-                wave.push(t, x[n_nodes - 1 + branch]);
+                wave.try_push(t, x[n_nodes - 1 + branch])
+                    .map_err(time_base)?;
             }
         }
+        Ok(())
     }
 
     /// Waveform of a probed node, if it was requested.

@@ -1,5 +1,30 @@
 //! Time-series storage and measurement helpers for transient results.
 
+/// Error returned by [`Waveform::try_push`] when a sample's time does not
+/// strictly increase (or is not finite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonIncreasingTime {
+    /// The rejected sample time.
+    pub t: f64,
+    /// The previous (last accepted) sample time, if any.
+    pub previous: Option<f64>,
+}
+
+impl std::fmt::Display for NonIncreasingTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.previous {
+            Some(prev) => write!(
+                f,
+                "waveform sample time {} does not increase past {}",
+                self.t, prev
+            ),
+            None => write!(f, "waveform sample time {} is not finite", self.t),
+        }
+    }
+}
+
+impl std::error::Error for NonIncreasingTime {}
+
 /// A sampled waveform: strictly increasing times plus one value per sample.
 ///
 /// Returned by [`crate::transient::TransientResult`] probes. The measurement
@@ -24,12 +49,33 @@ impl Waveform {
     /// # Panics
     ///
     /// Panics if `t` is not strictly greater than the previous sample time.
+    /// Use [`Waveform::try_push`] where a malformed timestep should be an
+    /// error instead.
     pub fn push(&mut self, t: f64, value: f64) {
-        if let Some(&last) = self.times.last() {
-            assert!(t > last, "waveform samples must have increasing time");
+        self.try_push(t, value)
+            .expect("waveform samples must have increasing time");
+    }
+
+    /// Appends a sample, returning an error instead of panicking when `t`
+    /// does not strictly increase (or is not finite).
+    ///
+    /// This is the entry point the transient engine uses: a backward-Euler
+    /// run that produces a non-monotonic or non-finite timestamp is a
+    /// time-base bug that should surface as a structured error, not tear
+    /// down the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonIncreasingTime`] carrying the offending and previous
+    /// times; the waveform is left unchanged.
+    pub fn try_push(&mut self, t: f64, value: f64) -> Result<(), NonIncreasingTime> {
+        let last = self.times.last().copied();
+        if !t.is_finite() || last.is_some_and(|l| t <= l) {
+            return Err(NonIncreasingTime { t, previous: last });
         }
         self.times.push(t);
         self.values.push(value);
+        Ok(())
     }
 
     /// Number of samples.
@@ -144,5 +190,26 @@ mod tests {
     fn last_value() {
         assert_eq!(ramp().last(), Some(10.0));
         assert_eq!(Waveform::new().last(), None);
+    }
+
+    #[test]
+    fn try_push_rejects_without_mutating() {
+        let mut w = Waveform::new();
+        w.try_push(1.0, 5.0).expect("first sample");
+        let err = w.try_push(1.0, 6.0).unwrap_err();
+        assert_eq!(err.previous, Some(1.0));
+        assert!(err.to_string().contains("does not increase"));
+        assert_eq!(w.len(), 1);
+        // Still usable afterwards with a valid time.
+        w.try_push(2.0, 6.0).expect("valid sample");
+        assert_eq!(w.last(), Some(6.0));
+    }
+
+    #[test]
+    fn try_push_rejects_non_finite_time() {
+        let mut w = Waveform::new();
+        let err = w.try_push(f64::NAN, 0.0).unwrap_err();
+        assert_eq!(err.previous, None);
+        assert!(w.is_empty());
     }
 }

@@ -3,7 +3,9 @@
 //! together.
 
 use vstack_pdn::solution::PdnSolution;
-use vstack_pdn::{PdnParams, RegularPdn, StackLoads, TsvTopology, VstackPdn};
+use vstack_pdn::{
+    FaultSet, FaultedSolution, PdnError, PdnParams, RegularPdn, StackLoads, TsvTopology, VstackPdn,
+};
 use vstack_power::workload::ImbalancePattern;
 use vstack_sc::compact::ScConverter;
 use vstack_sparse::SolveError;
@@ -151,6 +153,39 @@ impl DesignScenario {
             .solve(&self.interleaved_loads(imbalance))
     }
 
+    /// Like [`DesignScenario::solve_regular_peak`], but through the
+    /// fault-aware resilient path: returns the full [`FaultedSolution`],
+    /// whose [`vstack_sparse::SolveReport`] records any escalation-ladder
+    /// fallback the solve needed, and optionally open-circuits `faults`.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::Disconnected`] if `faults` isolate part of the grid;
+    /// [`PdnError::Solve`] if the escalation ladder is exhausted.
+    pub fn solve_regular_peak_reported(
+        &self,
+        faults: &FaultSet,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.regular_pdn()
+            .solve_faulted(&self.peak_loads(), faults, None)
+    }
+
+    /// Like [`DesignScenario::solve_voltage_stacked`], but through the
+    /// fault-aware resilient path (see
+    /// [`DesignScenario::solve_regular_peak_reported`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DesignScenario::solve_regular_peak_reported`].
+    pub fn solve_voltage_stacked_reported(
+        &self,
+        imbalance: f64,
+        faults: &FaultSet,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.voltage_stacked_pdn()
+            .solve_faulted(&self.interleaved_loads(imbalance), faults, None)
+    }
+
     /// Total silicon-area overhead fraction of this scenario's V-S PDN on
     /// one core: TSV keep-out zones plus converter area (with high-density
     /// capacitors). The paper's equal-area argument: V-S with Few TSVs and
@@ -190,6 +225,21 @@ mod tests {
         assert!(
             (vs - dense).abs() / dense < 0.35,
             "V-S(Few, 8/core) {vs:.3} vs Dense {dense:.3}"
+        );
+    }
+
+    #[test]
+    fn reported_solve_matches_plain_solve_and_is_unrescued() {
+        let s = DesignScenario::paper_baseline().layers(2).coarse_grid();
+        let plain = s.solve_voltage_stacked(0.4).unwrap();
+        let reported = s
+            .solve_voltage_stacked_reported(0.4, &FaultSet::new())
+            .unwrap();
+        assert!((plain.max_ir_drop_frac - reported.solution.max_ir_drop_frac).abs() < 1e-12);
+        assert!(
+            !reported.report.was_rescued(),
+            "{}",
+            reported.report.trail()
         );
     }
 

@@ -1,0 +1,109 @@
+//! Structured errors for PDN assembly and solving.
+
+use vstack_sparse::SolveError;
+
+/// Error returned by the fault-aware PDN solve paths.
+///
+/// The interesting variant is [`PdnError::Disconnected`]: once enough C4
+/// pads or TSVs have been open-circuited, part of the grid loses every
+/// path to a board rail. The conductance matrix is then singular and an
+/// unguarded iterative solve would fail with an opaque
+/// [`SolveError::Breakdown`] (or, worse, "converge" to garbage). The
+/// fault-aware paths detect the floating subgrid structurally — by
+/// breadth-first search from the rail-tied nodes — **before** solving, and
+/// report it as a first-class outcome, which is what the wearout
+/// experiment treats as end-of-life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdnError {
+    /// Part of the network has no conductive path to any board rail.
+    Disconnected {
+        /// How many unknown nodes are floating.
+        floating_nodes: usize,
+        /// One floating node's flat unknown index (for diagnostics).
+        example_node: usize,
+    },
+    /// The underlying sparse solve failed even after the escalation
+    /// ladder of [`vstack_sparse::solve_robust`].
+    Solve(SolveError),
+}
+
+impl core::fmt::Display for PdnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PdnError::Disconnected {
+                floating_nodes,
+                example_node,
+            } => write!(
+                f,
+                "pdn is disconnected: {floating_nodes} node(s) have no path \
+                 to any board rail (e.g. unknown {example_node})"
+            ),
+            PdnError::Solve(e) => write!(f, "pdn solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PdnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdnError::Solve(e) => Some(e),
+            PdnError::Disconnected { .. } => None,
+        }
+    }
+}
+
+impl From<SolveError> for PdnError {
+    fn from(e: SolveError) -> Self {
+        PdnError::Solve(e)
+    }
+}
+
+impl PdnError {
+    /// Lossy conversion for the legacy [`SolveError`]-returning solve
+    /// entry points: a structurally disconnected network is reported the
+    /// way it historically surfaced — as a solve that cannot converge.
+    pub fn into_solve_error(self) -> SolveError {
+        match self {
+            PdnError::Solve(e) => e,
+            PdnError::Disconnected { .. } => SolveError::NotConverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_floating_count() {
+        let e = PdnError::Disconnected {
+            floating_nodes: 42,
+            example_node: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("disconnected"), "{s}");
+    }
+
+    #[test]
+    fn from_solve_error_round_trips() {
+        let inner = SolveError::Breakdown { iterations: 3 };
+        let e = PdnError::from(inner.clone());
+        assert_eq!(e.clone().into_solve_error(), inner);
+        assert!(e.to_string().contains("solve failed"));
+    }
+
+    #[test]
+    fn disconnected_maps_to_not_converged() {
+        let e = PdnError::Disconnected {
+            floating_nodes: 1,
+            example_node: 0,
+        };
+        match e.into_solve_error() {
+            SolveError::NotConverged { residual, .. } => assert!(residual.is_infinite()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

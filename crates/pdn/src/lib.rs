@@ -42,6 +42,8 @@
 #![warn(missing_docs)]
 
 pub mod c4;
+pub mod error;
+pub mod fault;
 pub mod network;
 pub mod params;
 pub mod regular;
@@ -51,6 +53,8 @@ pub mod transient;
 pub mod tsv;
 pub mod vstacked;
 
+pub use error::PdnError;
+pub use fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
 pub use params::PdnParams;
 pub use regular::RegularPdn;
 pub use solution::{ConductorCurrents, PdnSolution};

@@ -1,9 +1,12 @@
-//! Electrical-network assembly: grid geometry, SPD stamping and the CG
-//! solve shared by the regular and voltage-stacked topologies.
+//! Electrical-network assembly: grid geometry, SPD stamping and the
+//! resilient solve path shared by the regular and voltage-stacked
+//! topologies.
 
-use vstack_sparse::solver::{cg_with_guess, CgOptions};
-use vstack_sparse::{SolveError, TripletMatrix};
+use vstack_sparse::{
+    solve_robust, CsrMatrix, RobustOptions, SolveError, SolveReport, TripletMatrix,
+};
 
+use crate::error::PdnError;
 use crate::params::PdnParams;
 
 /// Geometry of one on-chip power grid (one metal net on one layer).
@@ -73,6 +76,10 @@ impl GridSpec {
 pub struct NetworkBuilder {
     matrix: TripletMatrix,
     rhs: Vec<f64>,
+    /// Nodes tied to an external rail via [`NetworkBuilder::conductance_to_rail`]
+    /// — the Dirichlet anchors every other node must reach for the system
+    /// to be non-singular.
+    rail_nodes: Vec<bool>,
 }
 
 impl NetworkBuilder {
@@ -81,6 +88,7 @@ impl NetworkBuilder {
         NetworkBuilder {
             matrix: TripletMatrix::with_capacity(n, n, 8 * n),
             rhs: vec![0.0; n],
+            rail_nodes: vec![false; n],
         }
     }
 
@@ -115,6 +123,7 @@ impl NetworkBuilder {
         assert!(g.is_finite() && g > 0.0, "conductance must be positive");
         self.matrix.stamp_conductance(Some(a), None, g);
         self.rhs[a] += g * v_rail;
+        self.rail_nodes[a] = true;
     }
 
     /// Injects `amps` into node `a` (negative extracts).
@@ -203,20 +212,100 @@ impl NetworkBuilder {
         }
     }
 
-    /// Solves the assembled system with preconditioned CG.
+    /// Solves the assembled system through the escalation ladder,
+    /// discarding the [`SolveReport`].
     ///
     /// # Errors
     ///
-    /// Propagates [`SolveError`] from the solver (non-convergence means the
-    /// network was left floating somewhere — a construction bug).
+    /// Propagates [`SolveError`] from the solver. A structurally
+    /// disconnected network (possible after fault injection) surfaces as
+    /// [`SolveError::NotConverged`] here; use
+    /// [`NetworkBuilder::solve_reported`] to receive the structured
+    /// [`PdnError::Disconnected`] instead.
     pub fn solve(&self, guess: Option<&[f64]>) -> Result<Vec<f64>, SolveError> {
+        self.solve_reported(guess)
+            .map(|(v, _)| v)
+            .map_err(PdnError::into_solve_error)
+    }
+
+    /// Solves the assembled system and reports how.
+    ///
+    /// Two robustness layers sit in front of the numerics:
+    ///
+    /// 1. A structural connectivity check — breadth-first search from the
+    ///    rail-tied nodes over the matrix sparsity pattern — rejects
+    ///    floating subgrids with [`PdnError::Disconnected`] *before* an
+    ///    iterative solver can break down on the singular system.
+    /// 2. The solve itself runs through [`solve_robust`]'s deterministic
+    ///    escalation ladder; the returned [`SolveReport`] records which
+    ///    method finally succeeded and every fallback taken on the way.
+    ///
+    /// The ladder starts at CG+Jacobi (not IC(0)): PDN grid Laplacians are
+    /// diagonally dominant enough that Jacobi converges reliably, and
+    /// skipping the up-front factorization keeps the healthy path as fast
+    /// as the historical plain-CG solve.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::Disconnected`] for floating subgrids, otherwise any
+    /// [`SolveError`] the exhausted ladder reports.
+    pub fn solve_reported(
+        &self,
+        guess: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, SolveReport), PdnError> {
         let a = self.matrix.to_csr();
-        let opts = CgOptions {
+        if let Some((floating_nodes, example_node)) = self.floating_nodes(&a) {
+            return Err(PdnError::Disconnected {
+                floating_nodes,
+                example_node,
+            });
+        }
+        let opts = RobustOptions {
             tolerance: 1e-9,
             max_iterations: 50_000,
-            ..CgOptions::default()
+            start_with_ic: false,
+            ..RobustOptions::default()
         };
-        Ok(cg_with_guess(&a, &self.rhs, guess, &opts)?.x)
+        let solved = solve_robust(&a, &self.rhs, guess, &opts)?;
+        Ok((solved.x, solved.report))
+    }
+
+    /// Finds nodes with no conductive path to any rail-tied node.
+    ///
+    /// Returns `Some((count, example))` if the network is disconnected,
+    /// `None` if every node reaches a rail. Runs a BFS over the structural
+    /// nonzeros of `a`, which is symmetric for every stamp kind this
+    /// builder produces (conductances and rank-1 converter outer products).
+    fn floating_nodes(&self, a: &CsrMatrix) -> Option<(usize, usize)> {
+        let n = self.rhs.len();
+        let mut reached = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for (node, &tied) in self.rail_nodes.iter().enumerate() {
+            if tied {
+                reached[node] = true;
+                queue.push(node);
+            }
+        }
+        while let Some(node) = queue.pop() {
+            let (cols, vals) = a.row(node);
+            for (&col, &val) in cols.iter().zip(vals) {
+                if val != 0.0 && !reached[col] {
+                    reached[col] = true;
+                    queue.push(col);
+                }
+            }
+        }
+        let mut floating = 0usize;
+        let mut example = 0usize;
+        for (node, &ok) in reached.iter().enumerate() {
+            if !ok {
+                if floating == 0 {
+                    example = node;
+                }
+                floating += 1;
+            }
+        }
+        (floating > 0).then_some((floating, example))
     }
 
     /// Finalizes the conductance matrix (CSR). Used by the transient
@@ -383,6 +472,70 @@ mod tests {
         let g = GridSpec::from_params(&p);
         assert_eq!(g.nearest(-5.0, -5.0), (0, 0));
         assert_eq!(g.nearest(1e9, 1e9), (g.nx - 1, g.ny - 1));
+    }
+
+    #[test]
+    fn healthy_solve_reports_first_rung() {
+        let mut nb = NetworkBuilder::new(2);
+        nb.conductance_to_rail(0, 1.0, 1.0);
+        nb.conductance(0, 1, 1.0);
+        nb.conductance_to_rail(1, 1.0, 0.0);
+        let (v, report) = nb.solve_reported(None).unwrap();
+        assert!((v[0] - 2.0 / 3.0).abs() < 1e-8);
+        assert!(!report.was_rescued(), "trail: {}", report.trail());
+    }
+
+    #[test]
+    fn floating_subgrid_is_detected_before_solving() {
+        // Nodes 0–1 tied to a rail; nodes 2–3 only connected to each other.
+        let mut nb = NetworkBuilder::new(4);
+        nb.conductance_to_rail(0, 1.0, 1.0);
+        nb.conductance(0, 1, 1.0);
+        nb.conductance(2, 3, 1.0);
+        let err = nb.solve_reported(None).unwrap_err();
+        match err {
+            crate::error::PdnError::Disconnected {
+                floating_nodes,
+                example_node,
+            } => {
+                assert_eq!(floating_nodes, 2);
+                assert_eq!(example_node, 2);
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // The legacy entry point degrades it to a SolveError, not a panic.
+        let legacy = nb.solve(None).unwrap_err();
+        assert!(matches!(
+            legacy,
+            vstack_sparse::SolveError::NotConverged { .. }
+        ));
+    }
+
+    #[test]
+    fn fully_floating_network_is_disconnected() {
+        let mut nb = NetworkBuilder::new(2);
+        nb.conductance(0, 1, 1.0);
+        let err = nb.solve_reported(None).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::PdnError::Disconnected {
+                floating_nodes: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn converter_stamp_counts_as_connectivity() {
+        // Node 0 has no ordinary conductance anywhere: it reaches the
+        // rail-tied nodes 1 and 2 only through the rank-1 converter stamp,
+        // which must register structurally in the BFS.
+        let mut nb = NetworkBuilder::new(3);
+        nb.conductance_to_rail(1, 1e3, 2.0);
+        nb.conductance_to_rail(2, 1e3, 0.0);
+        nb.converter(0, 1, 2, 1.0);
+        let (v, _) = nb.solve_reported(None).unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-6, "converter midpoint: {}", v[0]);
     }
 
     #[test]

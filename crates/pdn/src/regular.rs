@@ -7,9 +7,11 @@
 //! lifetime collapses as layers are added (paper §5.1).
 
 use vstack_power::floorplan::Floorplan;
-use vstack_sparse::SolveError;
+use vstack_sparse::{SolveError, SolveReport};
 
 use crate::c4::{C4Array, PadNet};
+use crate::error::PdnError;
+use crate::fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
 use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder};
 use crate::params::PdnParams;
 use crate::solution::{ConductorCurrents, PdnSolution};
@@ -17,11 +19,12 @@ use crate::stack::StackLoads;
 use crate::tsv::TsvTopology;
 
 /// Output of the assembly phase: the stamped network plus extraction
-/// handles.
+/// handles. Pads carry their ordinal among power pads of the same net so
+/// fault injection and extraction agree on identity across solves.
 struct AssembledReg {
     nb: NetworkBuilder,
-    vdd_pad_nodes: Vec<usize>,
-    gnd_pad_nodes: Vec<usize>,
+    vdd_pads: Vec<(usize, usize)>,
+    gnd_pads: Vec<(usize, usize)>,
     g_pad: f64,
 }
 
@@ -106,20 +109,58 @@ impl RegularPdn {
     ///
     /// # Errors
     ///
-    /// Returns [`SolveError`] if the CG solve fails (should not happen for
+    /// Returns [`SolveError`] if the solve fails (should not happen for
     /// well-formed networks).
     ///
     /// # Panics
     ///
     /// Panics if `loads` does not match this PDN's layer/core counts.
     pub fn solve(&self, loads: &StackLoads) -> Result<PdnSolution, SolveError> {
-        let asm = self.assemble(loads);
-        let v = asm.nb.solve(None)?;
-        self.extract(loads, &v, &asm)
+        self.solve_faulted(loads, &FaultSet::new(), None)
+            .map(|f| f.solution)
+            .map_err(PdnError::into_solve_error)
     }
 
-    /// Assembles the full SPD network for one load scenario.
-    fn assemble(&self, loads: &StackLoads) -> AssembledReg {
+    /// Solves the network with the conductors in `faults` open-circuited,
+    /// optionally warm-starting from a previous solution's
+    /// [`FaultedSolution::voltages`].
+    ///
+    /// The dead pads and TSVs are removed at stamping time — the surviving
+    /// network is re-assembled, checked for floating subgrids, and solved
+    /// through the [`vstack_sparse::solve_robust`] escalation ladder. The
+    /// result carries per-pad and per-TSV-bundle identity so a wearout
+    /// loop can pick its next victims deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::Disconnected`] once the injected faults isolate part of
+    /// the grid from every board rail; [`PdnError::Solve`] if the
+    /// escalation ladder is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+    ) -> Result<FaultedSolution, PdnError> {
+        let asm = self.assemble(loads, faults);
+        let (v, report) = asm.nb.solve_reported(guess)?;
+        Ok(self.extract(loads, v, &asm, faults, report))
+    }
+
+    /// Surviving supply-net TSVs of the `(interface, core)` bundle.
+    fn alive_vdd_tsvs(&self, faults: &FaultSet, interface: usize, core: usize) -> f64 {
+        self.topology
+            .vdd_tsvs_per_core()
+            .saturating_sub(faults.failed_tsv_count(interface, core)) as f64
+    }
+
+    /// Assembles the full SPD network for one load scenario, skipping the
+    /// conductors open-circuited by `faults`.
+    fn assemble(&self, loads: &StackLoads, faults: &FaultSet) -> AssembledReg {
         assert_eq!(loads.n_layers(), self.n_layers, "layer count mismatch");
         assert_eq!(
             loads.cores_per_layer(),
@@ -139,33 +180,48 @@ impl RegularPdn {
         }
 
         // C4 pads feed the bottom layer through pad + package resistance.
+        // Failed pads are simply not stamped: an open circuit contributes
+        // nothing to the nodal system.
         let g_pad = 1.0 / (self.params.c4_resistance_ohm + self.params.package_r_per_pad_ohm);
-        let mut vdd_pad_nodes = Vec::new();
-        let mut gnd_pad_nodes = Vec::new();
+        let mut vdd_pads = Vec::new();
+        let mut gnd_pads = Vec::new();
+        let (mut vdd_ord, mut gnd_ord) = (0usize, 0usize);
         for pad in self.c4.pads() {
             let (i, j) = self.grid.nearest(pad.x_mm, pad.y_mm);
             let n = self.grid.index(i, j);
             match pad.net {
                 PadNet::Vdd => {
-                    let node = self.node(0, 0, n);
-                    nb.conductance_to_rail(node, g_pad, self.params.vdd);
-                    vdd_pad_nodes.push(node);
+                    if !faults.vdd_pad_failed(vdd_ord) {
+                        let node = self.node(0, 0, n);
+                        nb.conductance_to_rail(node, g_pad, self.params.vdd);
+                        vdd_pads.push((vdd_ord, node));
+                    }
+                    vdd_ord += 1;
                 }
                 PadNet::Gnd => {
-                    let node = self.node(0, 1, n);
-                    nb.conductance_to_rail(node, g_pad, 0.0);
-                    gnd_pad_nodes.push(node);
+                    if !faults.gnd_pad_failed(gnd_ord) {
+                        let node = self.node(0, 1, n);
+                        nb.conductance_to_rail(node, g_pad, 0.0);
+                        gnd_pads.push((gnd_ord, node));
+                    }
+                    gnd_ord += 1;
                 }
                 PadNet::Io => {}
             }
         }
 
         // TSVs between adjacent layers: per-core counts lumped onto the
-        // core's grid nodes, half on each net.
+        // core's grid nodes, half on each net. Fault counts shrink the
+        // surviving bundle (symmetrically on both nets); a fully failed
+        // bundle stamps nothing.
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
         for layer in 0..self.n_layers.saturating_sub(1) {
-            for nodes in &self.core_nodes {
-                let per_node = self.topology.vdd_tsvs_per_core() as f64 / nodes.len() as f64;
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                let alive = self.alive_vdd_tsvs(faults, layer, core);
+                if alive == 0.0 {
+                    continue;
+                }
+                let per_node = alive / nodes.len() as f64;
                 for &n in nodes {
                     for net in 0..2 {
                         let lo = self.node(layer, net, n);
@@ -191,8 +247,8 @@ impl RegularPdn {
 
         AssembledReg {
             nb,
-            vdd_pad_nodes,
-            gnd_pad_nodes,
+            vdd_pads,
+            gnd_pads,
             g_pad,
         }
     }
@@ -201,12 +257,13 @@ impl RegularPdn {
     fn extract(
         &self,
         loads: &StackLoads,
-        v: &[f64],
+        v: Vec<f64>,
         asm: &AssembledReg,
-    ) -> Result<PdnSolution, SolveError> {
+        faults: &FaultSet,
+        report: SolveReport,
+    ) -> FaultedSolution {
         let g_pad = asm.g_pad;
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
-        let (vdd_pad_nodes, gnd_pad_nodes) = (&asm.vdd_pad_nodes, &asm.gnd_pad_nodes);
 
         // --- Metrics ---
         let vdd_nom = self.params.vdd;
@@ -238,23 +295,35 @@ impl RegularPdn {
         }
 
         let mut vdd_c4 = ConductorCurrents::new();
+        let mut vdd_pad_currents = Vec::with_capacity(asm.vdd_pads.len());
         let mut p_input = 0.0;
-        for &node in vdd_pad_nodes {
+        for &(ord, node) in &asm.vdd_pads {
             let i = g_pad * (vdd_nom - v[node]);
             vdd_c4.push(i, 1.0);
+            vdd_pad_currents.push((ord, i));
             p_input += i * vdd_nom;
         }
         let mut gnd_c4 = ConductorCurrents::new();
-        for &node in gnd_pad_nodes {
-            gnd_c4.push(g_pad * v[node], 1.0);
+        let mut gnd_pad_currents = Vec::with_capacity(asm.gnd_pads.len());
+        for &(ord, node) in &asm.gnd_pads {
+            let i = g_pad * v[node];
+            gnd_c4.push(i, 1.0);
+            gnd_pad_currents.push((ord, i));
         }
 
         // TSV EM currents: per (interface, core, net) totals distributed
-        // by the crowding model (grid-refinement independent).
+        // by the crowding model (grid-refinement independent). Fully
+        // failed bundles carry nothing and are omitted.
         let mut tsv = ConductorCurrents::new();
+        let mut tsv_groups = Vec::new();
         for layer in 0..self.n_layers.saturating_sub(1) {
-            for nodes in &self.core_nodes {
-                let per_node = self.topology.vdd_tsvs_per_core() as f64 / nodes.len() as f64;
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                let alive = self.alive_vdd_tsvs(faults, layer, core);
+                if alive == 0.0 {
+                    continue;
+                }
+                let per_node = alive / nodes.len() as f64;
+                let mut worst_per_tsv = 0.0f64;
                 for net in 0..2 {
                     let mut i_core = 0.0;
                     for &gn in nodes {
@@ -264,28 +333,42 @@ impl RegularPdn {
                     }
                     tsv.push_crowded(
                         i_core,
-                        self.topology.vdd_tsvs_per_core() as f64,
+                        alive,
                         self.params.tsv_hot_conductors_per_core,
                         self.params.tsv_crowding_spread,
                     );
+                    worst_per_tsv = worst_per_tsv.max(i_core / alive);
                 }
+                tsv_groups.push(TsvGroupCurrent {
+                    interface: layer,
+                    core,
+                    current_per_tsv_a: worst_per_tsv,
+                    alive,
+                });
             }
         }
 
-        Ok(PdnSolution {
-            max_ir_drop_frac: max_drop,
-            mean_ir_drop_frac: drop_sum / drop_count as f64,
-            worst_layer,
-            per_layer_max_drop,
-            vdd_c4,
-            gnd_c4,
-            tsv,
-            converter_currents: Vec::new(),
-            overloaded_converters: 0,
-            p_loads_w: p_loads,
-            p_input_w: p_input,
-            p_parasitic_w: 0.0,
-        })
+        FaultedSolution {
+            solution: PdnSolution {
+                max_ir_drop_frac: max_drop,
+                mean_ir_drop_frac: drop_sum / drop_count as f64,
+                worst_layer,
+                per_layer_max_drop,
+                vdd_c4,
+                gnd_c4,
+                tsv,
+                converter_currents: Vec::new(),
+                overloaded_converters: 0,
+                p_loads_w: p_loads,
+                p_input_w: p_input,
+                p_parasitic_w: 0.0,
+            },
+            report,
+            voltages: v,
+            vdd_pad_currents,
+            gnd_pad_currents,
+            tsv_groups,
+        }
     }
 
     /// Backward-Euler step response of the regular PDN: DC under `before`,
@@ -313,9 +396,10 @@ impl RegularPdn {
             config.decap_per_core_f.is_finite() && config.decap_per_core_f > 0.0,
             "decap must be positive"
         );
-        let v0 = self.assemble(before).nb.solve(None)?;
+        let no_faults = FaultSet::new();
+        let v0 = self.assemble(before, &no_faults).nb.solve(None)?;
 
-        let mut asm = self.assemble(after);
+        let mut asm = self.assemble(after, &no_faults);
         let mut decap_pairs: Vec<(usize, usize, f64)> = Vec::new();
         for layer in 0..self.n_layers {
             for nodes in &self.core_nodes {
@@ -521,6 +605,115 @@ mod tests {
         assert_ne!(sol_b.max_ir_drop_frac, sol_u.max_ir_drop_frac);
         let ratio = sol_b.max_ir_drop_frac / sol_u.max_ir_drop_frac;
         assert!((0.6..1.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn killed_pad_shifts_current_to_survivors() {
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 2, TsvTopology::Sparse, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 2);
+        let healthy = pdn.solve_faulted(&loads, &FaultSet::new(), None).unwrap();
+        // Kill the supply pad carrying the most current.
+        let &(victim, _) = healthy
+            .vdd_pad_currents
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_vdd_pad(victim);
+        let wounded = pdn
+            .solve_faulted(&loads, &faults, Some(&healthy.voltages))
+            .unwrap();
+        assert_eq!(
+            wounded.vdd_pad_currents.len(),
+            healthy.vdd_pad_currents.len() - 1
+        );
+        assert!(!wounded.vdd_pad_currents.iter().any(|&(o, _)| o == victim));
+        // The load current is conserved: survivors pick up the slack.
+        let sum = |c: &[(usize, f64)]| c.iter().map(|&(_, i)| i).sum::<f64>();
+        let (i_h, i_w) = (
+            sum(&healthy.vdd_pad_currents),
+            sum(&wounded.vdd_pad_currents),
+        );
+        assert!((i_h - i_w).abs() / i_h < 1e-3, "{i_h} vs {i_w}");
+        assert!(wounded.solution.max_ir_drop_frac >= healthy.solution.max_ir_drop_frac);
+    }
+
+    #[test]
+    fn killing_every_vdd_pad_is_disconnected_not_a_panic() {
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 1, TsvTopology::Sparse, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 1);
+        let mut faults = FaultSet::new();
+        for ord in 0..pdn.c4().vdd_count() {
+            faults.fail_vdd_pad(ord);
+        }
+        let err = pdn.solve_faulted(&loads, &faults, None).unwrap_err();
+        match err {
+            crate::error::PdnError::Disconnected { floating_nodes, .. } => {
+                // The whole supply net floats; the ground net stays tied.
+                assert_eq!(floating_nodes, pdn.grid().count());
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn severed_interface_disconnects_upper_layers() {
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 2, TsvTopology::Few, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 2);
+        let mut faults = FaultSet::new();
+        for core in 0..p.floorplan().core_count() {
+            faults.fail_tsvs(0, core, TsvTopology::Few.vdd_tsvs_per_core());
+        }
+        let err = pdn.solve_faulted(&loads, &faults, None).unwrap_err();
+        match err {
+            crate::error::PdnError::Disconnected { floating_nodes, .. } => {
+                // Layer 1's supply and ground nets both float.
+                assert_eq!(floating_nodes, 2 * pdn.grid().count());
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tsv_fault_shrinks_the_bundle_and_raises_stress() {
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 2, TsvTopology::Few, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 2);
+        let healthy = pdn.solve_faulted(&loads, &FaultSet::new(), None).unwrap();
+        let mut faults = FaultSet::new();
+        // Kill 80% of interface 0 / core 0's TSVs.
+        let n_kill = TsvTopology::Few.vdd_tsvs_per_core() * 4 / 5;
+        faults.fail_tsvs(0, 0, n_kill);
+        let wounded = pdn.solve_faulted(&loads, &faults, None).unwrap();
+        let group = |f: &FaultedSolution| {
+            *f.tsv_groups
+                .iter()
+                .find(|g| g.interface == 0 && g.core == 0)
+                .unwrap()
+        };
+        let (gh, gw) = (group(&healthy), group(&wounded));
+        assert_eq!(gw.alive, gh.alive - n_kill as f64);
+        assert!(
+            gw.current_per_tsv_a > gh.current_per_tsv_a,
+            "survivors must run hotter: {} vs {}",
+            gw.current_per_tsv_a,
+            gh.current_per_tsv_a
+        );
+    }
+
+    #[test]
+    fn empty_fault_set_matches_plain_solve() {
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 2, TsvTopology::Sparse, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 2);
+        let plain = pdn.solve(&loads).unwrap();
+        let faulted = pdn.solve_faulted(&loads, &FaultSet::new(), None).unwrap();
+        assert!((plain.max_ir_drop_frac - faulted.solution.max_ir_drop_frac).abs() < 1e-12);
+        assert!(!faulted.report.was_rescued());
+        assert_eq!(faulted.voltages.len(), 2 * 2 * pdn.grid().count());
     }
 
     #[test]

@@ -16,6 +16,8 @@ use vstack_sc::compact::ScConverter;
 use vstack_sparse::SolveError;
 
 use crate::c4::{C4Array, PadNet};
+use crate::error::PdnError;
+use crate::fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
 use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder};
 use crate::params::PdnParams;
 use crate::solution::{ConductorCurrents, PdnSolution};
@@ -45,11 +47,13 @@ pub enum ConverterReference {
 }
 
 /// Output of the assembly phase: the stamped network plus the handles the
-/// extraction and transient phases need.
+/// extraction and transient phases need. Pads carry their ordinal among
+/// power pads of the same net so fault injection and extraction agree on
+/// identity across solves.
 struct AssembledVs {
     nb: NetworkBuilder,
-    vdd_pad_nodes: Vec<usize>,
-    gnd_pad_nodes: Vec<usize>,
+    vdd_pads: Vec<(usize, usize)>,
+    gnd_pads: Vec<(usize, usize)>,
     g_via_stack: f64,
     g_gnd_pad: f64,
     v_supply: f64,
@@ -177,14 +181,46 @@ impl VstackPdn {
     ///
     /// Panics if `loads` does not match this PDN's layer/core counts.
     pub fn solve(&self, loads: &StackLoads) -> Result<PdnSolution, SolveError> {
+        self.solve_faulted(loads, &FaultSet::new(), None)
+            .map(|f| f.solution)
+            .map_err(PdnError::into_solve_error)
+    }
+
+    /// Solves the stacked network with the conductors in `faults`
+    /// open-circuited, optionally warm-starting from a previous solution's
+    /// [`FaultedSolution::voltages`].
+    ///
+    /// A failed supply pad takes its entire through-via stack with it (the
+    /// pad and its dedicated TSV column form one series path); interface
+    /// TSV faults shrink the surviving `(interface, core)` bundle.
+    /// Closed-loop converters run the damped Picard iteration with the
+    /// faults applied at every inner solve.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::Disconnected`] once the faults isolate part of the grid
+    /// from every board rail; [`PdnError::Solve`] if the escalation ladder
+    /// is exhausted or the Picard iteration does not settle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+    ) -> Result<FaultedSolution, PdnError> {
         match self.converter.control {
             vstack_sc::ControlPolicy::OpenLoop => {
                 let sites = self.converter_sites();
                 let g = vec![1.0 / self.converter.r_series(self.converter.f_nom); sites.len()];
                 let f = vec![self.converter.f_nom; sites.len()];
-                self.solve_with_conductances(loads, &sites, &g, &f)
+                self.solve_with_conductances(loads, &sites, &g, &f, faults, guess)
             }
-            vstack_sc::ControlPolicy::ClosedLoop { .. } => Ok(self.solve_closed_loop(loads)?.0),
+            vstack_sc::ControlPolicy::ClosedLoop { .. } => {
+                Ok(self.solve_closed_loop_faulted(loads, faults, guess)?.0)
+            }
         }
     }
 
@@ -209,13 +245,35 @@ impl VstackPdn {
         &self,
         loads: &StackLoads,
     ) -> Result<(PdnSolution, usize), SolveError> {
+        self.solve_closed_loop_faulted(loads, &FaultSet::new(), None)
+            .map(|(f, it)| (f.solution, it))
+            .map_err(PdnError::into_solve_error)
+    }
+
+    /// Fault-aware closed-loop solve: the Picard iteration of
+    /// [`VstackPdn::solve_closed_loop`] with `faults` applied at every
+    /// inner solve, each warm-started from the previous iterate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VstackPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_closed_loop_faulted(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+    ) -> Result<(FaultedSolution, usize), PdnError> {
         let sites = self.converter_sites();
         let mut f: Vec<f64> = vec![self.converter.f_nom; sites.len()];
         let mut g: Vec<f64> = f
             .iter()
             .map(|&fi| 1.0 / self.converter.r_series(fi))
             .collect();
-        let mut last = self.solve_with_conductances(loads, &sites, &g, &f)?;
+        let mut last = self.solve_with_conductances(loads, &sites, &g, &f, faults, guess)?;
         // The k cells within one core on one rail are phases of a single
         // interleaved converter sharing one controller clock, so frequency
         // feedback acts on the group-average current. (Per-cell feedback
@@ -227,7 +285,7 @@ impl VstackPdn {
         // a slow drift mode that the outputs are insensitive to.
         let group = self.converters_per_core;
         for iteration in 1..=50 {
-            for (gidx, currents) in last.converter_currents.chunks(group).enumerate() {
+            for (gidx, currents) in last.solution.converter_currents.chunks(group).enumerate() {
                 let i_mean = currents.iter().map(|i| i.abs()).sum::<f64>() / currents.len() as f64;
                 let f_new = self.converter.control.frequency(
                     self.converter.f_nom,
@@ -241,19 +299,21 @@ impl VstackPdn {
                     g[k] = 1.0 / self.converter.r_series(f[k]);
                 }
             }
-            let next = self.solve_with_conductances(loads, &sites, &g, &f)?;
-            let drop_change = (next.max_ir_drop_frac - last.max_ir_drop_frac).abs();
-            let par_change = (next.p_parasitic_w - last.p_parasitic_w).abs()
-                / last.p_parasitic_w.max(f64::MIN_POSITIVE);
+            let next =
+                self.solve_with_conductances(loads, &sites, &g, &f, faults, Some(&last.voltages))?;
+            let drop_change =
+                (next.solution.max_ir_drop_frac - last.solution.max_ir_drop_frac).abs();
+            let par_change = (next.solution.p_parasitic_w - last.solution.p_parasitic_w).abs()
+                / last.solution.p_parasitic_w.max(f64::MIN_POSITIVE);
             last = next;
             if drop_change < 1e-5 && par_change < 1e-3 {
                 return Ok((last, iteration));
             }
         }
-        Err(SolveError::NotConverged {
+        Err(PdnError::Solve(SolveError::NotConverged {
             iterations: 50,
             residual: f64::NAN,
-        })
+        }))
     }
 
     /// The placed converter cells: `(out, top, bottom, alpha)` node
@@ -324,14 +384,15 @@ impl VstackPdn {
         let g_conv = vec![1.0 / self.converter.r_series(self.converter.f_nom); sites.len()];
 
         // Initial state: DC under the pre-step loads.
+        let no_faults = FaultSet::new();
         let v0 = self
-            .assemble_with_conductances(before, &sites, &g_conv)
+            .assemble_with_conductances(before, &sites, &g_conv, &no_faults)
             .nb
             .solve(None)?;
 
         // Post-step system plus the backward-Euler decap companion
         // conductances C/Δt between each layer's local supply/return pair.
-        let mut asm = self.assemble_with_conductances(after, &sites, &g_conv);
+        let mut asm = self.assemble_with_conductances(after, &sites, &g_conv, &no_faults);
         let mut decap_pairs: Vec<(usize, usize, f64)> = Vec::new();
         for layer in 0..self.n_layers {
             for nodes in &self.core_nodes {
@@ -390,13 +451,22 @@ impl VstackPdn {
         max_drop
     }
 
+    /// Surviving TSVs of the `(interface, core)` bundle.
+    fn alive_tsvs(&self, faults: &FaultSet, interface: usize, core: usize) -> f64 {
+        self.topology
+            .tsvs_per_core()
+            .saturating_sub(faults.failed_tsv_count(interface, core)) as f64
+    }
+
     /// Assembles the full SPD network with explicit per-converter
-    /// conductances (parallel to [`VstackPdn::converter_sites`]).
+    /// conductances (parallel to [`VstackPdn::converter_sites`]), skipping
+    /// the conductors open-circuited by `faults`.
     fn assemble_with_conductances(
         &self,
         loads: &StackLoads,
         sites: &[(usize, usize, usize, f64)],
         conv_g: &[f64],
+        faults: &FaultSet,
     ) -> AssembledVs {
         assert_eq!(loads.n_layers(), self.n_layers, "layer count mismatch");
         assert_eq!(
@@ -427,32 +497,43 @@ impl VstackPdn {
             + self.params.package_r_per_pad_ohm
             + n as f64 * self.params.tsv_resistance_ohm;
         let g_via_stack = 1.0 / r_via_stack;
-        let mut vdd_pad_nodes = Vec::new();
-        let mut gnd_pad_nodes = Vec::new();
+        let mut vdd_pads = Vec::new();
+        let mut gnd_pads = Vec::new();
+        let (mut vdd_ord, mut gnd_ord) = (0usize, 0usize);
         for pad in self.c4.pads() {
             let (i, j) = self.grid.nearest(pad.x_mm, pad.y_mm);
             let gn = self.grid.index(i, j);
             match pad.net {
                 PadNet::Vdd => {
-                    let node = self.node(n - 1, 1, gn);
-                    nb.conductance_to_rail(node, g_via_stack, v_supply);
-                    vdd_pad_nodes.push(node);
+                    if !faults.vdd_pad_failed(vdd_ord) {
+                        let node = self.node(n - 1, 1, gn);
+                        nb.conductance_to_rail(node, g_via_stack, v_supply);
+                        vdd_pads.push((vdd_ord, node));
+                    }
+                    vdd_ord += 1;
                 }
                 PadNet::Gnd => {
-                    let node = self.node(0, 0, gn);
-                    nb.conductance_to_rail(node, g_gnd_pad, 0.0);
-                    gnd_pad_nodes.push(node);
+                    if !faults.gnd_pad_failed(gnd_ord) {
+                        let node = self.node(0, 0, gn);
+                        nb.conductance_to_rail(node, g_gnd_pad, 0.0);
+                        gnd_pads.push((gnd_ord, node));
+                    }
+                    gnd_ord += 1;
                 }
                 PadNet::Io => {}
             }
         }
 
         // Series TSVs: layer l's supply net and layer l+1's ground net
-        // share rail l+1; all of the topology's power TSVs connect them.
+        // share rail l+1; the bundle's surviving power TSVs connect them.
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
         for layer in 0..n - 1 {
-            for nodes in &self.core_nodes {
-                let per_node = self.topology.tsvs_per_core() as f64 / nodes.len() as f64;
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                let alive = self.alive_tsvs(faults, layer, core);
+                if alive == 0.0 {
+                    continue;
+                }
+                let per_node = alive / nodes.len() as f64;
                 for &gn in nodes {
                     let lo = self.node(layer, 1, gn);
                     let hi = self.node(layer + 1, 0, gn);
@@ -482,8 +563,8 @@ impl VstackPdn {
 
         AssembledVs {
             nb,
-            vdd_pad_nodes,
-            gnd_pad_nodes,
+            vdd_pads,
+            gnd_pads,
             g_via_stack,
             g_gnd_pad,
             v_supply,
@@ -492,22 +573,25 @@ impl VstackPdn {
 
     /// Assembles and solves the network with explicit per-converter
     /// conductances `conv_g` and switching frequencies `conv_f` (parallel
-    /// to [`VstackPdn::converter_sites`]).
+    /// to [`VstackPdn::converter_sites`]), with `faults` open-circuited
+    /// and an optional warm-start `guess`.
     fn solve_with_conductances(
         &self,
         loads: &StackLoads,
         sites: &[(usize, usize, usize, f64)],
         conv_g: &[f64],
         conv_f: &[f64],
-    ) -> Result<PdnSolution, SolveError> {
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+    ) -> Result<FaultedSolution, PdnError> {
         assert_eq!(sites.len(), conv_f.len(), "frequency count mismatch");
-        let asm = self.assemble_with_conductances(loads, sites, conv_g);
-        let v = asm.nb.solve(None)?;
+        let asm = self.assemble_with_conductances(loads, sites, conv_g, faults);
+        let (v, report) = asm.nb.solve_reported(guess)?;
         let n = self.n_layers;
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
         let AssembledVs {
-            vdd_pad_nodes,
-            gnd_pad_nodes,
+            vdd_pads,
+            gnd_pads,
             g_via_stack,
             g_gnd_pad,
             v_supply,
@@ -545,10 +629,12 @@ impl VstackPdn {
 
         let mut vdd_c4 = ConductorCurrents::new();
         let mut tsv = ConductorCurrents::new();
+        let mut vdd_pad_currents = Vec::with_capacity(vdd_pads.len());
         let mut p_input = 0.0;
-        for &node in &vdd_pad_nodes {
+        for &(ord, node) in &vdd_pads {
             let i = g_via_stack * (v_supply - v[node]);
             vdd_c4.push(i, 1.0);
+            vdd_pad_currents.push((ord, i));
             // The through-via stack adds N TSV segments per pad, all
             // carrying the pad current (paper §5.1: "we connect each Vdd C4
             // pad with only one TSV").
@@ -556,14 +642,23 @@ impl VstackPdn {
             p_input += i * v_supply;
         }
         let mut gnd_c4 = ConductorCurrents::new();
-        for &node in &gnd_pad_nodes {
-            gnd_c4.push(g_gnd_pad * v[node], 1.0);
+        let mut gnd_pad_currents = Vec::with_capacity(gnd_pads.len());
+        for &(ord, node) in &gnd_pads {
+            let i = g_gnd_pad * v[node];
+            gnd_c4.push(i, 1.0);
+            gnd_pad_currents.push((ord, i));
         }
         // Interface-TSV EM currents: per (interface, core) totals
         // distributed by the crowding model (grid-refinement independent).
+        // Fully failed bundles carry nothing and are omitted.
+        let mut tsv_groups = Vec::new();
         for layer in 0..n - 1 {
-            for nodes in &self.core_nodes {
-                let per_node = self.topology.tsvs_per_core() as f64 / nodes.len() as f64;
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                let alive = self.alive_tsvs(faults, layer, core);
+                if alive == 0.0 {
+                    continue;
+                }
+                let per_node = alive / nodes.len() as f64;
                 let mut i_core = 0.0;
                 for &gn in nodes {
                     let lo = self.node(layer, 1, gn);
@@ -572,10 +667,16 @@ impl VstackPdn {
                 }
                 tsv.push_crowded(
                     i_core,
-                    self.topology.tsvs_per_core() as f64,
+                    alive,
                     self.params.tsv_hot_conductors_per_core,
                     self.params.tsv_crowding_spread,
                 );
+                tsv_groups.push(TsvGroupCurrent {
+                    interface: layer,
+                    core,
+                    current_per_tsv_a: i_core / alive,
+                    alive,
+                });
             }
         }
 
@@ -595,19 +696,26 @@ impl VstackPdn {
             converter_currents.push(i_out);
         }
 
-        Ok(PdnSolution {
-            max_ir_drop_frac: max_drop,
-            mean_ir_drop_frac: drop_sum / drop_count as f64,
-            worst_layer,
-            per_layer_max_drop,
-            vdd_c4,
-            gnd_c4,
-            tsv,
-            converter_currents,
-            overloaded_converters: overloaded,
-            p_loads_w: p_loads,
-            p_input_w: p_input,
-            p_parasitic_w: p_par,
+        Ok(FaultedSolution {
+            solution: PdnSolution {
+                max_ir_drop_frac: max_drop,
+                mean_ir_drop_frac: drop_sum / drop_count as f64,
+                worst_layer,
+                per_layer_max_drop,
+                vdd_c4,
+                gnd_c4,
+                tsv,
+                converter_currents,
+                overloaded_converters: overloaded,
+                p_loads_w: p_loads,
+                p_input_w: p_input,
+                p_parasitic_w: p_par,
+            },
+            report,
+            voltages: v,
+            vdd_pad_currents,
+            gnd_pad_currents,
+            tsv_groups,
         })
     }
 }
@@ -871,5 +979,93 @@ mod tests {
     fn single_layer_stack_rejected() {
         let p = quick_params();
         vs_pdn(&p, 1, 4);
+    }
+
+    #[test]
+    fn killed_via_stack_shifts_current_to_survivors() {
+        let p = quick_params();
+        let pdn = vs_pdn(&p, 4, 4);
+        let loads = StackLoads::interleaved(&p, 4, &ImbalancePattern::new(0.2));
+        let healthy = pdn
+            .solve_faulted(&loads, &crate::fault::FaultSet::new(), None)
+            .unwrap();
+        let &(victim, _) = healthy
+            .vdd_pad_currents
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let mut faults = crate::fault::FaultSet::new();
+        faults.fail_vdd_pad(victim);
+        let wounded = pdn
+            .solve_faulted(&loads, &faults, Some(&healthy.voltages))
+            .unwrap();
+        assert_eq!(
+            wounded.vdd_pad_currents.len(),
+            healthy.vdd_pad_currents.len() - 1
+        );
+        let sum = |c: &[(usize, f64)]| c.iter().map(|&(_, i)| i).sum::<f64>();
+        let (i_h, i_w) = (
+            sum(&healthy.vdd_pad_currents),
+            sum(&wounded.vdd_pad_currents),
+        );
+        assert!((i_h - i_w).abs() / i_h < 1e-2, "{i_h} vs {i_w}");
+    }
+
+    #[test]
+    fn interface_tsv_faults_raise_survivor_stress() {
+        let p = quick_params();
+        let pdn = vs_pdn(&p, 4, 4);
+        let loads = StackLoads::interleaved(&p, 4, &ImbalancePattern::new(0.4));
+        let healthy = pdn
+            .solve_faulted(&loads, &crate::fault::FaultSet::new(), None)
+            .unwrap();
+        let mut faults = crate::fault::FaultSet::new();
+        let n_kill = TsvTopology::Few.tsvs_per_core() * 3 / 4;
+        faults.fail_tsvs(1, 0, n_kill);
+        let wounded = pdn.solve_faulted(&loads, &faults, None).unwrap();
+        let group = |f: &crate::fault::FaultedSolution| {
+            *f.tsv_groups
+                .iter()
+                .find(|g| g.interface == 1 && g.core == 0)
+                .unwrap()
+        };
+        let (gh, gw) = (group(&healthy), group(&wounded));
+        assert_eq!(gw.alive, gh.alive - n_kill as f64);
+        assert!(gw.current_per_tsv_a > gh.current_per_tsv_a);
+    }
+
+    #[test]
+    fn empty_fault_set_matches_plain_solve() {
+        let p = quick_params();
+        let pdn = vs_pdn(&p, 2, 4);
+        let loads = StackLoads::interleaved(&p, 2, &ImbalancePattern::new(0.3));
+        let plain = pdn.solve(&loads).unwrap();
+        let faulted = pdn
+            .solve_faulted(&loads, &crate::fault::FaultSet::new(), None)
+            .unwrap();
+        assert!((plain.max_ir_drop_frac - faulted.solution.max_ir_drop_frac).abs() < 1e-12);
+        assert!(!faulted.report.was_rescued(), "{}", faulted.report.trail());
+    }
+
+    #[test]
+    fn closed_loop_threads_faults() {
+        let p = quick_params();
+        let pdn = VstackPdn::new(
+            &p,
+            4,
+            TsvTopology::Few,
+            0.25,
+            ScConverter::paper_28nm_closed_loop(),
+            4,
+        );
+        let loads = StackLoads::interleaved(&p, 4, &ImbalancePattern::new(0.5));
+        let mut faults = crate::fault::FaultSet::new();
+        faults.fail_vdd_pad(0);
+        faults.fail_vdd_pad(1);
+        let (sol, iterations) = pdn
+            .solve_closed_loop_faulted(&loads, &faults, None)
+            .unwrap();
+        assert!((1..50).contains(&iterations));
+        assert!(!sol.vdd_pad_currents.iter().any(|&(o, _)| o < 2));
     }
 }

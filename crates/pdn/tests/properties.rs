@@ -2,7 +2,7 @@
 //! linearity that must hold for any load scenario.
 
 use proptest::prelude::*;
-use vstack_pdn::{PdnParams, RegularPdn, StackLoads, TsvTopology, VstackPdn};
+use vstack_pdn::{FaultSet, PdnError, PdnParams, RegularPdn, StackLoads, TsvTopology, VstackPdn};
 use vstack_sc::compact::ScConverter;
 
 fn quick_params() -> PdnParams {
@@ -105,6 +105,52 @@ proptest! {
         let s_flip = pdn.solve(&flipped).expect("solve flipped");
         let ratio = s_flip.max_ir_drop_frac / s_lo.max_ir_drop_frac;
         prop_assert!((0.5..2.0).contains(&ratio), "parity ratio {ratio}");
+    }
+
+    /// Open-circuiting any single pad of either net, on either topology,
+    /// never panics: the solve returns a finite solution (the survivors
+    /// pick up the current) or a clean [`PdnError::Disconnected`] — never
+    /// a solver breakdown leaking through.
+    #[test]
+    fn single_pad_fault_never_panics(
+        acts in activities(2),
+        victim in 0..1024usize,
+        vdd_side in 0..2usize,
+        stacked in 0..2usize,
+    ) {
+        let (vdd_side, stacked) = (vdd_side == 1, stacked == 1);
+        let p = quick_params();
+        let loads = StackLoads::from_activities(&p, &acts);
+        let mut faults = FaultSet::new();
+        let result = if stacked {
+            let pdn = VstackPdn::new(&p, 2, TsvTopology::Few, 0.25, ScConverter::paper_28nm(), 4);
+            if vdd_side {
+                faults.fail_vdd_pad(victim % pdn.c4().vdd_count());
+            } else {
+                faults.fail_gnd_pad(victim % pdn.c4().gnd_count());
+            }
+            pdn.solve_faulted(&loads, &faults, None)
+        } else {
+            let pdn = RegularPdn::new(&p, 2, TsvTopology::Few, 0.25);
+            if vdd_side {
+                faults.fail_vdd_pad(victim % pdn.c4().vdd_count());
+            } else {
+                faults.fail_gnd_pad(victim % pdn.c4().gnd_count());
+            }
+            pdn.solve_faulted(&loads, &faults, None)
+        };
+        match result {
+            Ok(sol) => {
+                prop_assert!(sol.solution.max_ir_drop_frac.is_finite());
+                prop_assert!(sol.voltages.iter().all(|v| v.is_finite()));
+            }
+            Err(PdnError::Disconnected { floating_nodes, .. }) => {
+                prop_assert!(floating_nodes > 0);
+            }
+            Err(PdnError::Solve(e)) => {
+                prop_assert!(false, "solver error leaked: {e}");
+            }
+        }
     }
 
     /// Balanced stacks stay quiet no matter the absolute load level.

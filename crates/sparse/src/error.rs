@@ -43,6 +43,34 @@ pub enum SolveError {
         /// Iteration at which breakdown occurred.
         iterations: usize,
     },
+    /// A diagonal entry is zero to working precision, so a diagonal
+    /// (Jacobi) preconditioner cannot be formed. Previously this was
+    /// silently masked by substituting `1.0`; it is now surfaced so the
+    /// escalation ladder (or the caller) can pick a different method.
+    SingularDiagonal {
+        /// Row whose diagonal entry vanishes.
+        row: usize,
+    },
+    /// A non-finite (NaN or infinite) value was found in the inputs.
+    /// Detected up front so malformed systems fail fast instead of
+    /// iterating to a confusing [`SolveError::Breakdown`].
+    NonFinite {
+        /// Which input held the value: `"matrix"`, `"rhs"` or `"guess"`.
+        what: &'static str,
+        /// Index (row for the matrix, element otherwise) of the first
+        /// offending value.
+        index: usize,
+    },
+    /// The residual stopped improving for a full stagnation window before
+    /// reaching tolerance. Distinct from [`SolveError::NotConverged`]:
+    /// stagnation is detected early, leaving iteration budget for a
+    /// fallback method.
+    Stagnated {
+        /// Iterations performed when stagnation was declared.
+        iterations: usize,
+        /// Relative residual at the stagnated iterate.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -71,6 +99,24 @@ impl fmt::Display for SolveError {
             SolveError::Breakdown { iterations } => {
                 write!(f, "iterative solver broke down at iteration {iterations}")
             }
+            SolveError::SingularDiagonal { row } => {
+                write!(
+                    f,
+                    "diagonal entry at row {row} is zero to working precision; \
+                     cannot form a jacobi preconditioner"
+                )
+            }
+            SolveError::NonFinite { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
+            }
+            SolveError::Stagnated {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver stagnated after {iterations} iterations \
+                 (relative residual {residual:.3e})"
+            ),
         }
     }
 }

@@ -79,8 +79,8 @@ impl IncompleteCholesky {
                 if c == r {
                     // Diagonal: subtract squares of the strictly-lower row.
                     let mut acc = values[idx];
-                    for k in lo..idx {
-                        acc -= values[k] * values[k];
+                    for v in &values[lo..idx] {
+                        acc -= v * v;
                     }
                     if acc <= 0.0 || !acc.is_finite() {
                         return Err(SolveError::SingularMatrix { pivot: r });
@@ -119,8 +119,7 @@ impl IncompleteCholesky {
         // the Lᵀ solve.
         let mut col_counts = vec![0usize; n + 1];
         for r in 0..n {
-            for idx in row_ptr[r]..row_ptr[r + 1] {
-                let c = col_idx[idx];
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
                 if c < r {
                     col_counts[c + 1] += 1;
                 }
@@ -135,8 +134,12 @@ impl IncompleteCholesky {
         let mut col_rows = vec![0usize; nnz_lower];
         let mut col_vals = vec![0usize; nnz_lower];
         for r in 0..n {
-            for idx in row_ptr[r]..row_ptr[r + 1] {
-                let c = col_idx[idx];
+            for (idx, &c) in col_idx
+                .iter()
+                .enumerate()
+                .take(row_ptr[r + 1])
+                .skip(row_ptr[r])
+            {
                 if c < r {
                     let slot = next[c];
                     col_rows[slot] = r;

@@ -54,9 +54,11 @@ mod triplet;
 
 pub mod dense;
 pub mod ichol;
+pub mod robust;
 pub mod solver;
 pub mod vecops;
 
 pub use csr::CsrMatrix;
 pub use error::SolveError;
+pub use robust::{solve_robust, RobustOptions, RobustSolved, SolveMethod, SolveReport};
 pub use triplet::TripletMatrix;

@@ -39,6 +39,12 @@ pub struct CgOptions {
     pub max_iterations: usize,
     /// Preconditioner to apply.
     pub preconditioner: Preconditioner,
+    /// If non-zero, declare [`SolveError::Stagnated`] when the residual
+    /// fails to improve for this many consecutive iterations. `0` disables
+    /// the check (the default, preserving plain-CG behavior); the
+    /// [`crate::robust`] escalation ladder enables it so a stalled solve
+    /// hands control to the next rung instead of burning the full budget.
+    pub stagnation_window: usize,
 }
 
 impl Default for CgOptions {
@@ -47,6 +53,7 @@ impl Default for CgOptions {
             tolerance: 1e-10,
             max_iterations: 20_000,
             preconditioner: Preconditioner::Jacobi,
+            stagnation_window: 0,
         }
     }
 }
@@ -72,17 +79,48 @@ impl Default for BiCgStabOptions {
     }
 }
 
-fn inverse_diagonal(a: &CsrMatrix) -> Vec<f64> {
+fn inverse_diagonal(a: &CsrMatrix) -> Result<Vec<f64>, SolveError> {
     a.diagonal()
         .into_iter()
-        .map(|d| {
+        .enumerate()
+        .map(|(row, d)| {
             if d.abs() > f64::MIN_POSITIVE {
-                1.0 / d
+                Ok(1.0 / d)
             } else {
-                1.0
+                Err(SolveError::SingularDiagonal { row })
             }
         })
         .collect()
+}
+
+/// Rejects NaN/Inf in the matrix, right-hand side and warm-start guess so
+/// malformed systems fail fast with [`SolveError::NonFinite`] instead of
+/// iterating to a confusing breakdown.
+pub(crate) fn validate_finite(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+) -> Result<(), SolveError> {
+    for (row, _, v) in a.iter() {
+        if !v.is_finite() {
+            return Err(SolveError::NonFinite {
+                what: "matrix",
+                index: row,
+            });
+        }
+    }
+    if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+        return Err(SolveError::NonFinite { what: "rhs", index });
+    }
+    if let Some(g) = guess {
+        if let Some(index) = g.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFinite {
+                what: "guess",
+                index,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Materialized preconditioner state.
@@ -96,7 +134,7 @@ impl Precond {
     fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolveError> {
         Ok(match kind {
             Preconditioner::None => Precond::None,
-            Preconditioner::Jacobi => Precond::Jacobi(inverse_diagonal(a)),
+            Preconditioner::Jacobi => Precond::Jacobi(inverse_diagonal(a)?),
             Preconditioner::IncompleteCholesky => {
                 Precond::Ic(Box::new(IncompleteCholesky::factor(a)?))
             }
@@ -186,6 +224,7 @@ pub fn cg_with_guess(
             found: b.len(),
         });
     }
+    validate_finite(a, b, guess)?;
     let b_norm = norm2(b);
     if b_norm == 0.0 {
         return Ok(Solved {
@@ -223,6 +262,12 @@ pub fn cg_with_guess(
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
 
+    // Stagnation tracking: `best_res` only updates on a meaningful
+    // (relative) improvement, so round-off chatter does not reset the
+    // window.
+    let mut best_res = f64::INFINITY;
+    let mut stalled = 0usize;
+
     for it in 0..options.max_iterations {
         let res = norm2(&r) / b_norm;
         if res <= options.tolerance {
@@ -231,6 +276,20 @@ pub fn cg_with_guess(
                 iterations: it,
                 relative_residual: res,
             });
+        }
+        if options.stagnation_window > 0 {
+            if res < best_res * (1.0 - 1e-6) {
+                best_res = res;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= options.stagnation_window {
+                    return Err(SolveError::Stagnated {
+                        iterations: it,
+                        residual: res,
+                    });
+                }
+            }
         }
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
@@ -280,6 +339,26 @@ pub fn bicgstab(
     b: &[f64],
     options: &BiCgStabOptions,
 ) -> Result<Vec<f64>, SolveError> {
+    let solved = bicgstab_with_guess(a, b, None, options)?;
+    Ok(solved.x)
+}
+
+/// Like [`bicgstab`], but accepts a warm-start guess and reports
+/// diagnostics — the same contract as [`cg_with_guess`].
+///
+/// Warm starting is what makes the wearout loop in `vstack` affordable:
+/// each pad-kill step perturbs the previous system only locally, so the
+/// previous voltage field is an excellent initial iterate.
+///
+/// # Errors
+///
+/// Same as [`bicgstab`].
+pub fn bicgstab_with_guess(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &BiCgStabOptions,
+) -> Result<Solved, SolveError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(SolveError::NotSquare {
@@ -293,15 +372,45 @@ pub fn bicgstab(
             found: b.len(),
         });
     }
+    validate_finite(a, b, guess)?;
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(vec![0.0; n]);
+        return Ok(Solved {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
     }
 
     let pre = Precond::build(options.preconditioner, a)?;
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
+    let mut x = match guess {
+        Some(g) => {
+            if g.len() != n {
+                return Err(SolveError::DimensionMismatch {
+                    expected: n,
+                    found: g.len(),
+                });
+            }
+            g.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    // r = b − A x
+    let mut r = vec![0.0; n];
+    a.mul_vec_into(&x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let initial_res = norm2(&r) / b_norm;
+    if initial_res <= options.tolerance {
+        return Ok(Solved {
+            x,
+            iterations: 0,
+            relative_residual: initial_res,
+        });
+    }
     let r_hat = r.clone();
     let mut rho = 1.0;
     let mut alpha = 1.0;
@@ -334,9 +443,14 @@ pub fn bicgstab(
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        if norm2(&s) / b_norm <= options.tolerance {
+        let s_res = norm2(&s) / b_norm;
+        if s_res <= options.tolerance {
             axpy(alpha, &phat, &mut x);
-            return Ok(x);
+            return Ok(Solved {
+                x,
+                iterations: it + 1,
+                relative_residual: s_res,
+            });
         }
         pre.apply(&s, &mut shat);
         a.mul_vec_into(&shat, &mut t);
@@ -350,8 +464,13 @@ pub fn bicgstab(
         for i in 0..n {
             r[i] = s[i] - omega * t[i];
         }
-        if norm2(&r) / b_norm <= options.tolerance {
-            return Ok(x);
+        let res = norm2(&r) / b_norm;
+        if res <= options.tolerance {
+            return Ok(Solved {
+                x,
+                iterations: it + 1,
+                relative_residual: res,
+            });
         }
         if omega.abs() < f64::MIN_POSITIVE {
             return Err(SolveError::Breakdown { iterations: it });
@@ -532,5 +651,90 @@ mod tests {
         let a = laplacian_1d(8);
         let x = bicgstab(&a, &[0.0; 8], &BiCgStabOptions::default()).expect("trivial");
         assert_eq!(x, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn bicgstab_warm_start_converges_instantly() {
+        let a = laplacian_1d(100);
+        let b = vec![1.0; 100];
+        let opts = BiCgStabOptions::default();
+        let cold = bicgstab_with_guess(&a, &b, None, &opts).expect("cold");
+        assert!(cold.iterations > 0);
+        let warm = bicgstab_with_guess(&a, &b, Some(&cold.x), &opts).expect("warm");
+        assert_eq!(warm.iterations, 0, "residual {}", warm.relative_residual);
+    }
+
+    #[test]
+    fn jacobi_on_zero_diagonal_is_surfaced_not_masked() {
+        // Zero diagonal at row 1: previously silently treated as 1.0.
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]);
+        let err = cg(&a, &[1.0, 1.0], &CgOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::SingularDiagonal { row: 1 }));
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected_up_front() {
+        let a = laplacian_1d(3);
+        let err = cg(&a, &[1.0, f64::NAN, 0.0], &CgOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::NonFinite {
+                what: "rhs",
+                index: 1
+            }
+        ));
+
+        let err = cg_with_guess(
+            &a,
+            &[1.0; 3],
+            Some(&[f64::INFINITY, 0.0, 0.0]),
+            &CgOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::NonFinite {
+                what: "guess",
+                index: 0
+            }
+        ));
+
+        let bad = CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN), (1, 1, 1.0)]);
+        let err = bicgstab(&bad, &[1.0, 1.0], &BiCgStabOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::NonFinite {
+                what: "matrix",
+                index: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn stagnation_detected_on_singular_neumann_laplacian() {
+        // Pure-Neumann 1-D Laplacian: singular (constant null space). With a
+        // right-hand side that has a component in the null space, CG's
+        // residual plateaus at the projection instead of converging.
+        let n = 40;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            if i + 1 < n {
+                t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+        let opts = CgOptions {
+            stagnation_window: 50,
+            ..CgOptions::default()
+        };
+        let err = cg(&a, &b, &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolveError::Stagnated { .. } | SolveError::Breakdown { .. }
+            ),
+            "got {err:?}"
+        );
     }
 }

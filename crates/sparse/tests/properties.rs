@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use vstack_sparse::dense::DenseMatrix;
+use vstack_sparse::robust::{solve_robust, RobustOptions, SolveMethod};
 use vstack_sparse::solver::{bicgstab, cg, BiCgStabOptions, CgOptions};
 use vstack_sparse::{CsrMatrix, TripletMatrix};
 
@@ -34,6 +35,34 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = CsrMatrix> {
                     t.push(i, j, acc);
                 }
             }
+        }
+        t.to_csr()
+    })
+}
+
+/// Strategy: an SPD matrix whose leading 4×4 block is a scaled copy of
+/// Kershaw's classic IC(0)-defeating pattern (zero-fill incomplete
+/// Cholesky hits a negative pivot on it), embedded block-diagonally ahead
+/// of a random SPD tail. The whole matrix is SPD and well-posed, but the
+/// first escalation-ladder rung is guaranteed to fail.
+fn ic0_defeating_spd(tail: usize) -> impl Strategy<Value = CsrMatrix> {
+    (0.5..4.0f64, spd_matrix(tail)).prop_map(move |(scale, tail_m)| {
+        let kershaw = [
+            [3.0, -2.0, 0.0, 2.0],
+            [-2.0, 3.0, -2.0, 0.0],
+            [0.0, -2.0, 3.0, -2.0],
+            [2.0, 0.0, -2.0, 3.0],
+        ];
+        let mut t = TripletMatrix::new(4 + tail, 4 + tail);
+        for (r, row) in kershaw.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(r, c, scale * v);
+                }
+            }
+        }
+        for (r, c, v) in tail_m.iter() {
+            t.push(4 + r, 4 + c, v);
         }
         t.to_csr()
     })
@@ -103,6 +132,27 @@ proptest! {
         for (u, v) in ax.iter().zip(&b) {
             prop_assert!((u - v).abs() < 1e-8);
         }
+    }
+
+    /// Whenever IC(0) fails on a well-posed SPD system, `solve_robust`
+    /// still recovers through the ladder — with a non-empty fallback trail
+    /// whose first abandoned rung is the incomplete-Cholesky attempt, and
+    /// a solution satisfying the original system.
+    #[test]
+    fn robust_rescues_ic0_failures(
+        a in ic0_defeating_spd(6),
+        x_true in prop::collection::vec(-3.0..3.0f64, 10),
+    ) {
+        let b = a.mul_vec(&x_true);
+        let sol = solve_robust(&a, &b, None, &RobustOptions::default())
+            .expect("SPD system must be rescued");
+        prop_assert!(sol.report.was_rescued(), "trail: {}", sol.report.trail());
+        prop_assert_eq!(
+            sol.report.fallbacks[0].from,
+            SolveMethod::CgIncompleteCholesky
+        );
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(a.residual_norm(&sol.x, &b) <= 1e-6 * bnorm.max(1.0));
     }
 
     /// Triplet duplicate handling: pushing values one at a time or summed up

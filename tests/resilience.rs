@@ -1,0 +1,129 @@
+//! Robustness integration tests: the escalation ladder's fallback trail,
+//! fault injection through the scenario layer, and the wearout loop's
+//! terminal states, exercised end to end across the workspace crates.
+
+use vstack::experiments::ext_wearout::{
+    regular_wearout, vs_wearout, WearoutConfig, WearoutOutcome,
+};
+use vstack::experiments::Fidelity;
+use vstack::pdn::{FaultSet, PdnError};
+use vstack::scenario::DesignScenario;
+use vstack::sparse::{solve_robust, CsrMatrix, RobustOptions, SolveMethod, TripletMatrix};
+
+/// Kershaw's 4×4 SPD matrix: well-posed, but zero-fill incomplete
+/// Cholesky hits a negative pivot on it, forcing the ladder's first rung
+/// to fail.
+fn kershaw() -> CsrMatrix {
+    let vals = [
+        [3.0, -2.0, 0.0, 2.0],
+        [-2.0, 3.0, -2.0, 0.0],
+        [0.0, -2.0, 3.0, -2.0],
+        [2.0, 0.0, -2.0, 3.0],
+    ];
+    let mut t = TripletMatrix::new(4, 4);
+    for (r, row) in vals.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                t.push(r, c, v);
+            }
+        }
+    }
+    t.to_csr()
+}
+
+/// The escalation ladder rescues an IC(0)-defeating system and its
+/// `SolveReport` records the full fallback trail, starting from the
+/// abandoned incomplete-Cholesky rung.
+#[test]
+fn escalation_ladder_reports_its_fallback_trail() {
+    let a = kershaw();
+    let x_true = [1.0, -2.0, 0.5, 3.0];
+    let b = a.mul_vec(&x_true);
+    let sol = solve_robust(&a, &b, None, &RobustOptions::default()).expect("rescued");
+
+    assert!(sol.report.was_rescued());
+    assert_eq!(
+        sol.report.fallbacks[0].from,
+        SolveMethod::CgIncompleteCholesky
+    );
+    assert_ne!(sol.report.method, SolveMethod::CgIncompleteCholesky);
+    let trail = sol.report.trail();
+    assert!(trail.starts_with("cg+ic0->"), "trail: {trail}");
+    for (u, v) in sol.x.iter().zip(&x_true) {
+        assert!((u - v).abs() < 1e-6, "x = {:?}", sol.x);
+    }
+}
+
+/// A healthy PDN solved through the reported path needs no rescue, and
+/// its report carries a meaningful converged residual.
+#[test]
+fn healthy_scenario_solve_is_unrescued() {
+    let s = DesignScenario::paper_baseline().layers(2).coarse_grid();
+    let sol = s
+        .solve_regular_peak_reported(&FaultSet::new())
+        .expect("healthy");
+    assert!(!sol.report.was_rescued(), "trail: {}", sol.report.trail());
+    assert!(sol.report.relative_residual <= 1e-8);
+    assert!(sol.report.iterations > 0);
+}
+
+/// Killing every power pad of the regular topology yields the structured
+/// [`PdnError::Disconnected`] — no panic, no raw solver breakdown.
+#[test]
+fn killing_every_pad_reports_disconnected() {
+    let s = DesignScenario::paper_baseline().layers(2).coarse_grid();
+    let pdn = s.regular_pdn();
+    let mut faults = FaultSet::new();
+    for ord in 0..pdn.c4().vdd_count() {
+        faults.fail_vdd_pad(ord);
+    }
+    for ord in 0..pdn.c4().gnd_count() {
+        faults.fail_gnd_pad(ord);
+    }
+    match s.solve_regular_peak_reported(&faults) {
+        Err(PdnError::Disconnected { floating_nodes, .. }) => {
+            assert!(floating_nodes > 0);
+        }
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+}
+
+/// The wearout loop runs to a clean terminal state on both topologies and
+/// produces monotonically worsening degradation curves, with the V-S
+/// stack degrading more gracefully than the regular PDN.
+#[test]
+fn wearout_loop_terminates_cleanly_on_both_topologies() {
+    let cfg = WearoutConfig {
+        fidelity: Fidelity::Quick,
+        kill_fraction_per_round: 0.10,
+        max_rounds: 6,
+        drop_limit_frac: 0.25,
+    };
+    let reg = regular_wearout(&cfg, 4).expect("regular curve");
+    let vs = vs_wearout(&cfg, 4).expect("v-s curve");
+    for curve in [&reg, &vs] {
+        assert!(
+            curve.points.len() >= 2,
+            "{}: {:?}",
+            curve.label,
+            curve.outcome
+        );
+        for p in &curve.points {
+            assert!(p.max_ir_drop_frac.is_finite() && p.max_ir_drop_frac >= 0.0);
+        }
+        // Terminal states are data, not errors.
+        assert!(matches!(
+            curve.outcome,
+            WearoutOutcome::Disconnected { .. }
+                | WearoutOutcome::DropLimitExceeded { .. }
+                | WearoutOutcome::SolverExhausted { .. }
+                | WearoutOutcome::Survived
+        ));
+    }
+    assert!(
+        vs.degradation_slope() < reg.degradation_slope(),
+        "V-S slope {} vs regular {}",
+        vs.degradation_slope(),
+        reg.degradation_slope()
+    );
+}

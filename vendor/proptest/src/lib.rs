@@ -1,0 +1,360 @@
+//! Offline, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendor crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`), range
+//! and tuple strategies, `prop::collection::vec`, `.prop_map`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the case index so it can be replayed deterministically (generation is a
+//! pure function of the test name and case index).
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration types.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use core::ops::Range;
+
+    /// Deterministic generator used to produce test cases. Seeded from the
+    /// test name and case index so every run generates the same inputs.
+    #[derive(Debug, Clone)]
+    pub struct StrategyRng {
+        state: u64,
+    }
+
+    impl StrategyRng {
+        /// Generator for one named test case.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            StrategyRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniform bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample from empty range");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// A strategy produces values of `Self::Value` from random bits.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StrategyRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adaptor created by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StrategyRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StrategyRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StrategyRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StrategyRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "cannot sample from empty range");
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StrategyRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StrategyRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, StrategyRng};
+    use core::ops::Range;
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StrategyRng) -> Vec<S::Value> {
+            let len = if self.size.hi > self.size.lo + 1 {
+                self.size.lo + rng.below(self.size.hi - self.size.lo)
+            } else {
+                self.size.lo
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..(__config.cases as u64) {
+                let mut __rng = $crate::strategy::StrategyRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);) => {};
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::{Strategy, StrategyRng};
+        let strat = (0usize..10, -1.0..1.0f64);
+        let mut a = StrategyRng::for_case("t", 3);
+        let mut b = StrategyRng::for_case("t", 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 2.0..5.0f64, k in 1usize..7) {
+            prop_assert!((2.0..5.0).contains(&x));
+            prop_assert!((1..7).contains(&k));
+        }
+
+        /// Vec strategies respect requested lengths.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0.0..1.0f64, 4), w in prop::collection::vec(0usize..3, 1..5)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((1..5).contains(&w.len()));
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn mapping(d in (0usize..4, 0usize..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(d <= 6);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline, deterministic stand-in for the `rand` crate (0.9-style API).
+//!
+//! The build environment for this repository has no registry access, so this
+//! vendor crate implements exactly the surface the workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random::<f64>()` and
+//! `Rng::random_range(Range<_>)`. The generator is a seeded splitmix64 /
+//! xoshiro256++ pair — high-quality, reproducible, and dependency-free.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface matching the subset of `rand::Rng` this workspace uses.
+pub trait Rng: RngCore {
+    /// Sample a value from the "standard" distribution of `T`
+    /// (uniform in `[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self.next_u64())
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Minimal core generator interface.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable from 64 random bits.
+pub trait StandardSample {
+    /// Map 64 uniform bits onto the type's standard distribution.
+    fn sample(bits: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample(bits: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl StandardSample for bool {
+    fn sample(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges supporting uniform sampling.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Sample uniformly from the range using 64 random bits.
+    fn sample_from(self, bits: u64) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from(self, bits: u64) -> f64 {
+        let u = f64::sample(bits);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from(self, bits: u64) -> usize {
+        let span = self.end - self.start;
+        assert!(span > 0, "cannot sample from empty range");
+        self.start + (bits % span as u64) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample_from(self, bits: u64) -> u64 {
+        let span = self.end - self.start;
+        assert!(span > 0, "cannot sample from empty range");
+        self.start + bits % span
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample_from(self, bits: u64) -> i64 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "cannot sample from empty range");
+        self.start + (bits % span) as i64
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample_from(self, bits: u64) -> u32 {
+        let span = self.end - self.start;
+        assert!(span > 0, "cannot sample from empty range");
+        self.start + (bits % span as u64) as u32
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: f64 = a.random();
+            let y: f64 = b.random();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn uniform_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.random_range(0.2..0.8);
+            assert!((0.2..0.8).contains(&x));
+            let k = rng.random_range(0usize..5);
+            assert!(k < 5);
+        }
+    }
+}
