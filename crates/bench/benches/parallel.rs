@@ -1,0 +1,204 @@
+//! Parallel-solver baseline: serial vs threaded medians for the kernels the
+//! PR 2 thread pool accelerates, written to `BENCH_solver.json` at the repo
+//! root so regressions are diffable across commits.
+//!
+//! Four benches, each at 1 and 4 pool contexts:
+//!
+//! * `spmv` — row-partitioned CSR matrix–vector product on a PDN-sized
+//!   grid Laplacian (above the `PAR_SPMV_MIN_NNZ` threshold, so the
+//!   threaded pool genuinely engages).
+//! * `cg_solve` — a full workspace-reusing CG solve.
+//! * `ic0_apply` — the level-scheduled IC(0) forward/backward
+//!   substitution.
+//! * `fig6_sweep` — the end-to-end Fig 6 IR-drop study, whose series fan
+//!   out over the pool.
+//!
+//! Before timing, the Fig 6 study is run under both pools and compared:
+//! the threaded result must be bit-identical to the serial one. Set
+//! `VSTACK_BENCH_QUICK=1` for a fast smoke run (CI) with smaller systems
+//! and fewer samples. Medians are honest wall-clock numbers for whatever
+//! host runs the bench; `host_parallelism` is recorded alongside so a
+//! 1-CPU container's flat serial/threaded ratio is interpretable.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{BenchReport, Criterion};
+use vstack::experiments::fig6::ir_drop_study;
+use vstack::experiments::Fidelity;
+use vstack::sparse::ichol::IncompleteCholesky;
+use vstack::sparse::pool::{with_pool, ThreadPool};
+use vstack::sparse::solver::{cg_with_guess_ws, CgOptions, SolveWorkspace};
+use vstack::sparse::{CsrMatrix, TripletMatrix};
+
+/// 2-D grid Laplacian with Dirichlet corners, sized like one PDN net.
+fn grid_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
+    let mut t = TripletMatrix::new(n * n, n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let a = j * n + i;
+            if i + 1 < n {
+                t.stamp_conductance(Some(a), Some(a + 1), 20.0);
+            }
+            if j + 1 < n {
+                t.stamp_conductance(Some(a), Some(a + n), 20.0);
+            }
+        }
+    }
+    for corner in [0, n - 1, n * (n - 1), n * n - 1] {
+        t.push(corner, corner, 100.0);
+    }
+    let a = t.to_csr();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64 - 3.0) * 1e-3).collect();
+    (a, b)
+}
+
+struct Sizes {
+    spmv_n: usize,
+    cg_n: usize,
+    ic0_n: usize,
+    fig6_layers: usize,
+    kernel_samples: usize,
+    sweep_samples: usize,
+}
+
+fn sizes(quick: bool) -> Sizes {
+    if quick {
+        Sizes {
+            spmv_n: 192, // 36 864 nodes: keeps nnz above PAR_SPMV_MIN_NNZ
+            cg_n: 48,
+            ic0_n: 96, // 9 216 unknowns: above the IC(0) PAR_MIN_DIM gate
+            fig6_layers: 2,
+            kernel_samples: 10,
+            sweep_samples: 1,
+        }
+    } else {
+        Sizes {
+            spmv_n: 256,
+            cg_n: 96,
+            ic0_n: 160,
+            fig6_layers: 4,
+            kernel_samples: 30,
+            sweep_samples: 3,
+        }
+    }
+}
+
+/// The two pool widths every bench is measured at.
+fn pool_widths() -> [(usize, Arc<ThreadPool>); 2] {
+    [
+        (1, Arc::new(ThreadPool::new(1))),
+        (4, Arc::new(ThreadPool::new(4))),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion, s: &Sizes) {
+    let (a_spmv, b_spmv) = grid_laplacian(s.spmv_n);
+    let (a_cg, b_cg) = grid_laplacian(s.cg_n);
+    let (a_ic, b_ic) = grid_laplacian(s.ic0_n);
+    let ic = IncompleteCholesky::factor(&a_ic).expect("grid laplacian admits IC(0)");
+
+    for (threads, pool) in pool_widths() {
+        with_pool(&pool, || {
+            let mut g = c.benchmark_group("spmv");
+            g.sample_size(s.kernel_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                let mut y = vec![0.0; b_spmv.len()];
+                bch.iter(|| {
+                    a_spmv.mul_vec_into(&b_spmv, &mut y);
+                    black_box(y[0])
+                })
+            });
+            g.finish();
+        });
+        with_pool(&pool, || {
+            let mut g = c.benchmark_group("cg_solve");
+            g.sample_size(s.kernel_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                let opts = CgOptions::default();
+                let mut ws = SolveWorkspace::new();
+                bch.iter(|| {
+                    black_box(cg_with_guess_ws(&a_cg, &b_cg, None, &opts, &mut ws).expect("cg"))
+                })
+            });
+            g.finish();
+        });
+        with_pool(&pool, || {
+            let mut g = c.benchmark_group("ic0_apply");
+            g.sample_size(s.kernel_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                let mut z = vec![0.0; b_ic.len()];
+                bch.iter(|| {
+                    ic.apply(&b_ic, &mut z);
+                    black_box(z[0])
+                })
+            });
+            g.finish();
+        });
+    }
+}
+
+fn bench_fig6(c: &mut Criterion, s: &Sizes) {
+    // Determinism gate first: the pooled study must be bit-identical to
+    // the serial one before its timing means anything.
+    let widths = pool_widths();
+    let serial = with_pool(&widths[0].1, || {
+        ir_drop_study(Fidelity::Quick, s.fig6_layers).expect("fig6")
+    });
+    let threaded = with_pool(&widths[1].1, || {
+        ir_drop_study(Fidelity::Quick, s.fig6_layers).expect("fig6")
+    });
+    assert_eq!(
+        serial, threaded,
+        "threaded fig6 study must be bit-identical to serial"
+    );
+
+    for (threads, pool) in widths {
+        with_pool(&pool, || {
+            let mut g = c.benchmark_group("fig6_sweep");
+            g.sample_size(s.sweep_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                bch.iter(|| black_box(ir_drop_study(Fidelity::Quick, s.fig6_layers).expect("fig6")))
+            });
+            g.finish();
+        });
+    }
+}
+
+/// Renders the collected reports as `BENCH_solver.json` at the repo root.
+fn render_json(reports: &[BenchReport], quick: bool) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"vstack-bench-solver/1\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let threads: usize = r
+            .name
+            .rsplit("threads")
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(1);
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_ns\": {}}}{}\n",
+            r.name, threads, r.median_ns, comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::var("VSTACK_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let s = sizes(quick);
+    let mut c = Criterion::default();
+    bench_kernels(&mut c, &s);
+    bench_fig6(&mut c, &s);
+
+    let json = render_json(c.reports(), quick);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, &json).expect("write BENCH_solver.json");
+    println!("wrote {path}");
+}

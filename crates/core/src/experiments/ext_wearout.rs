@@ -36,8 +36,8 @@
 //! the same fault fraction costs far less headroom.
 
 use vstack_em::black::BlackModel;
-use vstack_pdn::{FaultSet, FaultedSolution, PdnError, TsvTopology};
-use vstack_sparse::SolveError;
+use vstack_pdn::{FaultSet, FaultedSolution, PdnError, SolveScratch, TsvTopology};
+use vstack_sparse::{pool, SolveError};
 
 use crate::experiments::Fidelity;
 use crate::scenario::DesignScenario;
@@ -162,15 +162,18 @@ impl WearoutCurve {
 
 /// The per-round solve interface the loop drives: both topologies expose
 /// the same fault-aware entry point, so the loop is written once.
+/// `FnMut` so the closures can carry a [`SolveScratch`] across rounds —
+/// every round solves the same topology, so the sparsity pattern and the
+/// Krylov workspace are reused for the whole run.
 type FaultedSolver<'a> =
-    dyn Fn(&FaultSet, Option<&[f64]>) -> Result<FaultedSolution, PdnError> + 'a;
+    dyn FnMut(&FaultSet, Option<&[f64]>) -> Result<FaultedSolution, PdnError> + 'a;
 
 fn run_loop(
     label: &'static str,
     n_layers: usize,
     total_pads: usize,
     config: &WearoutConfig,
-    solve: &FaultedSolver<'_>,
+    solve: &mut FaultedSolver<'_>,
 ) -> Result<WearoutCurve, SolveError> {
     assert!(
         config.kill_fraction_per_round > 0.0 && config.kill_fraction_per_round < 1.0,
@@ -316,8 +319,9 @@ pub fn regular_wearout(
     let pdn = s.regular_pdn();
     let loads = s.peak_loads();
     let total_pads = pdn.c4().vdd_count() + pdn.c4().gnd_count();
-    run_loop("regular", n_layers, total_pads, config, &|f, g| {
-        pdn.solve_faulted(&loads, f, g)
+    let mut scratch = SolveScratch::new();
+    run_loop("regular", n_layers, total_pads, config, &mut |f, g| {
+        pdn.solve_faulted_scratch(&loads, f, g, &mut scratch)
     })
 }
 
@@ -332,13 +336,24 @@ pub fn vs_wearout(config: &WearoutConfig, n_layers: usize) -> Result<WearoutCurv
     let pdn = s.voltage_stacked_pdn();
     let loads = s.peak_loads();
     let total_pads = pdn.c4().vdd_count() + pdn.c4().gnd_count();
-    run_loop("voltage-stacked", n_layers, total_pads, config, &|f, g| {
-        pdn.solve_faulted(&loads, f, g)
-    })
+    let mut scratch = SolveScratch::new();
+    run_loop(
+        "voltage-stacked",
+        n_layers,
+        total_pads,
+        config,
+        &mut |f, g| pdn.solve_faulted_scratch(&loads, f, g, &mut scratch),
+    )
 }
 
 /// The full study: both topologies at every requested layer count, in
 /// deterministic order (regular then V-S, shallow then deep).
+///
+/// The per-curve wearout loops are independent, so they fan out across the
+/// active [`vstack_sparse::pool`] (`VSTACK_THREADS` controls the width).
+/// Every curve is computed by the same deterministic serial loop, so the
+/// result is bit-identical at any thread count; errors are reported for
+/// the first failing curve in the serial order.
 ///
 /// # Errors
 ///
@@ -347,12 +362,19 @@ pub fn wearout_comparison(
     config: &WearoutConfig,
     layer_counts: &[usize],
 ) -> Result<Vec<WearoutCurve>, SolveError> {
-    let mut out = Vec::new();
-    for &n in layer_counts {
-        out.push(regular_wearout(config, n)?);
-        out.push(vs_wearout(config, n)?);
-    }
-    Ok(out)
+    let tasks: Vec<(usize, bool)> = layer_counts
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    pool::par_map(tasks, |(n, stacked)| {
+        if stacked {
+            vs_wearout(config, n)
+        } else {
+            regular_wearout(config, n)
+        }
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -395,6 +417,20 @@ mod tests {
             vs.degradation_slope(),
             reg.degradation_slope()
         );
+    }
+
+    #[test]
+    fn pooled_comparison_is_bit_identical_to_serial() {
+        use std::sync::Arc;
+        use vstack_sparse::pool::{with_pool, ThreadPool};
+        let cfg = quick();
+        let serial = with_pool(&Arc::new(ThreadPool::new(1)), || {
+            wearout_comparison(&cfg, &[2]).unwrap()
+        });
+        let parallel = with_pool(&Arc::new(ThreadPool::new(4)), || {
+            wearout_comparison(&cfg, &[2]).unwrap()
+        });
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use vstack_em::black::BlackModel;
 use vstack_pdn::TsvTopology;
-use vstack_sparse::SolveError;
+use vstack_sparse::{pool, SolveError};
 
 use crate::em_study::{c4_array_lifetime, tsv_array_lifetime};
 use crate::experiments::Fidelity;
@@ -57,6 +57,40 @@ impl Fig5Data {
     }
 }
 
+/// Assembles normalized lifetime series from a flat task list.
+///
+/// `tasks` holds one `(series_label, layer_count, solve-and-rate)` unit
+/// per point, grouped by series in order. The solves are independent, so
+/// they fan out across the active [`vstack_sparse::pool`]; the raw
+/// lifetimes come back in task order and are normalized against
+/// `reference_index` (a V-S anchor point that is itself one of the
+/// tasks, so the anchor is solved exactly once). Bit-identical to the
+/// serial evaluation at any thread count.
+fn lifetime_series<F>(
+    labels: Vec<String>,
+    tasks: Vec<(usize, usize)>,
+    reference_index: usize,
+    rate: F,
+) -> Result<Fig5Data, SolveError>
+where
+    F: Fn(usize, usize) -> Result<f64, SolveError> + Sync,
+{
+    let raw = pool::par_map(tasks.clone(), |(series, n)| rate(series, n));
+    let raw: Vec<f64> = raw.into_iter().collect::<Result<_, _>>()?;
+    let reference = raw[reference_index];
+    let mut series: Vec<LifetimeSeries> = labels
+        .into_iter()
+        .map(|label| LifetimeSeries {
+            label,
+            points: Vec::new(),
+        })
+        .collect();
+    for (&(s, n), &life) in tasks.iter().zip(&raw) {
+        series[s].points.push((n, life / reference));
+    }
+    Ok(Fig5Data { series })
+}
+
 /// Fig 5a: power-TSV array EM lifetime. Series: regular PDN with Dense,
 /// Sparse and Few TSVs, plus the V-S PDN with Few TSVs.
 ///
@@ -78,34 +112,30 @@ pub fn tsv_lifetimes(fidelity: Fidelity) -> Result<Fig5Data, SolveError> {
             .tsv_topology(TsvTopology::Few)
             .power_c4_fraction(0.25)
     };
-    let reference = tsv_array_lifetime(&vs_scenario(2).solve_voltage_stacked(0.0)?, &model);
 
-    let mut series = Vec::new();
-    for topo in [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few] {
-        let mut points = Vec::new();
-        for &n in &LAYER_COUNTS {
-            let sol = base(DesignScenario::paper_baseline())
+    let topos = [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few];
+    let labels: Vec<String> = topos
+        .iter()
+        .map(|t| format!("Reg. PDN, {}", t.name()))
+        .chain(["V-S PDN, Few TSV".to_owned()])
+        .collect();
+    let tasks: Vec<(usize, usize)> = (0..labels.len())
+        .flat_map(|s| LAYER_COUNTS.iter().map(move |&n| (s, n)))
+        .collect();
+    // The V-S series is last; its first point is the 2-layer anchor.
+    let reference_index = topos.len() * LAYER_COUNTS.len();
+    lifetime_series(labels, tasks, reference_index, |s, n| {
+        let sol = if s < topos.len() {
+            base(DesignScenario::paper_baseline())
                 .layers(n)
-                .tsv_topology(topo)
+                .tsv_topology(topos[s])
                 .power_c4_fraction(0.25)
-                .solve_regular_peak()?;
-            points.push((n, tsv_array_lifetime(&sol, &model) / reference));
-        }
-        series.push(LifetimeSeries {
-            label: format!("Reg. PDN, {}", topo.name()),
-            points,
-        });
-    }
-    let mut points = Vec::new();
-    for &n in &LAYER_COUNTS {
-        let sol = vs_scenario(n).solve_voltage_stacked(0.0)?;
-        points.push((n, tsv_array_lifetime(&sol, &model) / reference));
-    }
-    series.push(LifetimeSeries {
-        label: "V-S PDN, Few TSV".to_owned(),
-        points,
-    });
-    Ok(Fig5Data { series })
+                .solve_regular_peak()?
+        } else {
+            vs_scenario(n).solve_voltage_stacked(0.0)?
+        };
+        Ok(tsv_array_lifetime(&sol, &model))
+    })
 }
 
 /// Fig 5b: C4 pad array EM lifetime. Series: regular PDN at 25/50/75/100%
@@ -128,36 +158,30 @@ pub fn c4_lifetimes(fidelity: Fidelity) -> Result<Fig5Data, SolveError> {
             .tsv_topology(TsvTopology::Few)
             .power_c4_fraction(0.25)
     };
-    let reference = c4_array_lifetime(&vs_scenario(2).solve_voltage_stacked(0.0)?, &model);
 
-    let mut series = Vec::new();
-    for &frac in &C4_FRACTIONS {
-        let mut points = Vec::new();
-        for &n in &LAYER_COUNTS {
+    let labels: Vec<String> = C4_FRACTIONS
+        .iter()
+        .map(|frac| format!("Reg. PDN ({:.0}% Power C4)", frac * 100.0))
+        .chain(["V-S PDN (25% Power C4)".to_owned()])
+        .collect();
+    let tasks: Vec<(usize, usize)> = (0..labels.len())
+        .flat_map(|s| LAYER_COUNTS.iter().map(move |&n| (s, n)))
+        .collect();
+    let reference_index = C4_FRACTIONS.len() * LAYER_COUNTS.len();
+    lifetime_series(labels, tasks, reference_index, |s, n| {
+        let sol = if s < C4_FRACTIONS.len() {
             // C4 EM robustness is insensitive to the TSV topology (paper
             // §5.1 uses a fixed topology for this study).
-            let sol = base(DesignScenario::paper_baseline())
+            base(DesignScenario::paper_baseline())
                 .layers(n)
                 .tsv_topology(TsvTopology::Sparse)
-                .power_c4_fraction(frac)
-                .solve_regular_peak()?;
-            points.push((n, c4_array_lifetime(&sol, &model) / reference));
-        }
-        series.push(LifetimeSeries {
-            label: format!("Reg. PDN ({:.0}% Power C4)", frac * 100.0),
-            points,
-        });
-    }
-    let mut points = Vec::new();
-    for &n in &LAYER_COUNTS {
-        let sol = vs_scenario(n).solve_voltage_stacked(0.0)?;
-        points.push((n, c4_array_lifetime(&sol, &model) / reference));
-    }
-    series.push(LifetimeSeries {
-        label: "V-S PDN (25% Power C4)".to_owned(),
-        points,
-    });
-    Ok(Fig5Data { series })
+                .power_c4_fraction(C4_FRACTIONS[s])
+                .solve_regular_peak()?
+        } else {
+            vs_scenario(n).solve_voltage_stacked(0.0)?
+        };
+        Ok(c4_array_lifetime(&sol, &model))
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! Regular-PDN reference lines (Dense/Sparse/Few TSVs) are flat in
 //! imbalance: their worst case is all layers fully active.
 
-use vstack_pdn::TsvTopology;
-use vstack_sparse::SolveError;
+use vstack_pdn::{FaultSet, PdnError, SolveScratch, TsvTopology};
+use vstack_sparse::{pool, SolveError};
 
 use crate::experiments::Fidelity;
 use crate::scenario::DesignScenario;
@@ -107,11 +107,36 @@ pub fn imbalance_sweep(fidelity: Fidelity) -> Vec<f64> {
     }
 }
 
+/// Regular-PDN reference topologies plotted alongside the V-S sweeps.
+pub const REGULAR_REFERENCE_TOPOLOGIES: [TsvTopology; 3] =
+    [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few];
+
+/// One independent unit of Fig 6 work: a whole V-S imbalance sweep, or
+/// one regular-PDN reference point.
+enum Fig6Task {
+    VsSweep(usize),
+    Regular(TsvTopology),
+}
+
+/// The matching result variant.
+enum Fig6Result {
+    VsSweep(Fig6Series),
+    Regular(TsvTopology, f64),
+}
+
 /// Runs the Fig 6 study on an `n_layers` stack (the paper uses 8).
+///
+/// The four V-S sweeps and three regular references are independent, so
+/// they fan out across the active [`vstack_sparse::pool`]. Within each V-S
+/// sweep every imbalance point re-solves the same topology, so the series
+/// shares one [`SolveScratch`] (cached sparsity pattern + Krylov
+/// workspace) across its points. Both levels of reuse are bit-identical
+/// to the serial, scratch-free evaluation.
 ///
 /// # Errors
 ///
-/// Propagates [`SolveError`] from the PDN solves.
+/// Propagates [`SolveError`] from the PDN solves (first failing task in
+/// series order).
 pub fn ir_drop_study(fidelity: Fidelity, n_layers: usize) -> Result<Fig6Data, SolveError> {
     let base = || {
         let mut p = DesignScenario::paper_baseline().pdn_params().clone();
@@ -123,35 +148,64 @@ pub fn ir_drop_study(fidelity: Fidelity, n_layers: usize) -> Result<Fig6Data, So
             .power_c4_fraction(0.25)
     };
 
-    let mut vs_series = Vec::new();
-    for &k in &CONVERTERS_PER_CORE {
-        let scenario = base().converters_per_core(k);
-        let pdn = scenario.voltage_stacked_pdn();
-        let mut points = Vec::new();
-        let mut skipped = Vec::new();
-        for x in imbalance_sweep(fidelity) {
-            let sol = pdn.solve(&scenario.interleaved_loads(x))?;
-            if sol.has_overload() {
-                skipped.push(x);
-            } else {
-                points.push(Fig6Point {
-                    imbalance: x,
-                    max_ir_drop_frac: sol.max_ir_drop_frac,
-                });
+    let tasks: Vec<Fig6Task> = CONVERTERS_PER_CORE
+        .iter()
+        .map(|&k| Fig6Task::VsSweep(k))
+        .chain(
+            REGULAR_REFERENCE_TOPOLOGIES
+                .iter()
+                .map(|&t| Fig6Task::Regular(t)),
+        )
+        .collect();
+
+    let results = pool::par_map(tasks, |task| -> Result<Fig6Result, SolveError> {
+        match task {
+            Fig6Task::VsSweep(k) => {
+                let scenario = base().converters_per_core(k);
+                let pdn = scenario.voltage_stacked_pdn();
+                let mut scratch = SolveScratch::new();
+                let mut points = Vec::new();
+                let mut skipped = Vec::new();
+                for x in imbalance_sweep(fidelity) {
+                    let sol = pdn
+                        .solve_faulted_scratch(
+                            &scenario.interleaved_loads(x),
+                            &FaultSet::new(),
+                            None,
+                            &mut scratch,
+                        )
+                        .map_err(PdnError::into_solve_error)?
+                        .solution;
+                    if sol.has_overload() {
+                        skipped.push(x);
+                    } else {
+                        points.push(Fig6Point {
+                            imbalance: x,
+                            max_ir_drop_frac: sol.max_ir_drop_frac,
+                        });
+                    }
+                }
+                Ok(Fig6Result::VsSweep(Fig6Series {
+                    converters_per_core: k,
+                    points,
+                    skipped,
+                }))
+            }
+            Fig6Task::Regular(topo) => {
+                let scenario = base().tsv_topology(topo).power_c4_fraction(0.5);
+                let sol = scenario.solve_regular_peak()?;
+                Ok(Fig6Result::Regular(topo, sol.max_ir_drop_frac))
             }
         }
-        vs_series.push(Fig6Series {
-            converters_per_core: k,
-            points,
-            skipped,
-        });
-    }
+    });
 
+    let mut vs_series = Vec::new();
     let mut regular_references = Vec::new();
-    for topo in [TsvTopology::Dense, TsvTopology::Sparse, TsvTopology::Few] {
-        let scenario = base().tsv_topology(topo).power_c4_fraction(0.5);
-        let sol = scenario.solve_regular_peak()?;
-        regular_references.push((topo, sol.max_ir_drop_frac));
+    for result in results {
+        match result? {
+            Fig6Result::VsSweep(series) => vs_series.push(series),
+            Fig6Result::Regular(topo, drop) => regular_references.push((topo, drop)),
+        }
     }
 
     Ok(Fig6Data {

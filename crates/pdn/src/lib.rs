@@ -55,6 +55,7 @@ pub mod vstacked;
 
 pub use error::PdnError;
 pub use fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
+pub use network::SolveScratch;
 pub use params::PdnParams;
 pub use regular::RegularPdn;
 pub use solution::{ConductorCurrents, PdnSolution};

@@ -3,7 +3,8 @@
 //! topologies.
 
 use vstack_sparse::{
-    solve_robust, CsrMatrix, RobustOptions, SolveError, SolveReport, TripletMatrix,
+    solve_robust_ws, CsrMatrix, RobustOptions, SolveError, SolveReport, SolveWorkspace,
+    TripletMatrix,
 };
 
 use crate::error::PdnError;
@@ -64,6 +65,37 @@ impl GridSpec {
         let i = (x_mm / self.dx_mm).round().clamp(0.0, (self.nx - 1) as f64) as usize;
         let j = (y_mm / self.dy_mm).round().clamp(0.0, (self.ny - 1) as f64) as usize;
         (i, j)
+    }
+}
+
+/// Reusable cross-solve state for repeated network solves.
+///
+/// Wearout loops and parameter sweeps solve hundreds of systems that share
+/// one sparsity pattern (fault injection only *removes* stamped conductors,
+/// leaving explicit zeros). `SolveScratch` caches the last solve's symbolic
+/// CSR structure and the iterative solver's working vectors so re-solves
+/// skip both the symbolic triplet→CSR rebuild and the per-call vector
+/// allocations. Feed it to [`NetworkBuilder::solve_scratch`]; a pattern
+/// change (different unknowns or new structural nonzeros) is detected and
+/// handled by falling back to a full rebuild, so reuse is always safe.
+///
+/// Results are bit-identical to the scratch-free path: value re-stamping
+/// replays the same triplet insertion order over the same compacted
+/// structure, and the workspace vectors are zeroed before use.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// Cached CSR matrix from the previous solve; its structure is reused
+    /// when the new stamping fits the stored sparsity pattern.
+    pattern: Option<CsrMatrix>,
+    /// Reusable Krylov working vectors for the escalation ladder.
+    workspace: SolveWorkspace,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch; the first solve through it populates the
+    /// pattern cache and sizes the workspace.
+    pub fn new() -> Self {
+        SolveScratch::default()
     }
 }
 
@@ -253,8 +285,54 @@ impl NetworkBuilder {
         &self,
         guess: Option<&[f64]>,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
-        let a = self.matrix.to_csr();
-        if let Some((floating_nodes, example_node)) = self.floating_nodes(&a) {
+        self.solve_scratch(guess, &mut SolveScratch::new())
+    }
+
+    /// [`NetworkBuilder::solve_reported`] with reusable cross-solve state.
+    ///
+    /// When `scratch` holds a pattern from a previous solve whose sparsity
+    /// covers the current stamping (always true across fault injections on
+    /// one topology, which only remove conductors), the triplets are
+    /// re-stamped onto the cached structure instead of running the full
+    /// symbolic sort/compact. A dimension change or
+    /// [`SolveError::PatternMismatch`] falls back to a fresh build, so any
+    /// scratch can be used with any network. The Krylov working vectors are
+    /// likewise recycled between calls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NetworkBuilder::solve_reported`].
+    pub fn solve_scratch(
+        &self,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<(Vec<f64>, SolveReport), PdnError> {
+        let n = self.rhs.len();
+        let a = match scratch.pattern.take() {
+            Some(mut cached) if cached.rows() == n && cached.cols() == n => {
+                match cached.set_values_from_triplets(self.matrix.entries()) {
+                    Ok(()) => cached,
+                    // Structure changed (or values left unspecified):
+                    // rebuild symbolically from the triplets.
+                    Err(_) => self.matrix.to_csr(),
+                }
+            }
+            _ => self.matrix.to_csr(),
+        };
+        let result = self.solve_csr(&a, guess, &mut scratch.workspace);
+        scratch.pattern = Some(a);
+        result
+    }
+
+    /// The shared solve tail: connectivity check, then the escalation
+    /// ladder over an already-assembled CSR matrix.
+    fn solve_csr(
+        &self,
+        a: &CsrMatrix,
+        guess: Option<&[f64]>,
+        workspace: &mut SolveWorkspace,
+    ) -> Result<(Vec<f64>, SolveReport), PdnError> {
+        if let Some((floating_nodes, example_node)) = self.floating_nodes(a) {
             return Err(PdnError::Disconnected {
                 floating_nodes,
                 example_node,
@@ -266,7 +344,7 @@ impl NetworkBuilder {
             start_with_ic: false,
             ..RobustOptions::default()
         };
-        let solved = solve_robust(&a, &self.rhs, guess, &opts)?;
+        let solved = solve_robust_ws(a, &self.rhs, guess, &opts, workspace)?;
         Ok((solved.x, solved.report))
     }
 
@@ -483,6 +561,69 @@ mod tests {
         let (v, report) = nb.solve_reported(None).unwrap();
         assert!((v[0] - 2.0 / 3.0).abs() < 1e-8);
         assert!(!report.was_rescued(), "trail: {}", report.trail());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_restamps() {
+        // The same structure solved repeatedly through one scratch, with
+        // the stamped values changing every round — the cached pattern
+        // must yield exactly the bits of a fresh symbolic build.
+        let build = |g01: f64, tie1: bool| {
+            let mut nb = NetworkBuilder::new(3);
+            nb.conductance_to_rail(0, 2.0, 1.0);
+            nb.conductance(0, 1, g01);
+            nb.conductance(1, 2, 0.5);
+            if tie1 {
+                nb.conductance_to_rail(2, 3.0, 0.0);
+            } else {
+                // Different stamping order / rail value, same pattern.
+                nb.conductance_to_rail(2, 1.5, 0.25);
+            }
+            nb.current(1, -0.1);
+            nb
+        };
+        let mut scratch = SolveScratch::new();
+        for (g01, tie1) in [(1.0, true), (0.25, false), (4.0, true)] {
+            let nb = build(g01, tie1);
+            let (fresh, fresh_rep) = nb.solve_reported(None).unwrap();
+            let (reused, reused_rep) = nb.solve_scratch(None, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "g01={g01}");
+            assert_eq!(fresh_rep.trail(), reused_rep.trail());
+        }
+    }
+
+    #[test]
+    fn scratch_survives_pattern_and_dimension_changes() {
+        // A scratch carrying a 3-node pattern must transparently rebuild
+        // for a 2-node network and for a 3-node network with different
+        // structural nonzeros.
+        let mut scratch = SolveScratch::new();
+        let mut nb3 = NetworkBuilder::new(3);
+        nb3.conductance_to_rail(0, 1.0, 1.0);
+        nb3.conductance(0, 1, 1.0);
+        nb3.conductance(1, 2, 1.0);
+        nb3.conductance_to_rail(2, 1.0, 0.0);
+        let (v3, _) = nb3.solve_scratch(None, &mut scratch).unwrap();
+        assert_eq!(v3.len(), 3);
+
+        let mut nb2 = NetworkBuilder::new(2);
+        nb2.conductance_to_rail(0, 1.0, 1.0);
+        nb2.conductance(0, 1, 1.0);
+        nb2.conductance_to_rail(1, 1.0, 0.0);
+        let (v2, _) = nb2.solve_scratch(None, &mut scratch).unwrap();
+        let v2_fresh = nb2.solve(None).unwrap();
+        assert_eq!(v2, v2_fresh);
+
+        // Same dimension, new structural edge (0–2): PatternMismatch path.
+        let mut nb3b = NetworkBuilder::new(3);
+        nb3b.conductance_to_rail(0, 1.0, 1.0);
+        nb3b.conductance(0, 2, 1.0);
+        nb3b.conductance_to_rail(2, 1.0, 0.0);
+        nb3b.conductance_to_rail(1, 1.0, 0.5);
+        let (_, _) = nb3.solve_scratch(None, &mut scratch).unwrap();
+        let (vb, _) = nb3b.solve_scratch(None, &mut scratch).unwrap();
+        let vb_fresh = nb3b.solve(None).unwrap();
+        assert_eq!(vb, vb_fresh);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use vstack_sparse::{SolveError, SolveReport};
 use crate::c4::{C4Array, PadNet};
 use crate::error::PdnError;
 use crate::fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
-use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder};
+use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder, SolveScratch};
 use crate::params::PdnParams;
 use crate::solution::{ConductorCurrents, PdnSolution};
 use crate::stack::StackLoads;
@@ -146,8 +146,33 @@ impl RegularPdn {
         faults: &FaultSet,
         guess: Option<&[f64]>,
     ) -> Result<FaultedSolution, PdnError> {
+        self.solve_faulted_scratch(loads, faults, guess, &mut SolveScratch::new())
+    }
+
+    /// [`RegularPdn::solve_faulted`] with reusable cross-solve state.
+    ///
+    /// Wearout loops and load sweeps re-solve the same topology hundreds
+    /// of times; passing one [`SolveScratch`] lets every solve after the
+    /// first re-stamp values onto the cached sparsity pattern and recycle
+    /// the solver's working vectors. Results are bit-identical to
+    /// [`RegularPdn::solve_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`RegularPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted_scratch(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
         let asm = self.assemble(loads, faults);
-        let (v, report) = asm.nb.solve_reported(guess)?;
+        let (v, report) = asm.nb.solve_scratch(guess, scratch)?;
         Ok(self.extract(loads, v, &asm, faults, report))
     }
 
@@ -389,7 +414,7 @@ impl RegularPdn {
         after: &StackLoads,
         config: &crate::transient::PdnTransientConfig,
     ) -> Result<crate::transient::StepResponse, SolveError> {
-        use vstack_sparse::solver::{cg_with_guess, CgOptions};
+        use vstack_sparse::solver::{cg_with_guess_ws, CgOptions, SolveWorkspace};
 
         let steps = config.steps();
         assert!(
@@ -424,6 +449,9 @@ impl RegularPdn {
         let mut times_s = Vec::with_capacity(steps);
         let mut max_drop_series = Vec::with_capacity(steps);
         let mut rhs = vec![0.0; rhs_base.len()];
+        // One workspace outside the time loop: every backward-Euler step
+        // reuses the same Krylov vectors instead of reallocating them.
+        let mut ws = SolveWorkspace::new();
         for step in 1..=steps {
             rhs.copy_from_slice(&rhs_base);
             for &(a, b, c) in &decap_pairs {
@@ -431,7 +459,7 @@ impl RegularPdn {
                 rhs[a] += i_companion;
                 rhs[b] -= i_companion;
             }
-            v = cg_with_guess(&a_t, &rhs, Some(&v), &opts)?.x;
+            v = cg_with_guess_ws(&a_t, &rhs, Some(&v), &opts, &mut ws)?.x;
             times_s.push(step as f64 * config.dt_s);
             max_drop_series.push(self.max_drop_of(&v));
         }
@@ -702,6 +730,31 @@ mod tests {
             gw.current_per_tsv_a,
             gh.current_per_tsv_a
         );
+    }
+
+    #[test]
+    fn scratch_fault_sweep_is_bit_identical_to_fresh_solves() {
+        // A wearout-style sweep through one SolveScratch must reproduce
+        // the per-step fresh solves exactly: same voltages, same ladder.
+        let p = quick_params();
+        let pdn = RegularPdn::new(&p, 2, TsvTopology::Few, 0.5);
+        let loads = StackLoads::uniform_peak(&p, 2);
+        let mut scratch = SolveScratch::new();
+        let mut faults = FaultSet::new();
+        let mut warm: Option<Vec<f64>> = None;
+        for step in 0..3 {
+            if step > 0 {
+                faults.fail_vdd_pad(step - 1);
+                faults.fail_tsvs(0, 0, step);
+            }
+            let fresh = pdn.solve_faulted(&loads, &faults, warm.as_deref()).unwrap();
+            let reused = pdn
+                .solve_faulted_scratch(&loads, &faults, warm.as_deref(), &mut scratch)
+                .unwrap();
+            assert_eq!(fresh.voltages, reused.voltages, "step {step}");
+            assert_eq!(fresh.report.trail(), reused.report.trail());
+            warm = Some(fresh.voltages);
+        }
     }
 
     #[test]

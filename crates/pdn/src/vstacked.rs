@@ -18,7 +18,7 @@ use vstack_sparse::SolveError;
 use crate::c4::{C4Array, PadNet};
 use crate::error::PdnError;
 use crate::fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
-use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder};
+use crate::network::{core_load_weights, core_node_map, GridSpec, NetworkBuilder, SolveScratch};
 use crate::params::PdnParams;
 use crate::solution::{ConductorCurrents, PdnSolution};
 use crate::stack::StackLoads;
@@ -211,16 +211,42 @@ impl VstackPdn {
         faults: &FaultSet,
         guess: Option<&[f64]>,
     ) -> Result<FaultedSolution, PdnError> {
+        self.solve_faulted_scratch(loads, faults, guess, &mut SolveScratch::new())
+    }
+
+    /// [`VstackPdn::solve_faulted`] with reusable cross-solve state.
+    ///
+    /// Wearout loops and converter sweeps re-solve one topology hundreds
+    /// of times; passing one [`SolveScratch`] lets every solve after the
+    /// first re-stamp values onto the cached sparsity pattern and recycle
+    /// the solver's working vectors (closed-loop Picard iterations share
+    /// the scratch internally as well). Results are bit-identical to
+    /// [`VstackPdn::solve_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`VstackPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted_scratch(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
         match self.converter.control {
             vstack_sc::ControlPolicy::OpenLoop => {
                 let sites = self.converter_sites();
                 let g = vec![1.0 / self.converter.r_series(self.converter.f_nom); sites.len()];
                 let f = vec![self.converter.f_nom; sites.len()];
-                self.solve_with_conductances(loads, &sites, &g, &f, faults, guess)
+                self.solve_with_conductances(loads, &sites, &g, &f, faults, guess, scratch)
             }
-            vstack_sc::ControlPolicy::ClosedLoop { .. } => {
-                Ok(self.solve_closed_loop_faulted(loads, faults, guess)?.0)
-            }
+            vstack_sc::ControlPolicy::ClosedLoop { .. } => Ok(self
+                .solve_closed_loop_faulted_scratch(loads, faults, guess, scratch)?
+                .0),
         }
     }
 
@@ -267,13 +293,37 @@ impl VstackPdn {
         faults: &FaultSet,
         guess: Option<&[f64]>,
     ) -> Result<(FaultedSolution, usize), PdnError> {
+        self.solve_closed_loop_faulted_scratch(loads, faults, guess, &mut SolveScratch::new())
+    }
+
+    /// [`VstackPdn::solve_closed_loop_faulted`] with reusable cross-solve
+    /// state. Every Picard iteration re-stamps the same sparsity pattern
+    /// (only the converter conductances change), so the scratch turns the
+    /// whole fixed-point loop into one symbolic build plus cheap value
+    /// re-stamps.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VstackPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_closed_loop_faulted_scratch(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<(FaultedSolution, usize), PdnError> {
         let sites = self.converter_sites();
         let mut f: Vec<f64> = vec![self.converter.f_nom; sites.len()];
         let mut g: Vec<f64> = f
             .iter()
             .map(|&fi| 1.0 / self.converter.r_series(fi))
             .collect();
-        let mut last = self.solve_with_conductances(loads, &sites, &g, &f, faults, guess)?;
+        let mut last =
+            self.solve_with_conductances(loads, &sites, &g, &f, faults, guess, scratch)?;
         // The k cells within one core on one rail are phases of a single
         // interleaved converter sharing one controller clock, so frequency
         // feedback acts on the group-average current. (Per-cell feedback
@@ -299,8 +349,15 @@ impl VstackPdn {
                     g[k] = 1.0 / self.converter.r_series(f[k]);
                 }
             }
-            let next =
-                self.solve_with_conductances(loads, &sites, &g, &f, faults, Some(&last.voltages))?;
+            let next = self.solve_with_conductances(
+                loads,
+                &sites,
+                &g,
+                &f,
+                faults,
+                Some(&last.voltages),
+                scratch,
+            )?;
             let drop_change =
                 (next.solution.max_ir_drop_frac - last.solution.max_ir_drop_frac).abs();
             let par_change = (next.solution.p_parasitic_w - last.solution.p_parasitic_w).abs()
@@ -373,7 +430,7 @@ impl VstackPdn {
         after: &StackLoads,
         config: &crate::transient::PdnTransientConfig,
     ) -> Result<crate::transient::StepResponse, SolveError> {
-        use vstack_sparse::solver::{cg_with_guess, CgOptions};
+        use vstack_sparse::solver::{cg_with_guess_ws, CgOptions, SolveWorkspace};
 
         let steps = config.steps();
         assert!(
@@ -417,6 +474,9 @@ impl VstackPdn {
         let mut times_s = Vec::with_capacity(steps);
         let mut max_drop_series = Vec::with_capacity(steps);
         let mut rhs = vec![0.0; rhs_base.len()];
+        // One workspace outside the time loop: every backward-Euler step
+        // reuses the same Krylov vectors instead of reallocating them.
+        let mut ws = SolveWorkspace::new();
         for step in 1..=steps {
             rhs.copy_from_slice(&rhs_base);
             for &(a, b, c) in &decap_pairs {
@@ -424,7 +484,7 @@ impl VstackPdn {
                 rhs[a] += i_companion;
                 rhs[b] -= i_companion;
             }
-            v = cg_with_guess(&a_t, &rhs, Some(&v), &opts)?.x;
+            v = cg_with_guess_ws(&a_t, &rhs, Some(&v), &opts, &mut ws)?.x;
             times_s.push(step as f64 * config.dt_s);
             max_drop_series.push(self.max_drop_of(&v));
         }
@@ -575,6 +635,7 @@ impl VstackPdn {
     /// conductances `conv_g` and switching frequencies `conv_f` (parallel
     /// to [`VstackPdn::converter_sites`]), with `faults` open-circuited
     /// and an optional warm-start `guess`.
+    #[allow(clippy::too_many_arguments)]
     fn solve_with_conductances(
         &self,
         loads: &StackLoads,
@@ -583,10 +644,11 @@ impl VstackPdn {
         conv_f: &[f64],
         faults: &FaultSet,
         guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
     ) -> Result<FaultedSolution, PdnError> {
         assert_eq!(sites.len(), conv_f.len(), "frequency count mismatch");
         let asm = self.assemble_with_conductances(loads, sites, conv_g, faults);
-        let (v, report) = asm.nb.solve_reported(guess)?;
+        let (v, report) = asm.nb.solve_scratch(guess, scratch)?;
         let n = self.n_layers;
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
         let AssembledVs {
@@ -1045,6 +1107,32 @@ mod tests {
             .unwrap();
         assert!((plain.max_ir_drop_frac - faulted.solution.max_ir_drop_frac).abs() < 1e-12);
         assert!(!faulted.report.was_rescued(), "{}", faulted.report.trail());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_for_both_control_policies() {
+        let p = quick_params();
+        let loads = StackLoads::interleaved(&p, 4, &ImbalancePattern::new(0.5));
+        for converter in [
+            ScConverter::paper_28nm(),
+            ScConverter::paper_28nm_closed_loop(),
+        ] {
+            let pdn = VstackPdn::new(&p, 4, TsvTopology::Few, 0.25, converter, 4);
+            let mut scratch = SolveScratch::new();
+            let mut faults = crate::fault::FaultSet::new();
+            for step in 0..2 {
+                if step > 0 {
+                    faults.fail_vdd_pad(0);
+                    faults.fail_tsvs(1, 0, 2);
+                }
+                let fresh = pdn.solve_faulted(&loads, &faults, None).unwrap();
+                let reused = pdn
+                    .solve_faulted_scratch(&loads, &faults, None, &mut scratch)
+                    .unwrap();
+                assert_eq!(fresh.voltages, reused.voltages, "step {step}");
+                assert_eq!(fresh.report.trail(), reused.report.trail());
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub enum SolveError {
         /// offending value.
         index: usize,
     },
+    /// A triplet fell outside a CSR matrix's stored sparsity pattern during
+    /// value re-stamping ([`crate::CsrMatrix::set_values_from_triplets`]).
+    /// Callers caching a symbolic pattern across re-solves treat this as
+    /// "the structure changed — rebuild from scratch".
+    PatternMismatch {
+        /// Row of the offending triplet.
+        row: usize,
+        /// Column of the offending triplet.
+        col: usize,
+    },
     /// The residual stopped improving for a full stagnation window before
     /// reaching tolerance. Distinct from [`SolveError::NotConverged`]:
     /// stagnation is detected early, leaving iteration budget for a
@@ -108,6 +118,13 @@ impl fmt::Display for SolveError {
             }
             SolveError::NonFinite { what, index } => {
                 write!(f, "non-finite value in {what} at index {index}")
+            }
+            SolveError::PatternMismatch { row, col } => {
+                write!(
+                    f,
+                    "entry ({row}, {col}) is outside the stored sparsity pattern; \
+                     the matrix structure changed and must be rebuilt"
+                )
             }
             SolveError::Stagnated {
                 iterations,

@@ -13,9 +13,18 @@
 //! breakdown (non-positive pivot) is reported as an error so callers can
 //! fall back to Jacobi.
 
+use crate::pool::{self, SharedSliceMut, ThreadPool};
 use crate::{CsrMatrix, SolveError};
 
 /// An IC(0) factor `L` (lower triangular, unit-free, CSR-like storage).
+///
+/// The factorization also computes **level sets** for both triangular
+/// solves — groups of rows (columns for the transpose solve) with no
+/// mutual dependencies — once, so [`IncompleteCholesky::apply`] can run
+/// each level in parallel across every CG iteration without re-analyzing
+/// the structure. Rows within a level are independent and each row's
+/// accumulation order is fixed, so the parallel solves are bit-identical
+/// to the serial ones.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncompleteCholesky {
     n: usize,
@@ -29,6 +38,33 @@ pub struct IncompleteCholesky {
     col_ptr: Vec<usize>,
     col_rows: Vec<usize>,
     col_vals: Vec<usize>,
+    /// Forward-solve level sets: `flevel_rows[flevel_ptr[l]..flevel_ptr[l+1]]`
+    /// are the rows of level `l`, each depending only on rows in levels `< l`.
+    flevel_ptr: Vec<usize>,
+    flevel_rows: Vec<usize>,
+    /// Backward-solve (`Lᵀ`) level sets over columns, analogously.
+    blevel_ptr: Vec<usize>,
+    blevel_cols: Vec<usize>,
+}
+
+/// Buckets indices `0..n` by a level number into a CSR-like
+/// `(level_ptr, members)` pair; members are ascending within each level.
+fn bucket_levels(levels: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n_levels = levels.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut ptr = vec![0usize; n_levels + 1];
+    for &l in levels {
+        ptr[l + 1] += 1;
+    }
+    for l in 0..n_levels {
+        ptr[l + 1] += ptr[l];
+    }
+    let mut next = ptr.clone();
+    let mut members = vec![0usize; levels.len()];
+    for (i, &l) in levels.iter().enumerate() {
+        members[next[l]] = i;
+        next[l] += 1;
+    }
+    (ptr, members)
 }
 
 impl IncompleteCholesky {
@@ -149,6 +185,32 @@ impl IncompleteCholesky {
             }
         }
 
+        // Level schedules (computed once here, reused every apply).
+        // Forward: row r waits on every strictly-lower column it touches.
+        let mut flevels = vec![0usize; n];
+        for r in 0..n {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            let mut l = 0;
+            if hi > lo {
+                for &c in &col_idx[lo..hi - 1] {
+                    l = l.max(flevels[c] + 1);
+                }
+            }
+            flevels[r] = l;
+        }
+        let (flevel_ptr, flevel_rows) = bucket_levels(&flevels);
+        // Backward (Lᵀ): column j waits on every sub-diagonal row of its
+        // column, i.e. dependencies run from high indices to low.
+        let mut blevels = vec![0usize; n];
+        for col in (0..n).rev() {
+            let mut l = 0;
+            for k in col_ptr[col]..col_ptr[col + 1] {
+                l = l.max(blevels[col_rows[k]] + 1);
+            }
+            blevels[col] = l;
+        }
+        let (blevel_ptr, blevel_cols) = bucket_levels(&blevels);
+
         Ok(IncompleteCholesky {
             n,
             row_ptr,
@@ -157,7 +219,22 @@ impl IncompleteCholesky {
             col_ptr,
             col_rows,
             col_vals,
+            flevel_ptr,
+            flevel_rows,
+            blevel_ptr,
+            blevel_cols,
         })
+    }
+
+    /// Number of forward-solve dependency levels (the critical-path length
+    /// of the parallel lower-triangular solve).
+    pub fn forward_levels(&self) -> usize {
+        self.flevel_ptr.len().saturating_sub(1)
+    }
+
+    /// Number of backward-solve dependency levels.
+    pub fn backward_levels(&self) -> usize {
+        self.blevel_ptr.len().saturating_sub(1)
     }
 
     /// Dimension of the factor.
@@ -165,7 +242,20 @@ impl IncompleteCholesky {
         self.n
     }
 
+    /// Dimension above which [`IncompleteCholesky::apply`] routes through
+    /// the active thread pool. Small factors finish before a broadcast
+    /// would even start.
+    pub const PAR_MIN_DIM: usize = 8_192;
+
+    /// Rows per level below which a level runs serially even on a parallel
+    /// pool (the broadcast overhead would dominate).
+    pub const PAR_MIN_LEVEL_WIDTH: usize = 512;
+
     /// Applies the preconditioner: solves `L·Lᵀ·z = r`.
+    ///
+    /// Large factors (≥ [`IncompleteCholesky::PAR_MIN_DIM`]) route through
+    /// the active thread pool using the precomputed level schedule; the
+    /// result is bit-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -173,6 +263,17 @@ impl IncompleteCholesky {
     pub fn apply(&self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), self.n, "apply: r length mismatch");
         assert_eq!(z.len(), self.n, "apply: z length mismatch");
+        if self.n >= Self::PAR_MIN_DIM {
+            pool::active(|p| self.par_apply(p, r, z));
+            return;
+        }
+        self.apply_serial(r, z);
+    }
+
+    /// Serial triangular solves (row/column order). Each row's update is
+    /// the same expression the level-scheduled path evaluates, so the two
+    /// agree bit for bit.
+    fn apply_serial(&self, r: &[f64], z: &mut [f64]) {
         // Forward solve L y = r (y stored in z).
         for row in 0..self.n {
             let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
@@ -192,6 +293,101 @@ impl IncompleteCholesky {
                 acc -= self.values[self.col_vals[k]] * z[self.col_rows[k]];
             }
             z[col] = acc / diag;
+        }
+    }
+
+    /// [`IncompleteCholesky::apply`] on an explicit pool: both triangular
+    /// solves proceed level by level, with the rows (columns) of each wide
+    /// level partitioned across contexts. Bit-identical to the serial path
+    /// for any context count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` or `z.len()` differs from [`Self::dim`].
+    pub fn par_apply(&self, pool: &ThreadPool, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "apply: r length mismatch");
+        assert_eq!(z.len(), self.n, "apply: z length mismatch");
+        let contexts = pool.contexts();
+        if contexts == 1 {
+            self.apply_serial(r, z);
+            return;
+        }
+        // Forward solve L y = r, level by level.
+        for l in 0..self.forward_levels() {
+            let rows = &self.flevel_rows[self.flevel_ptr[l]..self.flevel_ptr[l + 1]];
+            if rows.len() < Self::PAR_MIN_LEVEL_WIDTH {
+                for &row in rows {
+                    let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+                    let mut acc = r[row];
+                    for idx in lo..hi - 1 {
+                        acc -= self.values[idx] * z[self.col_idx[idx]];
+                    }
+                    z[row] = acc / self.values[hi - 1];
+                }
+            } else {
+                let zs = SharedSliceMut::new(z);
+                pool.run(&|ctx| {
+                    let a = rows.len() * ctx / contexts;
+                    let b = rows.len() * (ctx + 1) / contexts;
+                    for &row in &rows[a..b] {
+                        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+                        let mut acc = r[row];
+                        for idx in lo..hi - 1 {
+                            // SAFETY: `col_idx[idx] < row` belongs to an
+                            // earlier level — fully written, no concurrent
+                            // writer in this level.
+                            #[allow(unsafe_code)]
+                            let zc = unsafe { zs.get(self.col_idx[idx]) };
+                            acc -= self.values[idx] * zc;
+                        }
+                        // SAFETY: each row appears in exactly one level
+                        // partition, so this write is race-free.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            zs.set(row, acc / self.values[hi - 1])
+                        };
+                    }
+                });
+            }
+        }
+        // Backward solve Lᵀ z = y, level by level over columns.
+        for l in 0..self.backward_levels() {
+            let cols = &self.blevel_cols[self.blevel_ptr[l]..self.blevel_ptr[l + 1]];
+            if cols.len() < Self::PAR_MIN_LEVEL_WIDTH {
+                for &col in cols {
+                    let hi = self.row_ptr[col + 1];
+                    let diag = self.values[hi - 1];
+                    let mut acc = z[col];
+                    for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                        acc -= self.values[self.col_vals[k]] * z[self.col_rows[k]];
+                    }
+                    z[col] = acc / diag;
+                }
+            } else {
+                let zs = SharedSliceMut::new(z);
+                pool.run(&|ctx| {
+                    let a = cols.len() * ctx / contexts;
+                    let b = cols.len() * (ctx + 1) / contexts;
+                    for &col in &cols[a..b] {
+                        let hi = self.row_ptr[col + 1];
+                        let diag = self.values[hi - 1];
+                        // SAFETY: `col` is written by exactly this context
+                        // (one level partition), and every `col_rows[k] >
+                        // col` belongs to an earlier backward level.
+                        #[allow(unsafe_code)]
+                        let mut acc = unsafe { zs.get(col) };
+                        for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                            #[allow(unsafe_code)]
+                            let zr = unsafe { zs.get(self.col_rows[k]) };
+                            acc -= self.values[self.col_vals[k]] * zr;
+                        }
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            zs.set(col, acc / diag)
+                        };
+                    }
+                });
+            }
         }
     }
 }
@@ -282,5 +478,76 @@ mod tests {
             IncompleteCholesky::factor(&a),
             Err(SolveError::NotSquare { .. })
         ));
+    }
+
+    #[test]
+    fn level_schedule_shapes() {
+        // Diagonal matrix: every row independent, one level each way.
+        let d =
+            CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0)]);
+        let ic = IncompleteCholesky::factor(&d).unwrap();
+        assert_eq!(ic.forward_levels(), 1);
+        assert_eq!(ic.backward_levels(), 1);
+        // Tridiagonal: a pure chain, n levels each way.
+        let mut t = TripletMatrix::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 3.0);
+            if i + 1 < 5 {
+                t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+            }
+        }
+        let ic = IncompleteCholesky::factor(&t.to_csr()).unwrap();
+        assert_eq!(ic.forward_levels(), 5);
+        assert_eq!(ic.backward_levels(), 5);
+        // 2-D Laplacian: levels are (anti-)diagonal wavefronts, 2·n − 1.
+        let ic = IncompleteCholesky::factor(&laplacian_2d(8)).unwrap();
+        assert_eq!(ic.forward_levels(), 15);
+        assert_eq!(ic.backward_levels(), 15);
+    }
+
+    #[test]
+    fn par_apply_is_bit_identical_to_serial() {
+        let a = laplacian_2d(16); // 256 unknowns, 31 levels
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let r: Vec<f64> = (0..256)
+            .map(|i| ((i * 31 + 5) % 101) as f64 - 50.0)
+            .collect();
+        let mut z_serial = vec![0.0; 256];
+        ic.apply_serial(&r, &mut z_serial);
+        for contexts in [1, 2, 4] {
+            let pool = crate::pool::ThreadPool::new(contexts);
+            let mut z = vec![f64::NAN; 256];
+            ic.par_apply(&pool, &r, &mut z);
+            let same = z
+                .iter()
+                .zip(&z_serial)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "contexts = {contexts}");
+        }
+    }
+
+    #[test]
+    fn par_apply_wide_levels_match_serial() {
+        // A diagonal system has a single level of width n, wide enough
+        // (n > PAR_MIN_LEVEL_WIDTH) to exercise the partitioned branch.
+        let n = 2 * IncompleteCholesky::PAR_MIN_LEVEL_WIDTH;
+        let trips: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| (i, i, 1.0 + (i % 7) as f64)).collect();
+        let a = CsrMatrix::from_triplets(n, n, &trips);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        assert_eq!(ic.forward_levels(), 1);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut z_serial = vec![0.0; n];
+        ic.apply_serial(&r, &mut z_serial);
+        for contexts in [2, 4] {
+            let pool = crate::pool::ThreadPool::new(contexts);
+            let mut z = vec![f64::NAN; n];
+            ic.par_apply(&pool, &r, &mut z);
+            let same = z
+                .iter()
+                .zip(&z_serial)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "contexts = {contexts}");
+        }
     }
 }

@@ -18,6 +18,11 @@
 //! * [`dense`] — a small dense matrix with LU factorization (partial
 //!   pivoting), used for tiny systems (converter test benches) and as a
 //!   reference implementation in tests.
+//! * [`pool`] — a std-only scoped thread pool behind the parallel kernels
+//!   (row-partitioned SpMV, fixed-chunk tree reductions, level-scheduled
+//!   IC(0) triangular solves). All parallel paths are bit-identical to the
+//!   serial ones at any thread count; set `VSTACK_THREADS` to override the
+//!   default (available parallelism).
 //!
 //! # Example
 //!
@@ -45,7 +50,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied by default; the only exemption is the thread pool
+// (`pool`), whose lifetime-erased broadcast and partitioned slice writes
+// cannot be expressed in safe Rust. Each use carries a SAFETY comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod csr;
@@ -54,11 +62,15 @@ mod triplet;
 
 pub mod dense;
 pub mod ichol;
+pub mod pool;
 pub mod robust;
 pub mod solver;
 pub mod vecops;
 
 pub use csr::CsrMatrix;
 pub use error::SolveError;
-pub use robust::{solve_robust, RobustOptions, RobustSolved, SolveMethod, SolveReport};
+pub use robust::{
+    solve_robust, solve_robust_ws, RobustOptions, RobustSolved, SolveMethod, SolveReport,
+};
+pub use solver::SolveWorkspace;
 pub use triplet::TripletMatrix;

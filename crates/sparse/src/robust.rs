@@ -24,8 +24,8 @@
 //! system and options always take the same path.
 
 use crate::solver::{
-    bicgstab_with_guess, cg_with_guess, validate_finite, BiCgStabOptions, CgOptions,
-    Preconditioner, Solved,
+    bicgstab_with_guess_ws, cg_with_guess_ws, validate_finite, BiCgStabOptions, CgOptions,
+    Preconditioner, SolveWorkspace, Solved,
 };
 use crate::{CsrMatrix, SolveError, TripletMatrix};
 
@@ -211,6 +211,24 @@ pub fn solve_robust(
     guess: Option<&[f64]>,
     options: &RobustOptions,
 ) -> Result<RobustSolved, SolveError> {
+    solve_robust_ws(a, b, guess, options, &mut SolveWorkspace::new())
+}
+
+/// Like [`solve_robust`], but every rung of the ladder borrows its work
+/// vectors from `ws` instead of allocating them — the entry point for
+/// loops that solve many related systems (fault sweeps, wearout rounds).
+/// Results are bit-identical to [`solve_robust`].
+///
+/// # Errors
+///
+/// Same as [`solve_robust`].
+pub fn solve_robust_ws(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &RobustOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<RobustSolved, SolveError> {
     if a.cols() != a.rows() {
         return Err(SolveError::NotSquare {
             rows: a.rows(),
@@ -241,11 +259,12 @@ pub fn solve_robust(
 
     // Rung 1: CG + IC(0).
     if options.start_with_ic {
-        match cg_with_guess(
+        match cg_with_guess_ws(
             a,
             b,
             guess,
             &cg_options(options, Preconditioner::IncompleteCholesky),
+            ws,
         ) {
             Ok(solved) => {
                 return Ok(accept(
@@ -263,7 +282,13 @@ pub fn solve_robust(
     }
 
     // Rung 2: CG + Jacobi.
-    match cg_with_guess(a, b, guess, &cg_options(options, Preconditioner::Jacobi)) {
+    match cg_with_guess_ws(
+        a,
+        b,
+        guess,
+        &cg_options(options, Preconditioner::Jacobi),
+        ws,
+    ) {
         Ok(solved) => return Ok(accept(SolveMethod::CgJacobi, solved, &mut fallbacks)),
         Err(e) if is_structural(&e) => return Err(e),
         Err(e) => fallbacks.push(FallbackStep {
@@ -288,7 +313,7 @@ pub fn solve_robust(
         max_iterations: options.max_iterations,
         preconditioner: bicg_pre,
     };
-    match bicgstab_with_guess(a, b, guess, &bicg_opts) {
+    match bicgstab_with_guess_ws(a, b, guess, &bicg_opts, ws) {
         Ok(solved) => return Ok(accept(SolveMethod::BiCgStab, solved, &mut fallbacks)),
         Err(e) if is_structural(&e) => return Err(e),
         Err(e) => fallbacks.push(FallbackStep {
@@ -307,11 +332,12 @@ pub fn solve_robust(
     let lambda = options.shift_scale * max_diag;
     if lambda > 0.0 {
         let shifted = shifted_matrix(a, lambda);
-        match cg_with_guess(
+        match cg_with_guess_ws(
             &shifted,
             b,
             guess,
             &cg_options(options, Preconditioner::Jacobi),
+            ws,
         ) {
             Ok(solved) => {
                 let b_norm = crate::vecops::norm2(b);

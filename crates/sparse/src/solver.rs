@@ -123,6 +123,60 @@ pub(crate) fn validate_finite(
     Ok(())
 }
 
+/// Reusable scratch vectors for [`cg_with_guess_ws`],
+/// [`bicgstab_with_guess_ws`] and [`crate::solve_robust_ws`].
+///
+/// A CG solve needs four work vectors and a BiCGSTAB solve eight; sweep
+/// loops and the wearout feedback loop used to re-allocate them for every
+/// solve. A workspace owns them all and is resized (never shrunk) to each
+/// system's dimension on entry, so steady-state re-solves perform **no
+/// allocation** beyond the returned solution vector. Every vector is
+/// re-zeroed on entry, so reuse across solves — including solves of
+/// different sizes or sparsity patterns — is bit-identical to the
+/// allocate-fresh path.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    r_hat: Vec<f64>,
+    v: Vec<f64>,
+    phat: Vec<f64>,
+    s: Vec<f64>,
+    shat: Vec<f64>,
+    t: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace; vectors grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total `f64` capacity currently held (diagnostic; used by tests to
+    /// verify that steady-state reuse stops allocating).
+    pub fn capacity(&self) -> usize {
+        self.r.capacity()
+            + self.z.capacity()
+            + self.p.capacity()
+            + self.ap.capacity()
+            + self.r_hat.capacity()
+            + self.v.capacity()
+            + self.phat.capacity()
+            + self.s.capacity()
+            + self.shat.capacity()
+            + self.t.capacity()
+    }
+}
+
+/// Resets `v` to `n` zeros, reusing its allocation when large enough —
+/// the workspace equivalent of `vec![0.0; n]`.
+fn prep(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
 /// Materialized preconditioner state.
 enum Precond {
     None,
@@ -211,6 +265,23 @@ pub fn cg_with_guess(
     guess: Option<&[f64]>,
     options: &CgOptions,
 ) -> Result<Solved, SolveError> {
+    cg_with_guess_ws(a, b, guess, options, &mut SolveWorkspace::new())
+}
+
+/// Like [`cg_with_guess`], but borrows its work vectors from `ws` instead
+/// of allocating them — the entry point for sweep loops that solve many
+/// systems in sequence. Results are bit-identical to [`cg_with_guess`].
+///
+/// # Errors
+///
+/// Same as [`cg`].
+pub fn cg_with_guess_ws(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(SolveError::NotSquare {
@@ -249,18 +320,21 @@ pub fn cg_with_guess(
         None => vec![0.0; n],
     };
 
+    let SolveWorkspace { r, z, p, ap, .. } = ws;
+    prep(r, n);
+    prep(z, n);
+    prep(p, n);
+    prep(ap, n);
+
     // r = b − A x
-    let mut r = vec![0.0; n];
-    a.mul_vec_into(&x, &mut r);
+    a.mul_vec_into(&x, r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
 
-    let mut z = vec![0.0; n];
-    pre.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    pre.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
 
     // Stagnation tracking: `best_res` only updates on a meaningful
     // (relative) improvement, so round-off chatter does not reset the
@@ -269,7 +343,7 @@ pub fn cg_with_guess(
     let mut stalled = 0usize;
 
     for it in 0..options.max_iterations {
-        let res = norm2(&r) / b_norm;
+        let res = norm2(r) / b_norm;
         if res <= options.tolerance {
             return Ok(Solved {
                 x,
@@ -291,22 +365,22 @@ pub fn cg_with_guess(
                 }
             }
         }
-        a.mul_vec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.mul_vec_into(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             return Err(SolveError::Breakdown { iterations: it });
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        pre.apply(&r, &mut z);
-        let rz_next = dot(&r, &z);
+        axpy(alpha, p, &mut x);
+        axpy(-alpha, ap, r);
+        pre.apply(r, z);
+        let rz_next = dot(r, z);
         let beta = rz_next / rz;
         rz = rz_next;
-        xpby(&z, beta, &mut p);
+        xpby(z, beta, p);
     }
 
-    let res = norm2(&r) / b_norm;
+    let res = norm2(r) / b_norm;
     if res <= options.tolerance {
         Ok(Solved {
             x,
@@ -359,6 +433,23 @@ pub fn bicgstab_with_guess(
     guess: Option<&[f64]>,
     options: &BiCgStabOptions,
 ) -> Result<Solved, SolveError> {
+    bicgstab_with_guess_ws(a, b, guess, options, &mut SolveWorkspace::new())
+}
+
+/// Like [`bicgstab_with_guess`], but borrows its eight work vectors from
+/// `ws` instead of allocating them. Results are bit-identical to
+/// [`bicgstab_with_guess`].
+///
+/// # Errors
+///
+/// Same as [`bicgstab`].
+pub fn bicgstab_with_guess_ws(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &BiCgStabOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(SolveError::NotSquare {
@@ -397,13 +488,32 @@ pub fn bicgstab_with_guess(
         None => vec![0.0; n],
     };
 
+    let SolveWorkspace {
+        r,
+        r_hat,
+        v,
+        p,
+        phat,
+        s,
+        shat,
+        t,
+        ..
+    } = ws;
+    prep(r, n);
+    prep(r_hat, n);
+    prep(v, n);
+    prep(p, n);
+    prep(phat, n);
+    prep(s, n);
+    prep(shat, n);
+    prep(t, n);
+
     // r = b − A x
-    let mut r = vec![0.0; n];
-    a.mul_vec_into(&x, &mut r);
+    a.mul_vec_into(&x, r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
-    let initial_res = norm2(&r) / b_norm;
+    let initial_res = norm2(r) / b_norm;
     if initial_res <= options.tolerance {
         return Ok(Solved {
             x,
@@ -411,19 +521,13 @@ pub fn bicgstab_with_guess(
             relative_residual: initial_res,
         });
     }
-    let r_hat = r.clone();
+    r_hat.copy_from_slice(r);
     let mut rho = 1.0;
     let mut alpha = 1.0;
     let mut omega = 1.0;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut phat = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut shat = vec![0.0; n];
-    let mut t = vec![0.0; n];
 
     for it in 0..options.max_iterations {
-        let rho_next = dot(&r_hat, &r);
+        let rho_next = dot(r_hat, r);
         if rho_next.abs() < f64::MIN_POSITIVE {
             return Err(SolveError::Breakdown { iterations: it });
         }
@@ -433,9 +537,9 @@ pub fn bicgstab_with_guess(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        pre.apply(&p, &mut phat);
-        a.mul_vec_into(&phat, &mut v);
-        let denom = dot(&r_hat, &v);
+        pre.apply(p, phat);
+        a.mul_vec_into(phat, v);
+        let denom = dot(r_hat, v);
         if denom.abs() < f64::MIN_POSITIVE {
             return Err(SolveError::Breakdown { iterations: it });
         }
@@ -443,28 +547,28 @@ pub fn bicgstab_with_guess(
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        let s_res = norm2(&s) / b_norm;
+        let s_res = norm2(s) / b_norm;
         if s_res <= options.tolerance {
-            axpy(alpha, &phat, &mut x);
+            axpy(alpha, phat, &mut x);
             return Ok(Solved {
                 x,
                 iterations: it + 1,
                 relative_residual: s_res,
             });
         }
-        pre.apply(&s, &mut shat);
-        a.mul_vec_into(&shat, &mut t);
-        let tt = dot(&t, &t);
+        pre.apply(s, shat);
+        a.mul_vec_into(shat, t);
+        let tt = dot(t, t);
         if tt.abs() < f64::MIN_POSITIVE {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        omega = dot(&t, &s) / tt;
-        axpy(alpha, &phat, &mut x);
-        axpy(omega, &shat, &mut x);
+        omega = dot(t, s) / tt;
+        axpy(alpha, phat, &mut x);
+        axpy(omega, shat, &mut x);
         for i in 0..n {
             r[i] = s[i] - omega * t[i];
         }
-        let res = norm2(&r) / b_norm;
+        let res = norm2(r) / b_norm;
         if res <= options.tolerance {
             return Ok(Solved {
                 x,
@@ -479,7 +583,7 @@ pub fn bicgstab_with_guess(
 
     Err(SolveError::NotConverged {
         iterations: options.max_iterations,
-        residual: norm2(&r) / b_norm,
+        residual: norm2(r) / b_norm,
     })
 }
 
@@ -708,6 +812,34 @@ mod tests {
                 index: 0
             }
         ));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_and_allocation_stable() {
+        let mut ws = SolveWorkspace::new();
+        // Solve systems of several sizes through one workspace, interleaving
+        // CG and BiCGSTAB; every result must match the allocate-fresh path
+        // bit for bit, and once the workspace has grown to the largest size
+        // its capacity must stop changing.
+        for &n in &[10, 50, 30, 50, 7] {
+            let a = laplacian_1d(n);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let fresh = cg_with_guess(&a, &b, None, &CgOptions::default()).unwrap();
+            let reused = cg_with_guess_ws(&a, &b, None, &CgOptions::default(), &mut ws).unwrap();
+            assert_eq!(fresh, reused, "cg n={n}");
+            let fresh = bicgstab_with_guess(&a, &b, None, &BiCgStabOptions::default()).unwrap();
+            let reused =
+                bicgstab_with_guess_ws(&a, &b, None, &BiCgStabOptions::default(), &mut ws).unwrap();
+            assert_eq!(fresh, reused, "bicgstab n={n}");
+        }
+        let cap = ws.capacity();
+        for _ in 0..3 {
+            let a = laplacian_1d(50);
+            let b = vec![1.0; 50];
+            cg_with_guess_ws(&a, &b, None, &CgOptions::default(), &mut ws).unwrap();
+            bicgstab_with_guess_ws(&a, &b, None, &BiCgStabOptions::default(), &mut ws).unwrap();
+        }
+        assert_eq!(ws.capacity(), cap, "steady-state reuse must not reallocate");
     }
 
     #[test]

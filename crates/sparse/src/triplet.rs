@@ -117,6 +117,12 @@ impl TripletMatrix {
     pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
         self.entries.iter()
     }
+
+    /// The raw `(row, col, value)` entries in insertion order — the slice
+    /// form [`crate::CsrMatrix::set_values_from_triplets`] re-stamps from.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
 }
 
 impl Extend<(usize, usize, f64)> for TripletMatrix {

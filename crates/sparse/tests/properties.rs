@@ -1,10 +1,14 @@
 //! Property-based tests for the sparse kernels.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use vstack_sparse::dense::DenseMatrix;
+use vstack_sparse::ichol::IncompleteCholesky;
+use vstack_sparse::pool::ThreadPool;
 use vstack_sparse::robust::{solve_robust, RobustOptions, SolveMethod};
-use vstack_sparse::solver::{bicgstab, cg, BiCgStabOptions, CgOptions};
-use vstack_sparse::{CsrMatrix, TripletMatrix};
+use vstack_sparse::solver::{bicgstab, cg, cg_with_guess_ws, BiCgStabOptions, CgOptions};
+use vstack_sparse::{vecops, CsrMatrix, SolveWorkspace, TripletMatrix};
 
 /// Strategy: a random list of triplets inside an `n × n` matrix.
 fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
@@ -65,6 +69,19 @@ fn ic0_defeating_spd(tail: usize) -> impl Strategy<Value = CsrMatrix> {
             t.push(4 + r, 4 + c, v);
         }
         t.to_csr()
+    })
+}
+
+/// Shared pools for the parallel bit-identity properties: spawning threads
+/// per proptest case would dominate the runtime, and the pool is designed
+/// to be shared.
+fn pools() -> &'static [Arc<ThreadPool>] {
+    static POOLS: std::sync::OnceLock<Vec<Arc<ThreadPool>>> = std::sync::OnceLock::new();
+    POOLS.get_or_init(|| {
+        [1, 2, 4]
+            .iter()
+            .map(|&c| Arc::new(ThreadPool::new(c)))
+            .collect()
     })
 }
 
@@ -167,5 +184,81 @@ proptest! {
         t2.push(0, 0, vals.iter().sum());
         let (a, b) = (t1.to_csr(), t2.to_csr());
         prop_assert!((a.get(0, 0) - b.get(0, 0)).abs() < 1e-9);
+    }
+
+    /// The row-partitioned parallel SpMV produces bit-for-bit the serial
+    /// result at 1, 2 and 4 contexts, on random SPD matrices.
+    #[test]
+    fn par_mul_vec_bit_identical_to_serial(
+        a in spd_matrix(24),
+        x in prop::collection::vec(-3.0..3.0f64, 24),
+    ) {
+        let mut serial = vec![0.0; 24];
+        a.mul_vec_into(&x, &mut serial);
+        for pool in pools() {
+            let mut par = vec![f64::NAN; 24];
+            a.par_mul_vec_into(pool, &x, &mut par);
+            for (s, p) in serial.iter().zip(&par) {
+                prop_assert_eq!(s.to_bits(), p.to_bits());
+            }
+        }
+    }
+
+    /// The chunked tree-reduction dot product produces bit-for-bit the
+    /// serial result at 1, 2 and 4 contexts, across chunk boundaries.
+    #[test]
+    fn par_dot_bit_identical_to_serial(
+        xy in prop::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 1..3000),
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = xy.into_iter().unzip();
+        let serial = vecops::dot(&x, &y);
+        for pool in pools() {
+            let par = vecops::par_dot(pool, &x, &y);
+            prop_assert_eq!(serial.to_bits(), par.to_bits());
+        }
+    }
+
+    /// The level-scheduled parallel IC(0) application produces bit-for-bit
+    /// the serial forward/backward substitution, whenever the random SPD
+    /// matrix admits an IC(0) factorization.
+    #[test]
+    fn par_ic0_apply_bit_identical_to_serial(
+        a in spd_matrix(16),
+        r in prop::collection::vec(-3.0..3.0f64, 16),
+    ) {
+        if let Ok(ic) = IncompleteCholesky::factor(&a) {
+            let mut serial = vec![0.0; 16];
+            ic.apply(&r, &mut serial);
+            for pool in pools() {
+                let mut par = vec![f64::NAN; 16];
+                ic.par_apply(pool, &r, &mut par);
+                for (s, p) in serial.iter().zip(&par) {
+                    prop_assert_eq!(s.to_bits(), p.to_bits());
+                }
+            }
+        }
+    }
+
+    /// One `SolveWorkspace` reused across systems of different sizes and
+    /// patterns resizes correctly: every solve through it is bit-identical
+    /// to a fresh-workspace solve of the same system.
+    #[test]
+    fn workspace_reuse_across_patterns_is_bit_identical(
+        a1 in spd_matrix(8),
+        b1 in prop::collection::vec(-4.0..4.0f64, 8),
+        a2 in spd_matrix(13),
+        b2 in prop::collection::vec(-4.0..4.0f64, 13),
+    ) {
+        let opts = CgOptions::default();
+        let mut ws = SolveWorkspace::new();
+        for (a, b) in [(&a1, &b1), (&a2, &b2), (&a1, &b1)] {
+            let fresh = cg(a, b, &opts).expect("SPD system must converge");
+            let reused = cg_with_guess_ws(a, b, None, &opts, &mut ws)
+                .expect("SPD system must converge")
+                .x;
+            for (f, r) in fresh.iter().zip(&reused) {
+                prop_assert_eq!(f.to_bits(), r.to_bits());
+            }
+        }
     }
 }

@@ -72,7 +72,17 @@ impl Bencher {
     }
 }
 
-fn report(group: Option<&str>, id: &str, bencher: &Bencher) {
+/// One completed benchmark's timing record, kept by [`Criterion`] so
+/// harness binaries can emit machine-readable baselines after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Full benchmark name (`group/id` or the bare id).
+    pub name: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: u128,
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher) -> BenchReport {
     let name = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
@@ -83,13 +93,17 @@ fn report(group: Option<&str>, id: &str, bencher: &Bencher) {
     } else {
         println!("bench {name:<48} {:>12.3} µs/iter", ns as f64 / 1e3);
     }
+    BenchReport {
+        name,
+        median_ns: ns,
+    }
 }
 
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -109,7 +123,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut bencher);
-        report(Some(&self.name), &id.to_string(), &bencher);
+        let record = report(Some(&self.name), &id.to_string(), &bencher);
+        self.criterion.reports.push(record);
         self
     }
 
@@ -123,7 +138,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut bencher, input);
-        report(Some(&self.name), &id.to_string(), &bencher);
+        let record = report(Some(&self.name), &id.to_string(), &bencher);
+        self.criterion.reports.push(record);
         self
     }
 
@@ -133,7 +149,9 @@ impl BenchmarkGroup<'_> {
 
 /// Benchmark driver.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    reports: Vec<BenchReport>,
+}
 
 impl Criterion {
     /// Begin a named group of benchmarks.
@@ -141,7 +159,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -155,8 +173,16 @@ impl Criterion {
             sample_size: 10,
         };
         f(&mut bencher);
-        report(None, id, &bencher);
+        let record = report(None, id, &bencher);
+        self.reports.push(record);
         self
+    }
+
+    /// Every benchmark completed so far, in run order — the hook harness
+    /// binaries use to emit machine-readable baselines (e.g.
+    /// `BENCH_solver.json`).
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
     }
 }
 
@@ -199,6 +225,8 @@ mod tests {
         g.finish();
         // Warm-up + 3 samples.
         assert_eq!(count, 4);
+        assert_eq!(c.reports().len(), 1);
+        assert_eq!(c.reports()[0].name, "unit/counting");
     }
 
     #[test]
