@@ -1,6 +1,11 @@
 //! Interactive design-point explorer: solve any regular or voltage-stacked
 //! configuration from the command line.
 //!
+//! Every query is routed through the `vstack-engine` scenario-query
+//! engine, so repeated points — within one run via `--sweep`, or across
+//! runs via `--cache-dir` — are cache hits instead of re-solves. The run
+//! ends with the engine's hit/miss summary.
+//!
 //! ```text
 //! cargo run --release -p vstack-bench --bin explore -- \
 //!     --topology vs --layers 8 --tsv few --converters 8 --imbalance 0.65
@@ -17,11 +22,15 @@
 //!   full activity)
 //! * `--closed-loop` use frequency-modulated converters
 //! * `--quick` coarse electrical grid
+//! * `--sweep N` solve N imbalance points from 0 to `--imbalance`
+//!   (V-S only) instead of a single point
+//! * `--cache-dir DIR` persist results across runs (a second identical
+//!   run is served from disk)
 
-use vstack::em_study::paper_em_lifetimes;
+use std::path::PathBuf;
+
 use vstack::pdn::TsvTopology;
-use vstack::sc::compact::ScConverter;
-use vstack::scenario::DesignScenario;
+use vstack_engine::{Engine, EngineConfig, ScenarioRequest, SolveSummary};
 
 #[derive(Debug)]
 struct Args {
@@ -33,6 +42,8 @@ struct Args {
     imbalance: f64,
     closed_loop: bool,
     quick: bool,
+    sweep: Option<usize>,
+    cache_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         imbalance: 0.65,
         closed_loop: false,
         quick: false,
+        sweep: None,
+        cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,6 +99,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--closed-loop" => args.closed_loop = true,
             "--quick" => args.quick = true,
+            "--sweep" => {
+                args.sweep = Some(
+                    value("--sweep")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 2)
+                        .ok_or("--sweep needs an integer >= 2")?,
+                )
+            }
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc -p vstack-bench --bin explore");
                 std::process::exit(0);
@@ -96,31 +119,32 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args().map_err(|e| format!("{e} (try --help)"))?;
-
-    let mut scenario = DesignScenario::paper_baseline()
-        .layers(args.layers)
-        .tsv_topology(args.tsv)
-        .converters_per_core(args.converters);
+/// The engine request for one (possibly sweep-overridden) imbalance.
+fn request_for(args: &Args, imbalance: f64) -> Result<ScenarioRequest, String> {
+    let mut req = match args.topology.as_str() {
+        "vs" => ScenarioRequest::voltage_stacked(args.layers, imbalance)
+            .power_c4(args.power_c4.unwrap_or(0.25))
+            .converters(args.converters)
+            .closed_loop(args.closed_loop),
+        "regular" => ScenarioRequest::regular(args.layers).power_c4(args.power_c4.unwrap_or(0.5)),
+        other => return Err(format!("unknown --topology {other} (vs|regular)")),
+    };
+    req = req.tsv(args.tsv);
     if args.quick {
-        scenario = scenario.coarse_grid();
+        req = req.quick();
     }
-    if args.closed_loop {
-        scenario = scenario.converter(ScConverter::paper_28nm_closed_loop());
-    }
+    Ok(req)
+}
 
+fn print_point(args: &Args, req: &ScenarioRequest, s: &SolveSummary) {
     match args.topology.as_str() {
         "vs" => {
-            scenario = scenario.power_c4_fraction(args.power_c4.unwrap_or(0.25));
-            let sol = scenario.solve_voltage_stacked(args.imbalance)?;
-            let life = paper_em_lifetimes(&sol);
             println!(
                 "V-S PDN: {} layers, {}, {} conv/core, {:.0}% imbalance{}",
                 args.layers,
                 args.tsv.name(),
                 args.converters,
-                100.0 * args.imbalance,
+                100.0 * req.imbalance,
                 if args.closed_loop {
                     ", closed loop"
                 } else {
@@ -129,29 +153,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "  max IR drop      : {:.2}% Vdd",
-                100.0 * sol.max_ir_drop_frac
+                100.0 * s.max_ir_drop_frac
             );
             println!(
                 "  mean IR drop     : {:.2}% Vdd",
-                100.0 * sol.mean_ir_drop_frac
+                100.0 * s.mean_ir_drop_frac
             );
-            println!("  efficiency       : {:.1}%", 100.0 * sol.efficiency());
-            println!(
-                "  converters       : {} total, {} overloaded",
-                sol.converter_currents.len(),
-                sol.overloaded_converters
-            );
-            println!("  C4 EM lifetime   : {:.2e} h", life.c4_hours);
-            println!("  TSV EM lifetime  : {:.2e} h", life.tsv_hours);
+            println!("  efficiency       : {:.1}%", 100.0 * s.efficiency);
+            println!("  overloaded conv  : {}", s.overloaded_converters);
+            println!("  C4 EM lifetime   : {:.2e} h", s.em_c4_hours);
+            println!("  TSV EM lifetime  : {:.2e} h", s.em_tsv_hours);
             println!(
                 "  area overhead    : {:.1}% per core",
-                100.0 * scenario.vs_area_overhead_per_core()
+                100.0 * req.to_scenario().vs_area_overhead_per_core()
             );
         }
-        "regular" => {
-            scenario = scenario.power_c4_fraction(args.power_c4.unwrap_or(0.5));
-            let sol = scenario.solve_regular_peak()?;
-            let life = paper_em_lifetimes(&sol);
+        _ => {
             println!(
                 "Regular PDN: {} layers, {}, all layers active",
                 args.layers,
@@ -159,24 +176,102 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "  max IR drop      : {:.2}% Vdd",
-                100.0 * sol.max_ir_drop_frac
+                100.0 * s.max_ir_drop_frac
             );
             println!(
                 "  mean IR drop     : {:.2}% Vdd",
-                100.0 * sol.mean_ir_drop_frac
+                100.0 * s.mean_ir_drop_frac
             );
-            println!(
-                "  max pad current  : {:.1} mA",
-                1000.0 * sol.vdd_c4.max_current()
-            );
-            println!(
-                "  max TSV current  : {:.1} mA",
-                1000.0 * sol.tsv.max_current()
-            );
-            println!("  C4 EM lifetime   : {:.2e} h", life.c4_hours);
-            println!("  TSV EM lifetime  : {:.2e} h", life.tsv_hours);
+            println!("  C4 EM lifetime   : {:.2e} h", s.em_c4_hours);
+            println!("  TSV EM lifetime  : {:.2e} h", s.em_tsv_hours);
         }
-        other => return Err(format!("unknown --topology {other} (vs|regular)").into()),
     }
+}
+
+fn print_cache_summary(engine: &Engine) {
+    let s = engine.stats();
+    println!();
+    println!(
+        "engine: {} request(s) — {} hit(s) ({} memory, {} disk, {} dedup), \
+         {} warm solve(s), {} cold solve(s); hit rate {:.0}%",
+        s.requests,
+        s.hits(),
+        s.memory_hits,
+        s.disk_hits,
+        s.deduped,
+        s.warm_solves,
+        s.cold_solves,
+        100.0 * s.hit_rate(),
+    );
+    println!(
+        "        {} solver iteration(s), {:.1} ms in solves",
+        s.solver_iterations,
+        s.solve_time_us as f64 / 1000.0
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("{e} (try --help)"))?;
+    let mut engine = Engine::new(EngineConfig {
+        cache_dir: args.cache_dir.clone(),
+        ..EngineConfig::default()
+    })?;
+
+    match args.sweep {
+        None => {
+            let req = request_for(&args, args.imbalance)?;
+            let result = engine.query(&req).map_err(|e| e.to_string())?;
+            print_point(&args, &req, &result.summary);
+            println!(
+                "  query            : {}{} fp {}",
+                result.outcome.label(),
+                result
+                    .outcome
+                    .source()
+                    .map(|s| format!(" ({s})"))
+                    .unwrap_or_default(),
+                ScenarioRequest::format_fingerprint(result.fingerprint),
+            );
+        }
+        Some(points) => {
+            if args.topology != "vs" {
+                return Err("--sweep requires --topology vs".into());
+            }
+            let requests: Vec<ScenarioRequest> = (0..points)
+                .map(|i| {
+                    let x = args.imbalance * i as f64 / (points - 1) as f64;
+                    request_for(&args, x)
+                })
+                .collect::<Result<_, _>>()?;
+            println!(
+                "V-S imbalance sweep: {} points over 0–{:.0}%, {} layers, {}",
+                points,
+                100.0 * args.imbalance,
+                args.layers,
+                args.tsv.name(),
+            );
+            println!("  imbalance   max IR    mean IR   efficiency   outcome");
+            for (req, result) in requests.iter().zip(engine.query_batch(&requests)) {
+                let result = result.map_err(|e| e.to_string())?;
+                let s = &result.summary;
+                println!(
+                    "  {:>7.1}%   {:>6.2}%   {:>6.2}%   {:>8.1}%   {}{}",
+                    100.0 * req.imbalance,
+                    100.0 * s.max_ir_drop_frac,
+                    100.0 * s.mean_ir_drop_frac,
+                    100.0 * s.efficiency,
+                    result.outcome.label(),
+                    result
+                        .outcome
+                        .source()
+                        .map(|s| format!(" ({s})"))
+                        .unwrap_or_default(),
+                );
+            }
+        }
+    }
+
+    print_cache_summary(&engine);
+    engine.flush()?;
     Ok(())
 }

@@ -2,13 +2,15 @@
 //! count (normalized to the 2-layer V-S PDN).
 
 use vstack::experiments::{fig5, Fidelity};
-use vstack_bench::{heading, print_series};
+use vstack_bench::run_series_figure;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    heading("Fig 5b — normalized C4 EM-free MTTF vs stacked layers");
     let data = fig5::c4_lifetimes(Fidelity::Paper)?;
-    for s in &data.series {
-        print_series(&s.label, &s.points, "");
-    }
+    run_series_figure(
+        "Fig 5b — normalized C4 EM-free MTTF vs stacked layers",
+        data.series
+            .iter()
+            .map(|s| (s.label.as_str(), s.points.as_slice())),
+    );
     Ok(())
 }

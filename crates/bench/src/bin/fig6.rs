@@ -2,19 +2,16 @@
 //! for the 8-layer processor (V-S sweeps + regular reference lines).
 
 use vstack::experiments::{fig6, Fidelity};
-use vstack_bench::{heading, pct};
+use vstack_bench::{heading, pct, print_imbalance_row};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     heading("Fig 6 — max on-chip IR drop (% Vdd) vs workload imbalance, 8 layers");
     let data = fig6::ir_drop_study(Fidelity::Paper, 8)?;
     for s in &data.vs_series {
-        print!(
-            "{:<44}",
-            format!("3D+V-S, Few TSV, {} converter/core", s.converters_per_core)
+        print_imbalance_row(
+            &format!("3D+V-S, Few TSV, {} converter/core", s.converters_per_core),
+            s.points.iter().map(|p| (p.imbalance, p.max_ir_drop_frac)),
         );
-        for p in &s.points {
-            print!(" {:.0}%:{}", 100.0 * p.imbalance, pct(p.max_ir_drop_frac));
-        }
         if !s.skipped.is_empty() {
             print!(
                 "  [skipped >100 mA: {}]",

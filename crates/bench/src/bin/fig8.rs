@@ -2,16 +2,16 @@
 //! for the 8-layer processor.
 
 use vstack::experiments::{fig8, Fidelity};
-use vstack_bench::{heading, pct};
+use vstack_bench::{heading, print_imbalance_row};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     heading("Fig 8 — system power efficiency vs workload imbalance, 8 layers");
     let data = fig8::efficiency_study(Fidelity::Paper, 8)?;
     for s in data.vs_series.iter().chain([&data.regular_sc_reference]) {
-        print!("{:<46}", s.label);
-        for p in &s.points {
-            print!(" {:.0}%:{}", 100.0 * p.imbalance, pct(p.efficiency));
-        }
+        print_imbalance_row(
+            &s.label,
+            s.points.iter().map(|p| (p.imbalance, p.efficiency)),
+        );
         println!();
     }
     Ok(())

@@ -31,6 +31,29 @@ pub fn pct(v: f64) -> String {
     format!("{:.2}%", 100.0 * v)
 }
 
+/// Runs one heading-plus-labelled-series figure — the whole body of the
+/// `fig5a`/`fig5b` style binaries: print `title`, then every
+/// `(label, points)` series through [`print_series`].
+pub fn run_series_figure<'a, X: std::fmt::Display + 'a>(
+    title: &str,
+    series: impl IntoIterator<Item = (&'a str, &'a [(X, f64)])>,
+) {
+    heading(title);
+    for (label, points) in series {
+        print_series(label, points, "");
+    }
+}
+
+/// Prints one imbalance-sweep row (`X%:Y.YY%` pairs) without the trailing
+/// newline, the shared row shape of the Fig 6/Fig 8 studies; the caller
+/// appends any per-series annotation and finishes the line.
+pub fn print_imbalance_row(label: &str, points: impl IntoIterator<Item = (f64, f64)>) {
+    print!("{label:<46}");
+    for (imbalance, fraction) in points {
+        print!(" {:.0}%:{}", 100.0 * imbalance, pct(fraction));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

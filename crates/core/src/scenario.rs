@@ -93,6 +93,30 @@ impl DesignScenario {
         self.n_layers
     }
 
+    /// The TSV topology in use.
+    ///
+    /// Canonicalization hook: serving layers (e.g. `vstack-engine`)
+    /// fingerprint scenarios from these accessors, so every knob a setter
+    /// can change must be readable back.
+    pub fn tsv_topology_used(&self) -> TsvTopology {
+        self.topology
+    }
+
+    /// The fraction of C4 pads allocated to power delivery.
+    pub fn power_c4_fraction_used(&self) -> f64 {
+        self.power_c4_fraction
+    }
+
+    /// The number of SC converters per core (per intermediate rail).
+    pub fn converters_per_core_used(&self) -> usize {
+        self.converters_per_core
+    }
+
+    /// The modeling-grid refinement in use (1 = coarse/quick, 3 = paper).
+    pub fn grid_refinement_used(&self) -> usize {
+        self.params.grid_refinement
+    }
+
     /// The converter design in use.
     pub fn converter_design(&self) -> &ScConverter {
         &self.converter
@@ -184,6 +208,42 @@ impl DesignScenario {
     ) -> Result<FaultedSolution, PdnError> {
         self.voltage_stacked_pdn()
             .solve_faulted(&self.interleaved_loads(imbalance), faults, None)
+    }
+
+    /// Warm-started, scratch-reusing variant of
+    /// [`DesignScenario::solve_regular_peak_reported`] without fault
+    /// injection — the solve entry point the `vstack-engine` batch
+    /// scheduler drives. A converged `guess` is returned unchanged
+    /// (bit-identical voltages, zero iterations); `scratch` recycles the
+    /// CSR pattern and Krylov vectors across repeated solves.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DesignScenario::solve_regular_peak_reported`].
+    pub fn solve_regular_peak_warm(
+        &self,
+        guess: Option<&[f64]>,
+        scratch: &mut vstack_pdn::SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.regular_pdn()
+            .solve_warm(&self.peak_loads(), guess, scratch)
+    }
+
+    /// Warm-started, scratch-reusing variant of
+    /// [`DesignScenario::solve_voltage_stacked_reported`] without fault
+    /// injection (see [`DesignScenario::solve_regular_peak_warm`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DesignScenario::solve_voltage_stacked_reported`].
+    pub fn solve_voltage_stacked_warm(
+        &self,
+        imbalance: f64,
+        guess: Option<&[f64]>,
+        scratch: &mut vstack_pdn::SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.voltage_stacked_pdn()
+            .solve_warm(&self.interleaved_loads(imbalance), guess, scratch)
     }
 
     /// Total silicon-area overhead fraction of this scenario's V-S PDN on

@@ -1,0 +1,263 @@
+//! `vstack-serve` — newline-delimited JSON front-end over the engine.
+//!
+//! Reads one JSON request object per stdin line, writes one JSON response
+//! object per line to stdout (batch ops write one line per sub-request).
+//! Malformed input yields a structured error response, never a panic or an
+//! exit. EOF or a `shutdown` op flushes the disk cache and exits 0.
+//!
+//! ```text
+//! $ vstack-serve --cache-dir /tmp/vstack-cache
+//! {"op":"solve","id":1,"scenario":{"solve":"vs","layers":8,"imbalance":0.3,"fidelity":"quick"}}
+//! {"id":1,"ok":true,"outcome":"cold","fingerprint":"…","summary":{…},"latency_us":…}
+//! {"op":"stats"}
+//! {"ok":true,"stats":{"requests":1,"cold_solves":1,…}}
+//! ```
+//!
+//! Options: `--cache-dir DIR` (enable the disk tier), `--lru N`
+//! (memory-tier bound, default 256), `--no-warm-start` (disable
+//! neighbour seeding).
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vstack_engine::engine::{Engine, EngineConfig, QueryResult};
+use vstack_engine::json::Json;
+use vstack_engine::request::ScenarioRequest;
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vstack-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut engine = match Engine::new(config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("vstack-serve: cannot open cache dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("vstack-serve: stdin read failed: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (responses, shutdown) = handle_line(&mut engine, &line);
+        for response in responses {
+            if writeln!(out, "{}", response.emit())
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                // Reader went away; flush the cache and stop serving.
+                let _ = engine.flush();
+                return ExitCode::SUCCESS;
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    if let Err(e) = engine.flush() {
+        eprintln!("vstack-serve: cache flush failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses CLI flags into an engine configuration.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<EngineConfig, String> {
+    let mut config = EngineConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cache-dir" => {
+                let dir = args.next().ok_or("--cache-dir needs a path")?;
+                config.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--lru" => {
+                let n = args.next().ok_or("--lru needs a count")?;
+                config.lru_capacity = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--lru must be a positive integer, got \"{n}\""))?;
+            }
+            "--no-warm-start" => config.warm_start = false,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: vstack-serve [--cache-dir DIR] [--lru N] [--no-warm-start]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag \"{other}\"")),
+        }
+    }
+    Ok(config)
+}
+
+/// Serves one input line; returns the response lines and whether to shut
+/// down afterwards.
+fn handle_line(engine: &mut Engine, line: &str) -> (Vec<Json>, bool) {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            return (
+                vec![error_response(None, "parse_error", &e.to_string())],
+                false,
+            )
+        }
+    };
+    let id = doc.get("id").cloned();
+    let Some(op) = doc.get("op").and_then(Json::as_str) else {
+        return (
+            vec![error_response(
+                id,
+                "invalid_request",
+                "missing \"op\" field",
+            )],
+            false,
+        );
+    };
+    match op {
+        "solve" => {
+            let Some(scenario) = doc.get("scenario") else {
+                return (
+                    vec![error_response(
+                        id,
+                        "invalid_request",
+                        "solve needs a \"scenario\"",
+                    )],
+                    false,
+                );
+            };
+            (vec![serve_one(engine, id, scenario)], false)
+        }
+        "batch" => {
+            let Some(items) = doc.get("requests").and_then(Json::as_arr) else {
+                return (
+                    vec![error_response(
+                        id,
+                        "invalid_request",
+                        "batch needs a \"requests\" array",
+                    )],
+                    false,
+                );
+            };
+            (serve_batch(engine, items), false)
+        }
+        "stats" => {
+            let mut fields = vec![];
+            if let Some(id) = id {
+                fields.push(("id", id));
+            }
+            fields.push(("ok", Json::Bool(true)));
+            fields.push(("stats", engine.stats().to_json()));
+            (vec![Json::obj(fields)], false)
+        }
+        "shutdown" => {
+            let mut fields = vec![];
+            if let Some(id) = id {
+                fields.push(("id", id));
+            }
+            fields.push(("ok", Json::Bool(true)));
+            fields.push(("shutdown", Json::Bool(true)));
+            (vec![Json::obj(fields)], true)
+        }
+        other => (
+            vec![error_response(
+                id,
+                "unknown_op",
+                &format!("unknown op \"{other}\""),
+            )],
+            false,
+        ),
+    }
+}
+
+/// Serves a single `solve` op.
+fn serve_one(engine: &mut Engine, id: Option<Json>, scenario: &Json) -> Json {
+    match ScenarioRequest::from_json(scenario) {
+        Ok(request) => match engine.query(&request) {
+            Ok(result) => ok_response(id, &result),
+            Err(e) => error_response(id, "solve_error", &e.to_string()),
+        },
+        Err(e) => error_response(id, "invalid_request", &e),
+    }
+}
+
+/// Serves a `batch` op: parse every item first, then run the parseable
+/// scenarios through one engine batch (so duplicates dedup and solves run
+/// in parallel), and emit one response line per item in input order.
+fn serve_batch(engine: &mut Engine, items: &[Json]) -> Vec<Json> {
+    let mut parsed: Vec<(Option<Json>, Result<ScenarioRequest, String>)> = Vec::new();
+    for item in items {
+        let id = item.get("id").cloned();
+        let request = match item.get("scenario") {
+            Some(s) => ScenarioRequest::from_json(s),
+            None => Err("batch item needs a \"scenario\"".to_string()),
+        };
+        parsed.push((id, request));
+    }
+    let requests: Vec<ScenarioRequest> = parsed
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().cloned())
+        .collect();
+    let mut outcomes = engine.query_batch(&requests).into_iter();
+    parsed
+        .into_iter()
+        .map(|(id, request)| match request {
+            Err(e) => error_response(id, "invalid_request", &e),
+            Ok(_) => match outcomes.next().expect("one outcome per valid request") {
+                Ok(result) => ok_response(id, &result),
+                Err(e) => error_response(id, "solve_error", &e.to_string()),
+            },
+        })
+        .collect()
+}
+
+fn ok_response(id: Option<Json>, result: &QueryResult) -> Json {
+    let mut fields = vec![];
+    if let Some(id) = id {
+        fields.push(("id", id));
+    }
+    fields.push(("ok", Json::Bool(true)));
+    fields.push(("outcome", Json::Str(result.outcome.label().to_string())));
+    if let Some(source) = result.outcome.source() {
+        fields.push(("source", Json::Str(source.to_string())));
+    }
+    fields.push((
+        "fingerprint",
+        Json::Str(ScenarioRequest::format_fingerprint(result.fingerprint)),
+    ));
+    fields.push(("summary", result.summary.to_json()));
+    fields.push(("latency_us", Json::Num(result.latency_us as f64)));
+    Json::obj(fields)
+}
+
+fn error_response(id: Option<Json>, code: &str, message: &str) -> Json {
+    let mut fields = vec![];
+    if let Some(id) = id {
+        fields.push(("id", id));
+    }
+    fields.push(("ok", Json::Bool(false)));
+    fields.push((
+        "error",
+        Json::obj(vec![
+            ("code", Json::Str(code.to_string())),
+            ("message", Json::Str(message.to_string())),
+        ]),
+    ));
+    Json::obj(fields)
+}

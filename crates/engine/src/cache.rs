@@ -1,0 +1,264 @@
+//! The two cache tiers: a bounded in-memory LRU and an optional on-disk
+//! store.
+//!
+//! Both tiers are keyed by the request fingerprint
+//! ([`crate::request::ScenarioRequest::fingerprint`]). The tiers differ in
+//! what they hold:
+//!
+//! * The **memory tier** keeps the full [`CacheEntry`], including the node
+//!   voltage vector of solves performed this process, which seeds warm
+//!   starts for neighbouring scenarios.
+//! * The **disk tier** stores one JSON file per fingerprint with only the
+//!   request and summary — voltages are large and cheap to regenerate, so
+//!   they never touch disk. Every file is stamped with
+//!   [`crate::SCHEMA_VERSION`]; an entry written by a different schema is
+//!   *rejected*, never misread, and the stored request's recomputed
+//!   fingerprint must match the key or the entry is treated as corrupt.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::request::ScenarioRequest;
+use crate::summary::SolveSummary;
+use crate::SCHEMA_VERSION;
+
+/// One cached result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The canonical request this entry answers.
+    pub request: ScenarioRequest,
+    /// The solve result.
+    pub summary: SolveSummary,
+    /// Node voltages, present only for solves performed in this process
+    /// (disk-loaded entries carry `None`). Used as warm-start donors.
+    pub voltages: Option<Vec<f64>>,
+}
+
+/// Bounded in-memory LRU keyed by fingerprint.
+///
+/// Implemented as a most-recent-first vector: capacities are small
+/// (hundreds), so O(n) promotion beats hash-map bookkeeping and keeps
+/// iteration order — and therefore warm-start donor scans — deterministic.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// Front = most recently used.
+    entries: Vec<(u64, CacheEntry)>,
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up and promotes `fingerprint` to most-recently-used.
+    pub fn get(&mut self, fingerprint: u64) -> Option<&CacheEntry> {
+        let idx = self.entries.iter().position(|(fp, _)| *fp == fingerprint)?;
+        let entry = self.entries.remove(idx);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].1)
+    }
+
+    /// Looks up without touching recency.
+    pub fn peek(&self, fingerprint: u64) -> Option<&CacheEntry> {
+        self.entries
+            .iter()
+            .find(|(fp, _)| *fp == fingerprint)
+            .map(|(_, e)| e)
+    }
+
+    /// Inserts (or replaces) an entry as most-recently-used, evicting the
+    /// least-recently-used entry when over capacity.
+    pub fn insert(&mut self, fingerprint: u64, entry: CacheEntry) {
+        self.entries.retain(|(fp, _)| *fp != fingerprint);
+        self.entries.insert(0, (fingerprint, entry));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Iterates entries from most- to least-recently-used.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CacheEntry)> {
+        self.entries.iter().map(|(fp, e)| (*fp, e))
+    }
+}
+
+/// Outcome of a disk lookup.
+#[derive(Debug)]
+pub enum DiskLoad {
+    /// No file for this fingerprint.
+    Missing,
+    /// A file exists but was written under a different schema version; the
+    /// caller must treat this as a miss (and may count it).
+    SchemaMismatch,
+    /// A file exists but cannot be trusted (unparsable, or its stored
+    /// request does not hash to its key). Treated as a miss.
+    Corrupt(String),
+    /// A valid entry (voltages are never stored, so the entry carries
+    /// `None`).
+    Hit(Box<CacheEntry>),
+}
+
+/// One-file-per-fingerprint store under a cache directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!(
+            "{}.json",
+            ScenarioRequest::format_fingerprint(fingerprint)
+        ))
+    }
+
+    /// Loads the entry for `fingerprint`, enforcing the schema stamp and
+    /// key integrity. Never panics on a bad file.
+    pub fn load(&self, fingerprint: u64) -> DiskLoad {
+        let path = self.path_for(fingerprint);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskLoad::Missing,
+            Err(e) => return DiskLoad::Corrupt(format!("read failed: {e}")),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => return DiskLoad::Corrupt(format!("parse failed: {e}")),
+        };
+        match doc.get("schema").and_then(Json::as_usize) {
+            Some(v) if v == SCHEMA_VERSION as usize => {}
+            _ => return DiskLoad::SchemaMismatch,
+        }
+        let request = match doc
+            .get("request")
+            .ok_or("no request")
+            .and_then(|r| ScenarioRequest::from_json(r).map_err(|_| "bad request"))
+        {
+            Ok(r) => r,
+            Err(e) => return DiskLoad::Corrupt(e.to_string()),
+        };
+        if request.fingerprint() != fingerprint {
+            return DiskLoad::Corrupt("stored request does not match its key".to_string());
+        }
+        let summary = match doc
+            .get("summary")
+            .ok_or_else(|| "no summary".to_string())
+            .and_then(SolveSummary::from_json)
+        {
+            Ok(s) => s,
+            Err(e) => return DiskLoad::Corrupt(e),
+        };
+        DiskLoad::Hit(Box::new(CacheEntry {
+            request,
+            summary,
+            voltages: None,
+        }))
+    }
+
+    /// Writes an entry atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(
+        &self,
+        fingerprint: u64,
+        request: &ScenarioRequest,
+        summary: &SolveSummary,
+    ) -> io::Result<()> {
+        let doc = Json::obj(vec![
+            ("schema", Json::Num(f64::from(SCHEMA_VERSION))),
+            (
+                "fingerprint",
+                Json::Str(ScenarioRequest::format_fingerprint(fingerprint)),
+            ),
+            ("request", request.to_json()),
+            ("summary", summary.to_json()),
+        ]);
+        let path = self.path_for(fingerprint);
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, doc.emit() + "\n")?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(req: ScenarioRequest) -> CacheEntry {
+        CacheEntry {
+            summary: SolveSummary {
+                max_ir_drop_frac: 0.04,
+                mean_ir_drop_frac: 0.02,
+                worst_layer: 0,
+                efficiency: 0.9,
+                em_c4_hours: 1e5,
+                em_tsv_hours: 1e6,
+                overloaded_converters: 0,
+                solver_iterations: 10,
+                solver_trail: "cg+ic0".to_string(),
+            },
+            request: req,
+            voltages: None,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        let reqs: Vec<_> = (1..=3).map(ScenarioRequest::regular).collect();
+        let fps: Vec<_> = reqs.iter().map(ScenarioRequest::fingerprint).collect();
+        lru.insert(fps[0], entry(reqs[0].clone()));
+        lru.insert(fps[1], entry(reqs[1].clone()));
+        assert!(lru.get(fps[0]).is_some()); // promote 0; 1 is now LRU
+        lru.insert(fps[2], entry(reqs[2].clone()));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.peek(fps[0]).is_some());
+        assert!(lru.peek(fps[1]).is_none(), "LRU entry must be evicted");
+        assert!(lru.peek(fps[2]).is_some());
+    }
+
+    #[test]
+    fn lru_reinsert_does_not_grow() {
+        let mut lru = LruCache::new(4);
+        let req = ScenarioRequest::regular(2);
+        let fp = req.fingerprint();
+        for _ in 0..10 {
+            lru.insert(fp, entry(req.clone()));
+        }
+        assert_eq!(lru.len(), 1);
+    }
+}

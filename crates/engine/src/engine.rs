@@ -1,0 +1,461 @@
+//! The query engine: cache lookup, in-batch deduplication, warm-start
+//! donor selection and the deterministic batch scheduler.
+//!
+//! # Determinism
+//!
+//! A batch's outcome depends only on the requests and the cache state at
+//! entry:
+//!
+//! * Requests are canonicalized and grouped by fingerprint in
+//!   first-occurrence order; duplicate requests join their group instead
+//!   of solving again.
+//! * Warm-start donors are snapshotted from the memory cache *before* any
+//!   solve is dispatched, so a donor choice can never depend on the
+//!   completion order of sibling solves.
+//! * The solves run over [`vstack_sparse::pool`] workers via `par_map`,
+//!   which preserves submission order in its results; each job owns a
+//!   fresh [`SolveScratch`], so no floating-point state is shared across
+//!   jobs.
+//!
+//! Re-solving a scenario warm-started from its own cached voltages is
+//! bit-identical to the cold solve: the guess already satisfies the
+//! convergence tolerance, so the solver returns it unchanged after the
+//! zero-iteration residual check.
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use vstack_pdn::SolveScratch;
+use vstack_sparse::pool;
+
+use crate::cache::{CacheEntry, DiskCache, DiskLoad, LruCache};
+use crate::json::Json;
+use crate::request::{ScenarioRequest, SolveKind};
+use crate::summary::SolveSummary;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bound on the in-memory LRU tier (entries).
+    pub lru_capacity: usize,
+    /// Directory for the on-disk tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether cold solves may seed from the nearest cached neighbour.
+    pub warm_start: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lru_capacity: 256,
+            cache_dir: None,
+            warm_start: true,
+        }
+    }
+}
+
+/// How one request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the in-memory tier.
+    HitMemory,
+    /// Served from the on-disk tier.
+    HitDisk,
+    /// Duplicate of another request in the same batch; shared its solve.
+    Deduped,
+    /// Solved, seeded from a cached neighbour's voltages.
+    Warm,
+    /// Solved from scratch.
+    Cold,
+}
+
+impl Outcome {
+    /// Protocol label: duplicates and both cache tiers all count as hits.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::HitMemory | Outcome::HitDisk | Outcome::Deduped => "hit",
+            Outcome::Warm => "warm",
+            Outcome::Cold => "cold",
+        }
+    }
+
+    /// Where a hit came from; `None` for actual solves.
+    pub fn source(self) -> Option<&'static str> {
+        match self {
+            Outcome::HitMemory => Some("memory"),
+            Outcome::HitDisk => Some("disk"),
+            Outcome::Deduped => Some("dedup"),
+            Outcome::Warm | Outcome::Cold => None,
+        }
+    }
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted (valid scenarios, including duplicates).
+    pub requests: u64,
+    /// Requests rejected at validation/parse time.
+    pub invalid: u64,
+    /// Served from the memory tier.
+    pub memory_hits: u64,
+    /// Served from the disk tier.
+    pub disk_hits: u64,
+    /// Batch duplicates that piggybacked on a sibling's solve.
+    pub deduped: u64,
+    /// Solves seeded from a cached neighbour.
+    pub warm_solves: u64,
+    /// Solves from scratch.
+    pub cold_solves: u64,
+    /// Disk entries rejected for a schema-version mismatch.
+    pub schema_rejects: u64,
+    /// Disk entries rejected as corrupt.
+    pub corrupt_rejects: u64,
+    /// Total iterations across all solves performed.
+    pub solver_iterations: u64,
+    /// Wall-clock spent inside solves, microseconds (per-job, so parallel
+    /// batches sum to more than elapsed time).
+    pub solve_time_us: u64,
+}
+
+impl EngineStats {
+    /// Solves actually performed.
+    pub fn solves(&self) -> u64 {
+        self.warm_solves + self.cold_solves
+    }
+
+    /// Requests answered without a new solve.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.deduped
+    }
+
+    /// Fraction of accepted requests answered without a new solve.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.requests as f64
+        }
+    }
+
+    /// Serializes the counters for the `stats` protocol op.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("invalid", Json::Num(self.invalid as f64)),
+            ("memory_hits", Json::Num(self.memory_hits as f64)),
+            ("disk_hits", Json::Num(self.disk_hits as f64)),
+            ("deduped", Json::Num(self.deduped as f64)),
+            ("warm_solves", Json::Num(self.warm_solves as f64)),
+            ("cold_solves", Json::Num(self.cold_solves as f64)),
+            ("schema_rejects", Json::Num(self.schema_rejects as f64)),
+            ("corrupt_rejects", Json::Num(self.corrupt_rejects as f64)),
+            (
+                "solver_iterations",
+                Json::Num(self.solver_iterations as f64),
+            ),
+            ("solve_time_us", Json::Num(self.solve_time_us as f64)),
+            ("hit_rate", Json::Num(self.hit_rate())),
+        ])
+    }
+}
+
+/// A satisfied query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Content-address of the canonical request.
+    pub fingerprint: u64,
+    /// How it was satisfied.
+    pub outcome: Outcome,
+    /// The result payload.
+    pub summary: SolveSummary,
+    /// Wall-clock of the solve that produced this result, microseconds;
+    /// 0 for cache hits.
+    pub latency_us: u64,
+}
+
+/// A failed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request failed validation; nothing was solved.
+    Invalid(String),
+    /// The solver could not produce a solution for this scenario.
+    Solve(String),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::Invalid(m) => write!(f, "invalid request: {m}"),
+            EngineError::Solve(m) => write!(f, "solve failed: {m}"),
+        }
+    }
+}
+
+/// The scenario-query engine. Single-threaded interface; parallelism
+/// lives inside [`Engine::query_batch`].
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    lru: LruCache,
+    disk: Option<DiskCache>,
+    /// Fingerprints solved since the last flush, oldest first.
+    dirty: Vec<u64>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Builds an engine, opening the disk tier if configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation failures.
+    pub fn new(config: EngineConfig) -> io::Result<Self> {
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir)?),
+            None => None,
+        };
+        Ok(Engine {
+            lru: LruCache::new(config.lru_capacity),
+            disk,
+            dirty: Vec::new(),
+            stats: EngineStats::default(),
+            config,
+        })
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Serves one request (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn query(&mut self, request: &ScenarioRequest) -> Result<QueryResult, EngineError> {
+        self.query_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("batch of one yields one result")
+    }
+
+    /// Serves a batch: validates, deduplicates by fingerprint, answers
+    /// from the cache tiers, and solves the remainder in parallel with
+    /// warm starts. Results are positionally aligned with `requests`.
+    pub fn query_batch(
+        &mut self,
+        requests: &[ScenarioRequest],
+    ) -> Vec<Result<QueryResult, EngineError>> {
+        // Phase 1: validate + canonicalize, group duplicates.
+        let mut results: Vec<Option<Result<QueryResult, EngineError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        // Unique fingerprints in first-occurrence order, each with its
+        // canonical request and the indices that requested it.
+        let mut groups: Vec<(u64, ScenarioRequest, Vec<usize>)> = Vec::new();
+        for (i, raw) in requests.iter().enumerate() {
+            if let Err(e) = raw.validate() {
+                self.stats.invalid += 1;
+                results[i] = Some(Err(EngineError::Invalid(e)));
+                continue;
+            }
+            self.stats.requests += 1;
+            let canonical = raw.canonical();
+            let fp = canonical.fingerprint();
+            match groups.iter_mut().find(|(g, _, _)| *g == fp) {
+                Some((_, _, members)) => members.push(i),
+                None => groups.push((fp, canonical, vec![i])),
+            }
+        }
+
+        // Phase 2: answer groups from the cache tiers.
+        let mut jobs: Vec<(u64, ScenarioRequest, Option<Vec<f64>>)> = Vec::new();
+        let mut group_outcome: Vec<Option<(Outcome, SolveSummary, u64)>> =
+            (0..groups.len()).map(|_| None).collect();
+        for (g, (fp, request, _)) in groups.iter().enumerate() {
+            if let Some(entry) = self.lru.get(*fp) {
+                group_outcome[g] = Some((Outcome::HitMemory, entry.summary.clone(), 0));
+                continue;
+            }
+            if let Some(disk) = &self.disk {
+                match disk.load(*fp) {
+                    DiskLoad::Hit(entry) => {
+                        group_outcome[g] = Some((Outcome::HitDisk, entry.summary.clone(), 0));
+                        self.lru.insert(*fp, *entry);
+                        continue;
+                    }
+                    DiskLoad::SchemaMismatch => self.stats.schema_rejects += 1,
+                    DiskLoad::Corrupt(_) => self.stats.corrupt_rejects += 1,
+                    DiskLoad::Missing => {}
+                }
+            }
+            let guess = if self.config.warm_start {
+                self.nearest_donor(request)
+            } else {
+                None
+            };
+            jobs.push((*fp, request.clone(), guess));
+        }
+
+        // Phase 3: solve the misses in parallel, submission order preserved.
+        // (fingerprint, warm-started?, solve result, elapsed microseconds)
+        type SolvedJob = (
+            u64,
+            bool,
+            Result<(SolveSummary, Vec<f64>), EngineError>,
+            u64,
+        );
+        let solved: Vec<SolvedJob> = pool::par_map(jobs, |(fp, request, guess)| {
+            let started = Instant::now();
+            let warm = guess.is_some();
+            let outcome = solve_scenario(&request, guess.as_deref());
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            (fp, warm, outcome, micros)
+        });
+
+        // Phase 4: install results, account stats, fill per-index slots.
+        for (fp, warm, outcome, micros) in solved {
+            let g = groups
+                .iter()
+                .position(|(gfp, _, _)| *gfp == fp)
+                .expect("solved job came from a group");
+            match outcome {
+                Ok((summary, voltages)) => {
+                    self.stats.solver_iterations += summary.solver_iterations as u64;
+                    self.stats.solve_time_us += micros;
+                    let kind = if warm { Outcome::Warm } else { Outcome::Cold };
+                    self.lru.insert(
+                        fp,
+                        CacheEntry {
+                            request: groups[g].1.clone(),
+                            summary: summary.clone(),
+                            voltages: Some(voltages),
+                        },
+                    );
+                    if self.disk.is_some() && !self.dirty.contains(&fp) {
+                        self.dirty.push(fp);
+                    }
+                    group_outcome[g] = Some((kind, summary, micros));
+                }
+                Err(e) => {
+                    for &i in &groups[g].2 {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        for (g, (fp, _, members)) in groups.iter().enumerate() {
+            let Some((outcome, summary, micros)) = &group_outcome[g] else {
+                continue; // solve failed; error already distributed
+            };
+            for (k, &i) in members.iter().enumerate() {
+                let o = match (k, outcome) {
+                    (0, o) => *o,
+                    (_, Outcome::Warm | Outcome::Cold) => Outcome::Deduped,
+                    (_, o) => *o,
+                };
+                match o {
+                    Outcome::HitMemory => self.stats.memory_hits += 1,
+                    Outcome::HitDisk if k == 0 => self.stats.disk_hits += 1,
+                    Outcome::HitDisk => self.stats.memory_hits += 1,
+                    Outcome::Deduped => self.stats.deduped += 1,
+                    Outcome::Warm => self.stats.warm_solves += 1,
+                    Outcome::Cold => self.stats.cold_solves += 1,
+                }
+                results[i] = Some(Ok(QueryResult {
+                    fingerprint: *fp,
+                    outcome: o,
+                    summary: summary.clone(),
+                    latency_us: if k == 0 { *micros } else { 0 },
+                }));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request slot is filled"))
+            .collect()
+    }
+
+    /// Writes every solve since the last flush to the disk tier. Returns
+    /// how many entries were written. A no-op without a cache dir.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filesystem failure; unwritten fingerprints
+    /// stay queued for the next flush.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let Some(disk) = &self.disk else {
+            self.dirty.clear();
+            return Ok(0);
+        };
+        let mut written = 0;
+        while let Some(&fp) = self.dirty.first() {
+            if let Some(entry) = self.lru.peek(fp) {
+                disk.store(fp, &entry.request, &entry.summary)?;
+                written += 1;
+            }
+            self.dirty.remove(0);
+        }
+        Ok(written)
+    }
+
+    /// Picks the warm-start donor for `request`: the cached entry with
+    /// voltages whose scenario shares every structure-determining knob
+    /// (kind, layers, TSV topology, fidelity, converter config) and is
+    /// nearest in the continuous knobs (imbalance, power-C4), fingerprint
+    /// as the deterministic tie-break. Structure must match exactly so the
+    /// donor's voltage vector has the node count of the new system.
+    fn nearest_donor(&self, request: &ScenarioRequest) -> Option<Vec<f64>> {
+        let mut best: Option<(f64, u64, &Vec<f64>)> = None;
+        for (fp, entry) in self.lru.iter() {
+            let Some(voltages) = &entry.voltages else {
+                continue;
+            };
+            let donor = &entry.request;
+            let compatible = donor.kind == request.kind
+                && donor.layers == request.layers
+                && donor.tsv == request.tsv
+                && donor.fidelity == request.fidelity
+                && donor.converters == request.converters
+                && donor.closed_loop == request.closed_loop;
+            if !compatible {
+                continue;
+            }
+            let distance = (donor.imbalance - request.imbalance).abs()
+                + (donor.power_c4 - request.power_c4).abs();
+            let better = match &best {
+                None => true,
+                Some((d, f, _)) => distance < *d || (distance == *d && fp < *f),
+            };
+            if better {
+                best = Some((distance, fp, voltages));
+            }
+        }
+        best.map(|(_, _, v)| v.clone())
+    }
+}
+
+/// Performs one solve outside the cache: build the scenario, run the
+/// warm-started robust solve, summarize. Exposed so tests (and the
+/// bit-identity guarantee) can compare cold and warm paths directly.
+///
+/// # Errors
+///
+/// [`EngineError::Solve`] when the escalation ladder is exhausted or the
+/// grid is inconsistent — never a panic for a validated request.
+pub fn solve_scenario(
+    request: &ScenarioRequest,
+    guess: Option<&[f64]>,
+) -> Result<(SolveSummary, Vec<f64>), EngineError> {
+    let scenario = request.to_scenario();
+    let mut scratch = SolveScratch::new();
+    let solved = match request.kind {
+        SolveKind::Regular => scenario.solve_regular_peak_warm(guess, &mut scratch),
+        SolveKind::VoltageStacked => {
+            scenario.solve_voltage_stacked_warm(request.imbalance, guess, &mut scratch)
+        }
+    }
+    .map_err(|e| EngineError::Solve(e.to_string()))?;
+    Ok((SolveSummary::from_faulted(&solved), solved.voltages))
+}

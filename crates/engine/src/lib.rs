@@ -1,0 +1,56 @@
+//! `vstack-engine` — the scenario-query engine.
+//!
+//! Turns the fast solver stack (`vstack-core` → `vstack-pdn` →
+//! `vstack-sparse`) into a fast *service*: design-space exploration is a
+//! repeated-query workload, and this crate owns the query lifecycle that
+//! amortizes it.
+//!
+//! * [`request`] — the canonical, versioned [`request::ScenarioRequest`]
+//!   with a deterministic 64-bit content fingerprint, stable under JSON
+//!   field ordering and float formatting.
+//! * [`cache`] — a bounded in-memory LRU (which also retains node
+//!   voltages for warm starts) over an optional on-disk store stamped
+//!   with [`SCHEMA_VERSION`].
+//! * [`engine`] — the deterministic batch scheduler: deduplicates
+//!   identical in-flight requests, answers from the cache tiers, and
+//!   solves the rest over the `vstack_sparse::pool` workers, seeding each
+//!   solve from the nearest cached neighbour.
+//! * [`json`] — the std-only JSON tree the wire protocol and disk store
+//!   use (the workspace carries no serde).
+//!
+//! The `vstack-serve` binary in this crate speaks newline-delimited JSON
+//! over stdin/stdout on top of [`engine::Engine`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vstack_engine::engine::{Engine, EngineConfig, Outcome};
+//! use vstack_engine::request::ScenarioRequest;
+//!
+//! let mut engine = Engine::new(EngineConfig::default()).unwrap();
+//! let req = ScenarioRequest::voltage_stacked(2, 0.4).quick();
+//! let first = engine.query(&req).unwrap();
+//! let again = engine.query(&req).unwrap();
+//! assert_eq!(first.outcome, Outcome::Cold);
+//! assert_eq!(again.outcome, Outcome::HitMemory);
+//! assert_eq!(engine.stats().solves(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Version stamp of every persisted or wire-visible artifact (request
+/// encoding, fingerprint domain, summary layout, disk-cache files). Bump
+/// on any incompatible change; older disk entries are then rejected —
+/// never misread — and re-solved.
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod request;
+pub mod summary;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Outcome, QueryResult};
+pub use request::{ScenarioRequest, SolveKind};
+pub use summary::SolveSummary;

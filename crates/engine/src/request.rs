@@ -1,0 +1,477 @@
+//! The canonical scenario-request description and its fingerprint.
+//!
+//! A [`ScenarioRequest`] names one point on the experiment surface the
+//! repo's binaries already expose: solve the regular or voltage-stacked
+//! PDN at a given layer count, TSV topology, C4 allocation, converter
+//! configuration, workload imbalance and fidelity. Requests arriving as
+//! JSON are normalized into this struct, **canonicalized** (fields that
+//! cannot affect the named solve are forced to their defaults) and then
+//! hashed into a 64-bit FNV-1a fingerprint over a fixed, tagged byte
+//! encoding. Two requests get the same fingerprint iff they denote the
+//! same physical solve, regardless of JSON field order or float
+//! formatting (`0.25` vs `2.5e-1` parse to the same `f64` and hash the
+//! same bits; `-0.0` is normalized to `+0.0` before hashing).
+
+use crate::json::Json;
+use crate::SCHEMA_VERSION;
+use vstack::experiments::Fidelity;
+use vstack::pdn::TsvTopology;
+use vstack::sc::compact::ScConverter;
+use vstack::scenario::DesignScenario;
+
+/// Which PDN the request solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveKind {
+    /// Regular (per-layer parallel) power delivery at full activity.
+    Regular,
+    /// Voltage-stacked (charge-recycled) delivery under the interleaved
+    /// imbalance pattern.
+    VoltageStacked,
+}
+
+impl SolveKind {
+    /// Wire name used in the JSON protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveKind::Regular => "regular",
+            SolveKind::VoltageStacked => "vs",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "regular" => Some(SolveKind::Regular),
+            "vs" => Some(SolveKind::VoltageStacked),
+            _ => None,
+        }
+    }
+}
+
+fn tsv_name(t: TsvTopology) -> &'static str {
+    match t {
+        TsvTopology::Dense => "dense",
+        TsvTopology::Sparse => "sparse",
+        TsvTopology::Few => "few",
+    }
+}
+
+fn tsv_from_name(name: &str) -> Option<TsvTopology> {
+    match name {
+        "dense" => Some(TsvTopology::Dense),
+        "sparse" => Some(TsvTopology::Sparse),
+        "few" => Some(TsvTopology::Few),
+        _ => None,
+    }
+}
+
+fn fidelity_name(f: Fidelity) -> &'static str {
+    match f {
+        Fidelity::Paper => "paper",
+        Fidelity::Quick => "quick",
+    }
+}
+
+fn fidelity_from_name(name: &str) -> Option<Fidelity> {
+    match name {
+        "paper" => Some(Fidelity::Paper),
+        "quick" => Some(Fidelity::Quick),
+        _ => None,
+    }
+}
+
+/// One canonical, versioned scenario query.
+///
+/// Construct with [`ScenarioRequest::regular`] /
+/// [`ScenarioRequest::voltage_stacked`] and the chained setters, or parse
+/// from the wire with [`ScenarioRequest::from_json`]. The engine always
+/// works on the [`ScenarioRequest::canonical`] form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRequest {
+    /// Which PDN to solve.
+    pub kind: SolveKind,
+    /// Stacked layer count.
+    pub layers: usize,
+    /// TSV topology.
+    pub tsv: TsvTopology,
+    /// Fraction of C4 pads allocated to power delivery.
+    pub power_c4: f64,
+    /// SC converters per core (V-S only).
+    pub converters: usize,
+    /// Workload imbalance of the interleaved pattern (V-S only).
+    pub imbalance: f64,
+    /// Closed-loop (frequency-modulated) converters instead of the
+    /// paper's open-loop design (V-S only).
+    pub closed_loop: bool,
+    /// Grid fidelity: `Paper` (refinement 3) or `Quick` (coarse grid).
+    pub fidelity: Fidelity,
+}
+
+/// Baseline values for fields a request leaves unspecified — the paper's
+/// evaluation platform (also what canonicalization pins the V-S-only
+/// fields of a regular request to).
+const DEFAULT_CONVERTERS: usize = 4;
+const DEFAULT_POWER_C4: f64 = 0.25;
+
+/// Largest accepted layer count; above this the dense stamping cost stops
+/// being a "query" and the batch path would starve its peers.
+const MAX_LAYERS: usize = 64;
+const MAX_CONVERTERS: usize = 64;
+
+impl ScenarioRequest {
+    /// A regular-PDN solve at full activity with paper-baseline knobs.
+    pub fn regular(layers: usize) -> Self {
+        ScenarioRequest {
+            kind: SolveKind::Regular,
+            layers,
+            tsv: TsvTopology::Few,
+            power_c4: DEFAULT_POWER_C4,
+            converters: DEFAULT_CONVERTERS,
+            imbalance: 0.0,
+            closed_loop: false,
+            fidelity: Fidelity::Paper,
+        }
+    }
+
+    /// A voltage-stacked solve under the interleaved pattern.
+    pub fn voltage_stacked(layers: usize, imbalance: f64) -> Self {
+        ScenarioRequest {
+            kind: SolveKind::VoltageStacked,
+            imbalance,
+            ..ScenarioRequest::regular(layers)
+        }
+    }
+
+    /// Sets the TSV topology.
+    pub fn tsv(mut self, t: TsvTopology) -> Self {
+        self.tsv = t;
+        self
+    }
+
+    /// Sets the power-C4 fraction.
+    pub fn power_c4(mut self, f: f64) -> Self {
+        self.power_c4 = f;
+        self
+    }
+
+    /// Sets the converters-per-core count.
+    pub fn converters(mut self, k: usize) -> Self {
+        self.converters = k;
+        self
+    }
+
+    /// Selects closed-loop converter control.
+    pub fn closed_loop(mut self, on: bool) -> Self {
+        self.closed_loop = on;
+        self
+    }
+
+    /// Switches to the coarse quick-fidelity grid.
+    pub fn quick(mut self) -> Self {
+        self.fidelity = Fidelity::Quick;
+        self
+    }
+
+    /// Checks every field is in its physical range and finite.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers == 0 || self.layers > MAX_LAYERS {
+            return Err(format!(
+                "layers must be in 1..={MAX_LAYERS}, got {}",
+                self.layers
+            ));
+        }
+        if !self.power_c4.is_finite() || self.power_c4 <= 0.0 || self.power_c4 > 1.0 {
+            return Err(format!(
+                "power_c4 must be finite in (0, 1], got {}",
+                self.power_c4
+            ));
+        }
+        if self.converters == 0 || self.converters > MAX_CONVERTERS {
+            return Err(format!(
+                "converters must be in 1..={MAX_CONVERTERS}, got {}",
+                self.converters
+            ));
+        }
+        if !self.imbalance.is_finite() || !(0.0..=1.0).contains(&self.imbalance) {
+            return Err(format!(
+                "imbalance must be finite in [0, 1], got {}",
+                self.imbalance
+            ));
+        }
+        Ok(())
+    }
+
+    /// The canonical form: `-0.0` floats normalized to `+0.0`, and — for a
+    /// regular solve — the V-S-only fields (imbalance, converter count and
+    /// control) pinned to their defaults, since they cannot affect the
+    /// solve. Canonical requests are what the cache is keyed on, so e.g. a
+    /// regular request with `converters: 8` and one with `converters: 4`
+    /// share a fingerprint and a cache slot.
+    pub fn canonical(&self) -> Self {
+        let mut c = self.clone();
+        c.power_c4 += 0.0;
+        c.imbalance += 0.0;
+        if c.kind == SolveKind::Regular {
+            c.imbalance = 0.0;
+            c.converters = DEFAULT_CONVERTERS;
+            c.closed_loop = false;
+        }
+        c
+    }
+
+    /// The content-address of this request: 64-bit FNV-1a over the schema
+    /// version and a fixed tag/value byte encoding of the canonical form.
+    /// Deterministic across runs, platforms and JSON spellings.
+    pub fn fingerprint(&self) -> u64 {
+        let c = self.canonical();
+        let mut h = Fnv::new();
+        h.write(&SCHEMA_VERSION.to_le_bytes());
+        h.field(1, &[c.kind as u8]);
+        h.field(2, &(c.layers as u64).to_le_bytes());
+        h.field(3, &[tsv_tag(c.tsv)]);
+        h.field(4, &c.power_c4.to_bits().to_le_bytes());
+        h.field(5, &(c.converters as u64).to_le_bytes());
+        h.field(6, &c.imbalance.to_bits().to_le_bytes());
+        h.field(7, &[u8::from(c.closed_loop)]);
+        h.field(8, &[c.fidelity as u8]);
+        h.finish()
+    }
+
+    /// Builds the [`DesignScenario`] this request denotes.
+    pub fn to_scenario(&self) -> DesignScenario {
+        let mut s = DesignScenario::paper_baseline()
+            .layers(self.layers)
+            .tsv_topology(self.tsv)
+            .power_c4_fraction(self.power_c4)
+            .converters_per_core(self.converters);
+        if self.closed_loop {
+            s = s.converter(ScConverter::paper_28nm_closed_loop());
+        }
+        if self.fidelity == Fidelity::Quick {
+            s = s.coarse_grid();
+        }
+        s
+    }
+
+    /// Serializes the canonical form. Every field is emitted, so a
+    /// document can be archived and re-parsed without depending on
+    /// defaults of a future schema.
+    pub fn to_json(&self) -> Json {
+        let c = self.canonical();
+        Json::obj(vec![
+            ("solve", Json::Str(c.kind.name().to_string())),
+            ("layers", Json::Num(c.layers as f64)),
+            ("tsv", Json::Str(tsv_name(c.tsv).to_string())),
+            ("power_c4", Json::Num(c.power_c4)),
+            ("converters", Json::Num(c.converters as f64)),
+            ("imbalance", Json::Num(c.imbalance)),
+            ("closed_loop", Json::Bool(c.closed_loop)),
+            ("fidelity", Json::Str(fidelity_name(c.fidelity).to_string())),
+        ])
+    }
+
+    /// Parses a request object. Only `solve` is required; every other
+    /// field defaults to the paper baseline. Unknown keys are rejected so
+    /// a typo cannot silently denote a different scenario.
+    ///
+    /// # Errors
+    ///
+    /// A description of the offending field; the request is also
+    /// [`ScenarioRequest::validate`]d before being returned.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let Json::Obj(pairs) = value else {
+            return Err("scenario must be a JSON object".to_string());
+        };
+        for (key, _) in pairs {
+            if !matches!(
+                key.as_str(),
+                "solve"
+                    | "layers"
+                    | "tsv"
+                    | "power_c4"
+                    | "converters"
+                    | "imbalance"
+                    | "closed_loop"
+                    | "fidelity"
+            ) {
+                return Err(format!("unknown scenario field \"{key}\""));
+            }
+        }
+        let kind = value
+            .get("solve")
+            .and_then(Json::as_str)
+            .ok_or("missing required field \"solve\"")?;
+        let kind = SolveKind::from_name(kind)
+            .ok_or_else(|| format!("solve must be \"regular\" or \"vs\", got \"{kind}\""))?;
+        let mut req = match kind {
+            SolveKind::Regular => ScenarioRequest::regular(8),
+            SolveKind::VoltageStacked => ScenarioRequest::voltage_stacked(8, 0.0),
+        };
+        if let Some(v) = value.get("layers") {
+            req.layers = v
+                .as_usize()
+                .ok_or("layers must be a non-negative integer")?;
+        }
+        if let Some(v) = value.get("tsv") {
+            let name = v.as_str().ok_or("tsv must be a string")?;
+            req.tsv = tsv_from_name(name)
+                .ok_or_else(|| format!("tsv must be dense|sparse|few, got \"{name}\""))?;
+        }
+        if let Some(v) = value.get("power_c4") {
+            req.power_c4 = v.as_f64().ok_or("power_c4 must be a number")?;
+        }
+        if let Some(v) = value.get("converters") {
+            req.converters = v
+                .as_usize()
+                .ok_or("converters must be a non-negative integer")?;
+        }
+        if let Some(v) = value.get("imbalance") {
+            req.imbalance = v.as_f64().ok_or("imbalance must be a number")?;
+        }
+        if let Some(v) = value.get("closed_loop") {
+            req.closed_loop = v.as_bool().ok_or("closed_loop must be a boolean")?;
+        }
+        if let Some(v) = value.get("fidelity") {
+            let name = v.as_str().ok_or("fidelity must be a string")?;
+            req.fidelity = fidelity_from_name(name)
+                .ok_or_else(|| format!("fidelity must be paper|quick, got \"{name}\""))?;
+        }
+        req.validate()?;
+        Ok(req)
+    }
+
+    /// Formats a fingerprint the way the protocol carries it: 16 lowercase
+    /// hex digits inside a string (u64 does not survive a JSON number).
+    pub fn format_fingerprint(fp: u64) -> String {
+        format!("{fp:016x}")
+    }
+
+    /// Parses a [`ScenarioRequest::format_fingerprint`] string back.
+    pub fn parse_fingerprint(text: &str) -> Option<u64> {
+        (text.len() == 16).then(|| u64::from_str_radix(text, 16).ok())?
+    }
+}
+
+fn tsv_tag(t: TsvTopology) -> u8 {
+    match t {
+        TsvTopology::Dense => 0,
+        TsvTopology::Sparse => 1,
+        TsvTopology::Few => 2,
+    }
+}
+
+/// 64-bit FNV-1a with length-prefixed field tagging, so adjacent fields
+/// can never alias (`[1,2] ++ [3]` hashes differently from `[1] ++ [2,3]`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn field(&mut self, tag: u8, bytes: &[u8]) {
+        self.write(&[tag]);
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_json_spelling_and_field_order() {
+        let a = ScenarioRequest::from_json(
+            &Json::parse(r#"{"solve":"vs","layers":8,"imbalance":0.25}"#).unwrap(),
+        )
+        .unwrap();
+        let b = ScenarioRequest::from_json(
+            &Json::parse(r#"{"imbalance":2.5e-1,"solve":"vs","layers":8.0}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn regular_canonicalization_drops_vs_only_fields() {
+        let a = ScenarioRequest::regular(8).converters(8).closed_loop(true);
+        let b = ScenarioRequest::regular(8);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // ... but those fields do matter for a V-S solve.
+        let c = ScenarioRequest::voltage_stacked(8, 0.3).converters(8);
+        let d = ScenarioRequest::voltage_stacked(8, 0.3);
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn negative_zero_imbalance_is_canonical() {
+        let a = ScenarioRequest::voltage_stacked(8, -0.0);
+        let b = ScenarioRequest::voltage_stacked(8, 0.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn every_semantic_field_changes_the_fingerprint() {
+        let base = ScenarioRequest::voltage_stacked(8, 0.3);
+        let variants = [
+            ScenarioRequest::regular(8).power_c4(base.power_c4),
+            ScenarioRequest::voltage_stacked(4, 0.3),
+            base.clone().tsv(TsvTopology::Dense),
+            base.clone().power_c4(0.5),
+            base.clone().converters(8),
+            ScenarioRequest::voltage_stacked(8, 0.4),
+            base.clone().closed_loop(true),
+            base.clone().quick(),
+        ];
+        let fp = base.fingerprint();
+        for v in &variants {
+            assert_ne!(v.fingerprint(), fp, "{v:?} should differ from base");
+        }
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let doc = Json::parse(r#"{"solve":"vs","layer":8}"#).unwrap();
+        assert!(ScenarioRequest::from_json(&doc)
+            .unwrap_err()
+            .contains("layer"));
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected() {
+        for doc in [
+            r#"{"solve":"vs","layers":0}"#,
+            r#"{"solve":"vs","power_c4":0}"#,
+            r#"{"solve":"vs","power_c4":1.5}"#,
+            r#"{"solve":"vs","imbalance":-0.1}"#,
+            r#"{"solve":"vs","converters":0}"#,
+            r#"{"solve":"neither"}"#,
+        ] {
+            let v = Json::parse(doc).unwrap();
+            assert!(ScenarioRequest::from_json(&v).is_err(), "{doc} should fail");
+        }
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trip() {
+        let fp = ScenarioRequest::regular(8).fingerprint();
+        let text = ScenarioRequest::format_fingerprint(fp);
+        assert_eq!(ScenarioRequest::parse_fingerprint(&text), Some(fp));
+        assert_eq!(ScenarioRequest::parse_fingerprint("xyz"), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! The cacheable result of one scenario solve.
+//!
+//! A [`SolveSummary`] is everything a query response carries: the IR-drop
+//! and efficiency metrics of the solution, the EM lifetimes of its
+//! conductor arrays, and the solver provenance (iterations, escalation
+//! trail). It is deliberately small and JSON-serializable — the full
+//! node-voltage vector is *not* part of it; voltages live only in the
+//! in-memory cache tier, where they seed warm starts.
+
+use crate::json::Json;
+use vstack::em_study::paper_em_lifetimes;
+use vstack::pdn::FaultedSolution;
+
+/// Scalar results of one solved scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveSummary {
+    /// Worst fractional IR drop across the stack.
+    pub max_ir_drop_frac: f64,
+    /// Mean fractional IR drop.
+    pub mean_ir_drop_frac: f64,
+    /// Layer index with the worst drop.
+    pub worst_layer: usize,
+    /// Power-delivery efficiency (load power / input power).
+    pub efficiency: f64,
+    /// Expected EM-damage-free lifetime of the C4 array, hours.
+    pub em_c4_hours: f64,
+    /// Expected EM-damage-free lifetime of the TSV array, hours.
+    pub em_tsv_hours: f64,
+    /// Converters pushed past their rated current, if any.
+    pub overloaded_converters: usize,
+    /// Iterations the accepted solver method performed (0 when a warm
+    /// start was already converged).
+    pub solver_iterations: usize,
+    /// The escalation-ladder trail, e.g. `"cg+ic0"` or
+    /// `"cg+ic0 → cg+jacobi"`.
+    pub solver_trail: String,
+}
+
+impl SolveSummary {
+    /// Extracts the summary from a completed solve.
+    pub fn from_faulted(solved: &FaultedSolution) -> Self {
+        let em = paper_em_lifetimes(&solved.solution);
+        SolveSummary {
+            max_ir_drop_frac: solved.solution.max_ir_drop_frac,
+            mean_ir_drop_frac: solved.solution.mean_ir_drop_frac,
+            worst_layer: solved.solution.worst_layer,
+            efficiency: solved.solution.efficiency(),
+            em_c4_hours: em.c4_hours,
+            em_tsv_hours: em.tsv_hours,
+            overloaded_converters: solved.solution.overloaded_converters,
+            solver_iterations: solved.report.iterations,
+            solver_trail: solved.report.trail(),
+        }
+    }
+
+    /// Serializes for the wire and the disk cache.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("max_ir_drop_frac", Json::Num(self.max_ir_drop_frac)),
+            ("mean_ir_drop_frac", Json::Num(self.mean_ir_drop_frac)),
+            ("worst_layer", Json::Num(self.worst_layer as f64)),
+            ("efficiency", Json::Num(self.efficiency)),
+            ("em_c4_hours", Json::Num(self.em_c4_hours)),
+            ("em_tsv_hours", Json::Num(self.em_tsv_hours)),
+            (
+                "overloaded_converters",
+                Json::Num(self.overloaded_converters as f64),
+            ),
+            (
+                "solver_iterations",
+                Json::Num(self.solver_iterations as f64),
+            ),
+            ("solver_trail", Json::Str(self.solver_trail.clone())),
+        ])
+    }
+
+    /// Parses a summary back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped field.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("summary field \"{key}\" missing or not a number"))
+        };
+        let int = |key: &str| -> Result<usize, String> {
+            value
+                .get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("summary field \"{key}\" missing or not an integer"))
+        };
+        Ok(SolveSummary {
+            max_ir_drop_frac: num("max_ir_drop_frac")?,
+            mean_ir_drop_frac: num("mean_ir_drop_frac")?,
+            worst_layer: int("worst_layer")?,
+            efficiency: num("efficiency")?,
+            em_c4_hours: num("em_c4_hours")?,
+            em_tsv_hours: num("em_tsv_hours")?,
+            overloaded_converters: int("overloaded_converters")?,
+            solver_iterations: int("solver_iterations")?,
+            solver_trail: value
+                .get("solver_trail")
+                .and_then(Json::as_str)
+                .ok_or("summary field \"solver_trail\" missing or not a string")?
+                .to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolveSummary {
+        SolveSummary {
+            max_ir_drop_frac: 0.0412,
+            mean_ir_drop_frac: 0.021,
+            worst_layer: 7,
+            efficiency: 0.873,
+            em_c4_hours: 1.6e5,
+            em_tsv_hours: 3.4e6,
+            overloaded_converters: 0,
+            solver_iterations: 113,
+            solver_trail: "cg+ic0".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample();
+        let back = SolveSummary::from_json(&Json::parse(&s.to_json().emit()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn missing_field_is_named() {
+        let mut doc = s_obj();
+        doc.retain(|(k, _)| k != "efficiency");
+        let e = SolveSummary::from_json(&Json::Obj(doc)).unwrap_err();
+        assert!(e.contains("efficiency"), "{e}");
+    }
+
+    fn s_obj() -> Vec<(String, Json)> {
+        match sample().to_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!(),
+        }
+    }
+}

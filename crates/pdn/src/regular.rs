@@ -176,6 +176,31 @@ impl RegularPdn {
         Ok(self.extract(loads, v, &asm, faults, report))
     }
 
+    /// Warm-started fault-free solve: the entry point serving layers
+    /// (sweep schedulers, the `vstack-engine` query cache) use for
+    /// repeated healthy-topology solves.
+    ///
+    /// Equivalent to [`RegularPdn::solve_faulted_scratch`] with an empty
+    /// [`FaultSet`]: `guess` seeds the Krylov iteration (a converged guess
+    /// returns unchanged, bit-identical, in zero iterations) and `scratch`
+    /// recycles the symbolic CSR pattern and working vectors across calls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RegularPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_warm(
+        &self,
+        loads: &StackLoads,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.solve_faulted_scratch(loads, &FaultSet::new(), guess, scratch)
+    }
+
     /// Surviving supply-net TSVs of the `(interface, core)` bundle.
     fn alive_vdd_tsvs(&self, faults: &FaultSet, interface: usize, core: usize) -> f64 {
         self.topology

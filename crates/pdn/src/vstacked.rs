@@ -250,6 +250,33 @@ impl VstackPdn {
         }
     }
 
+    /// Warm-started fault-free solve: the entry point serving layers
+    /// (sweep schedulers, the `vstack-engine` query cache) use for
+    /// repeated healthy-topology solves.
+    ///
+    /// Equivalent to [`VstackPdn::solve_faulted_scratch`] with an empty
+    /// [`FaultSet`]: `guess` seeds the Krylov iteration (a converged guess
+    /// returns unchanged, bit-identical, in zero iterations) and `scratch`
+    /// recycles the symbolic CSR pattern and working vectors across calls.
+    /// Dispatches through the converter control policy exactly like
+    /// [`VstackPdn::solve`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`VstackPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_warm(
+        &self,
+        loads: &StackLoads,
+        guess: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        self.solve_faulted_scratch(loads, &FaultSet::new(), guess, scratch)
+    }
+
     /// Solves a closed-loop-controlled stack by damped Picard iteration:
     /// each converter's switching frequency (hence `R_SERIES` and
     /// parasitic power) follows its own output current from the previous

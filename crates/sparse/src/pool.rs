@@ -231,16 +231,43 @@ fn worker_loop(shared: &Shared, idx: usize) {
     }
 }
 
+/// Resolves the pool width from a raw [`THREADS_ENV`] value. A missing
+/// variable yields `default_width` silently; an unparsable or zero value
+/// yields `default_width` plus a warning line for stderr. Never panics —
+/// a bad environment must degrade a service, not kill it.
+pub fn resolve_thread_count(raw: Option<&str>, default_width: usize) -> (usize, Option<String>) {
+    match raw {
+        None => (default_width, None),
+        Some(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            Ok(_) => (
+                default_width,
+                Some(format!(
+                    "vstack: {THREADS_ENV}={value:?} must be >= 1; using {default_width} thread(s)"
+                )),
+            ),
+            Err(_) => (
+                default_width,
+                Some(format!(
+                    "vstack: {THREADS_ENV}={value:?} is not an integer; using {default_width} thread(s)"
+                )),
+            ),
+        },
+    }
+}
+
 /// The process-wide pool, sized from [`THREADS_ENV`] (if set to a positive
-/// integer) or [`std::thread::available_parallelism`].
+/// integer) or [`std::thread::available_parallelism`]. An invalid override
+/// falls back to the default width with a one-line stderr warning.
 pub fn global() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
     GLOBAL.get_or_init(|| {
-        let contexts = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let default_width = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let raw = std::env::var(THREADS_ENV).ok();
+        let (contexts, warning) = resolve_thread_count(raw.as_deref(), default_width);
+        if let Some(warning) = warning {
+            eprintln!("{warning}");
+        }
         ThreadPool::new(contexts)
     })
 }
@@ -378,6 +405,22 @@ impl<'a> SharedSliceMut<'a> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn thread_count_resolution_never_panics() {
+        // Unset: default, no warning.
+        assert_eq!(resolve_thread_count(None, 6), (6, None));
+        // Valid values win, whitespace tolerated.
+        assert_eq!(resolve_thread_count(Some("3"), 6), (3, None));
+        assert_eq!(resolve_thread_count(Some(" 12 "), 6), (12, None));
+        // Zero and garbage fall back to the default with a warning.
+        for bad in ["0", "abc", "", "-2", "3.5", "1e2"] {
+            let (width, warning) = resolve_thread_count(Some(bad), 6);
+            assert_eq!(width, 6, "{bad:?} must fall back");
+            let warning = warning.expect("bad value must warn");
+            assert!(warning.contains(THREADS_ENV), "{warning}");
+        }
+    }
 
     #[test]
     fn run_visits_every_context_exactly_once() {
