@@ -204,9 +204,10 @@ fn print_cache_summary(engine: &Engine) {
         100.0 * s.hit_rate(),
     );
     println!(
-        "        {} solver iteration(s), {:.1} ms in solves",
+        "        {} solver iteration(s), {:.1} ms in solves ({:.1} ms preconditioner setup)",
         s.solver_iterations,
-        s.solve_time_us as f64 / 1000.0
+        s.solve_time_us as f64 / 1000.0,
+        s.solver_setup_us as f64 / 1000.0
     );
 }
 

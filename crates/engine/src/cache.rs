@@ -229,6 +229,7 @@ mod tests {
                 em_tsv_hours: 1e6,
                 overloaded_converters: 0,
                 solver_iterations: 10,
+                solver_setup_us: 0,
                 solver_trail: "cg+ic0".to_string(),
             },
             request: req,

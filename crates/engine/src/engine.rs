@@ -114,6 +114,9 @@ pub struct EngineStats {
     pub corrupt_rejects: u64,
     /// Total iterations across all solves performed.
     pub solver_iterations: u64,
+    /// Microseconds spent building preconditioners (AMG hierarchies,
+    /// IC(0) factors) across all solves; 0 when setup was cached.
+    pub solver_setup_us: u64,
     /// Wall-clock spent inside solves, microseconds (per-job, so parallel
     /// batches sum to more than elapsed time).
     pub solve_time_us: u64,
@@ -155,6 +158,7 @@ impl EngineStats {
                 "solver_iterations",
                 Json::Num(self.solver_iterations as f64),
             ),
+            ("solver_setup_us", Json::Num(self.solver_setup_us as f64)),
             ("solve_time_us", Json::Num(self.solve_time_us as f64)),
             ("hit_rate", Json::Num(self.hit_rate())),
         ])
@@ -323,6 +327,7 @@ impl Engine {
             match outcome {
                 Ok((summary, voltages)) => {
                     self.stats.solver_iterations += summary.solver_iterations as u64;
+                    self.stats.solver_setup_us += summary.solver_setup_us;
                     self.stats.solve_time_us += micros;
                     let kind = if warm { Outcome::Warm } else { Outcome::Cold };
                     self.lru.insert(

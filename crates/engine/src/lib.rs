@@ -43,7 +43,7 @@
 /// encoding, fingerprint domain, summary layout, disk-cache files). Bump
 /// on any incompatible change; older disk entries are then rejected —
 /// never misread — and re-solved.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub mod cache;
 pub mod engine;

@@ -31,7 +31,10 @@ pub struct SolveSummary {
     /// Iterations the accepted solver method performed (0 when a warm
     /// start was already converged).
     pub solver_iterations: usize,
-    /// The escalation-ladder trail, e.g. `"cg+ic0"` or
+    /// Microseconds spent building the accepted method's preconditioner
+    /// (0 on cache reuse or for setup-free methods).
+    pub solver_setup_us: u64,
+    /// The escalation-ladder trail, e.g. `"cg+amg"` or
     /// `"cg+ic0 → cg+jacobi"`.
     pub solver_trail: String,
 }
@@ -49,6 +52,7 @@ impl SolveSummary {
             em_tsv_hours: em.tsv_hours,
             overloaded_converters: solved.solution.overloaded_converters,
             solver_iterations: solved.report.iterations,
+            solver_setup_us: solved.report.setup_us,
             solver_trail: solved.report.trail(),
         }
     }
@@ -70,6 +74,7 @@ impl SolveSummary {
                 "solver_iterations",
                 Json::Num(self.solver_iterations as f64),
             ),
+            ("solver_setup_us", Json::Num(self.solver_setup_us as f64)),
             ("solver_trail", Json::Str(self.solver_trail.clone())),
         ])
     }
@@ -101,6 +106,7 @@ impl SolveSummary {
             em_tsv_hours: num("em_tsv_hours")?,
             overloaded_converters: int("overloaded_converters")?,
             solver_iterations: int("solver_iterations")?,
+            solver_setup_us: int("solver_setup_us")? as u64,
             solver_trail: value
                 .get("solver_trail")
                 .and_then(Json::as_str)
@@ -124,6 +130,7 @@ mod tests {
             em_tsv_hours: 3.4e6,
             overloaded_converters: 0,
             solver_iterations: 113,
+            solver_setup_us: 842,
             solver_trail: "cg+ic0".to_string(),
         }
     }

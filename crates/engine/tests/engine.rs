@@ -233,8 +233,9 @@ fn disk_tier_round_trip_and_schema_rejection() {
     // Tamper the schema stamp: the entry must be rejected and re-solved.
     let path = dir.join(format!("{}.json", ScenarioRequest::format_fingerprint(fp)));
     let text = fs::read_to_string(&path).unwrap();
-    assert!(text.contains("\"schema\":1"));
-    fs::write(&path, text.replace("\"schema\":1", "\"schema\":999")).unwrap();
+    let stamp = format!("\"schema\":{}", vstack_engine::SCHEMA_VERSION);
+    assert!(text.contains(&stamp));
+    fs::write(&path, text.replace(&stamp, "\"schema\":999")).unwrap();
     let mut third = Engine::new(config).unwrap();
     let resolved = third.query(&req).unwrap();
     assert_eq!(resolved.outcome, Outcome::Cold);

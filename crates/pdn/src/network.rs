@@ -3,8 +3,8 @@
 //! topologies.
 
 use vstack_sparse::{
-    solve_robust_ws, CsrMatrix, RobustOptions, SolveError, SolveReport, SolveWorkspace,
-    TripletMatrix,
+    solve_robust_cached_ws, AmgHierarchy, CsrMatrix, RobustOptions, SolveError, SolveReport,
+    SolveWorkspace, TripletMatrix,
 };
 
 use crate::error::PdnError;
@@ -81,7 +81,14 @@ impl GridSpec {
 ///
 /// Results are bit-identical to the scratch-free path: value re-stamping
 /// replays the same triplet insertion order over the same compacted
-/// structure, and the workspace vectors are zeroed before use.
+/// structure, and the workspace vectors are zeroed before use. One
+/// caveat for systems at or above [`NetworkBuilder::AMG_MIN_UNKNOWNS`]:
+/// the cached AMG hierarchy is *frozen* per sparsity pattern, so after a
+/// value-changing re-stamp a reused scratch preconditions with the
+/// original values' hierarchy while a fresh solve would rebuild from the
+/// current ones. Both paths converge to the same tolerance (the report's
+/// `setup_us`/iteration counts differ, not correctness); re-solves of
+/// *unchanged* values remain exactly bit-identical.
 #[derive(Debug, Default)]
 pub struct SolveScratch {
     /// Cached CSR matrix from the previous solve; its structure is reused
@@ -89,6 +96,14 @@ pub struct SolveScratch {
     pattern: Option<CsrMatrix>,
     /// Reusable Krylov working vectors for the escalation ladder.
     workspace: SolveWorkspace,
+    /// Cached AMG hierarchy for systems at or above
+    /// [`NetworkBuilder::AMG_MIN_UNKNOWNS`]; built on the first large
+    /// solve and reused (frozen) until the sparsity pattern changes, so
+    /// fault/sweep/warm-start re-solves pay multigrid setup once. A
+    /// frozen hierarchy is still a valid SPD preconditioner after
+    /// value-only re-stamps — CG converges against the *current* matrix;
+    /// only the rung's iteration count drifts with the values.
+    amg: Option<AmgHierarchy>,
 }
 
 impl SolveScratch {
@@ -272,10 +287,23 @@ impl NetworkBuilder {
     ///    escalation ladder; the returned [`SolveReport`] records which
     ///    method finally succeeded and every fallback taken on the way.
     ///
-    /// The ladder starts at CG+Jacobi (not IC(0)): PDN grid Laplacians are
-    /// diagonally dominant enough that Jacobi converges reliably, and
-    /// skipping the up-front factorization keeps the healthy path as fast
-    /// as the historical plain-CG solve.
+    /// The PDN ladder configuration depends on system size, and skips
+    /// IC(0) in both regimes (`start_with_ic: false`):
+    ///
+    /// * below [`NetworkBuilder::AMG_MIN_UNKNOWNS`] the first rung is
+    ///   CG+Jacobi — PDN grid Laplacians are diagonally dominant enough
+    ///   that Jacobi converges reliably, and skipping preconditioner
+    ///   setup keeps the healthy path as fast as the historical plain-CG
+    ///   solve;
+    /// * at or above it the ladder leads with CG+AMG
+    ///   (`start_with_amg: true`), whose near-size-independent iteration
+    ///   counts dominate on large many-layer grids, falling back to
+    ///   CG+Jacobi → BiCGSTAB → Tikhonov as before when multigrid
+    ///   coarsening degenerates.
+    ///
+    /// This matches the full ladder documented in `vstack_sparse::robust`
+    /// (rungs 0–4); the PDN path simply disables rung 1 (IC(0)) and gates
+    /// rung 0 (AMG) on size.
     ///
     /// # Errors
     ///
@@ -308,10 +336,14 @@ impl NetworkBuilder {
         scratch: &mut SolveScratch,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
         let n = self.rhs.len();
+        let mut pattern_reused = false;
         let a = match scratch.pattern.take() {
             Some(mut cached) if cached.rows() == n && cached.cols() == n => {
                 match cached.set_values_from_triplets(self.matrix.entries()) {
-                    Ok(()) => cached,
+                    Ok(()) => {
+                        pattern_reused = true;
+                        cached
+                    }
                     // Structure changed (or values left unspecified):
                     // rebuild symbolically from the triplets.
                     Err(_) => self.matrix.to_csr(),
@@ -319,10 +351,24 @@ impl NetworkBuilder {
             }
             _ => self.matrix.to_csr(),
         };
-        let result = self.solve_csr(&a, guess, &mut scratch.workspace);
+        if !pattern_reused {
+            // The cached hierarchy describes a different operator
+            // structure; drop it so the next large solve rebuilds.
+            scratch.amg = None;
+        }
+        let result = self.solve_csr(&a, guess, &mut scratch.workspace, &mut scratch.amg);
         scratch.pattern = Some(a);
         result
     }
+
+    /// Node count at or above which [`NetworkBuilder::solve_reported`]
+    /// leads the escalation ladder with the AMG rung. Below it, single-
+    /// level Jacobi wins: multigrid setup costs a few SpMV-equivalents
+    /// that small systems never amortize. At paper fidelity
+    /// (`grid_refinement = 3`, 26×26 nodes per rail per layer) the
+    /// threshold engages from 4 stacked layers up — exactly the systems
+    /// whose Jacobi iteration counts blow up with size.
+    pub const AMG_MIN_UNKNOWNS: usize = 4096;
 
     /// The shared solve tail: connectivity check, then the escalation
     /// ladder over an already-assembled CSR matrix.
@@ -331,6 +377,7 @@ impl NetworkBuilder {
         a: &CsrMatrix,
         guess: Option<&[f64]>,
         workspace: &mut SolveWorkspace,
+        amg_cache: &mut Option<AmgHierarchy>,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
         if let Some((floating_nodes, example_node)) = self.floating_nodes(a) {
             return Err(PdnError::Disconnected {
@@ -342,9 +389,10 @@ impl NetworkBuilder {
             tolerance: 1e-9,
             max_iterations: 50_000,
             start_with_ic: false,
+            start_with_amg: a.rows() >= Self::AMG_MIN_UNKNOWNS,
             ..RobustOptions::default()
         };
-        let solved = solve_robust_ws(a, &self.rhs, guess, &opts, workspace)?;
+        let solved = solve_robust_cached_ws(a, &self.rhs, guess, &opts, workspace, amg_cache)?;
         Ok((solved.x, solved.report))
     }
 

@@ -282,6 +282,62 @@ impl CsrMatrix {
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
     }
 
+    /// Sparse matrix-matrix product `A · B`.
+    ///
+    /// Classic row-wise SpGEMM with a dense accumulator per output row.
+    /// Accumulation order is fixed by the CSR storage order of both
+    /// operands and output columns are emitted sorted, so the result is
+    /// bit-identical across runs — the AMG Galerkin triple-product
+    /// `Pᵀ (A P)` relies on this for cross-thread determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        // Dense accumulator + last-seen-row markers, reused across rows.
+        let mut acc = vec![0.0f64; other.cols];
+        let mut marker = vec![usize::MAX; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a_val = self.values[k];
+                let mid = self.col_idx[k];
+                for kk in other.row_ptr[mid]..other.row_ptr[mid + 1] {
+                    let c = other.col_idx[kk];
+                    if marker[c] != r {
+                        marker[c] = r;
+                        touched.push(c);
+                        acc[c] = 0.0;
+                    }
+                    acc[c] += a_val * other.values[kk];
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                col_idx.push(c);
+                values.push(acc[c]);
+            }
+            touched.clear();
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Returns the main diagonal as a dense vector (zeros where unset).
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
@@ -585,6 +641,37 @@ mod tests {
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "contexts = {contexts}");
         }
+    }
+
+    #[test]
+    fn matmul_matches_dense_product() {
+        let a =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -3.0), (1, 2, 0.5)]);
+        let b =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, -1.0), (2, 1, 2.0)]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_dense(), vec![vec![4.0, 5.0], vec![3.0, 1.0]]);
+        // Columns sorted within each row.
+        for r in 0..c.rows() {
+            let (cols, _) = c.row(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn matmul_with_empty_rows_and_cancellation() {
+        // Row 1 of `a` is empty; the (0,0) product entry cancels to 0.0
+        // but stays stored (pattern, not value, decides storage).
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        let b = CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, -1.0)]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.to_dense(), vec![vec![0.0], vec![0.0]]);
+        let (cols, vals) = c.row(0);
+        assert_eq!(cols, &[0]);
+        assert_eq!(vals, &[0.0]);
+        assert_eq!(c.row(1).0.len(), 0);
     }
 
     #[test]

@@ -151,6 +151,47 @@ impl DenseMatrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         self.lu()?.solve(b)
     }
+
+    /// Factorizes a symmetric positive-definite matrix as `A = L Lᵀ`.
+    ///
+    /// Only the lower triangle is read, so a numerically slightly
+    /// asymmetric input (e.g. a Galerkin coarse operator assembled in
+    /// floating point) is treated as its lower-triangular symmetrization.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::NotSquare`] if the matrix is not square.
+    /// * [`SolveError::SingularMatrix`] if a pivot is not strictly
+    ///   positive — the matrix is not positive definite to working
+    ///   precision.
+    pub fn cholesky(&self) -> Result<CholeskyFactors, SolveError> {
+        if self.n_rows != self.n_cols {
+            return Err(SolveError::NotSquare {
+                rows: self.n_rows,
+                cols: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        let mut l = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..=r {
+                let mut acc = self.data[r * n + c];
+                for k in 0..c {
+                    acc -= l[r * n + k] * l[c * n + k];
+                }
+                if c == r {
+                    // `!acc.is_finite()` also rejects NaN pivots.
+                    if !acc.is_finite() || acc <= 1e-300 {
+                        return Err(SolveError::SingularMatrix { pivot: r });
+                    }
+                    l[r * n + r] = acc.sqrt();
+                } else {
+                    l[r * n + c] = acc / l[c * n + c];
+                }
+            }
+        }
+        Ok(CholeskyFactors { n, l })
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for DenseMatrix {
@@ -218,6 +259,53 @@ impl LuFactors {
     }
 }
 
+/// Cholesky factor `L` of a symmetric positive-definite [`DenseMatrix`].
+///
+/// Unlike [`LuFactors::solve`], [`CholeskyFactors::solve_into`] writes into
+/// a caller-provided buffer and allocates nothing, which lets the AMG
+/// V-cycle run its coarsest-level direct solve on every preconditioner
+/// application without touching the allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyFactors {
+    n: usize,
+    /// Row-major lower-triangular factor (upper triangle is zero).
+    l: Vec<f64>,
+}
+
+impl CholeskyFactors {
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place: `x` holds `b` on entry and the solution
+    /// on exit. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn solve_into(&self, x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "cholesky solve dimension mismatch");
+        // Forward substitution: L y = b.
+        for r in 0..n {
+            let mut acc = x[r];
+            for (c, xc) in x.iter().enumerate().take(r) {
+                acc -= self.l[r * n + c] * xc;
+            }
+            x[r] = acc / self.l[r * n + r];
+        }
+        // Back substitution: Lᵀ x = y.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for (c, xc) in x.iter().enumerate().take(n).skip(r + 1) {
+                acc -= self.l[c * n + r] * xc;
+            }
+            x[r] = acc / self.l[r * n + r];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +359,42 @@ mod tests {
                 assert!((u - v).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 5.0]]);
+        let chol = a.cholesky().unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let mut x = b;
+        chol.solve_into(&mut x);
+        let via_lu = a.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&via_lu) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            a.cholesky(),
+            Err(SolveError::SingularMatrix { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.cholesky(), Err(SolveError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn cholesky_1x1() {
+        let a = DenseMatrix::from_rows(&[&[4.0]]);
+        let mut x = [8.0];
+        a.cholesky().unwrap().solve_into(&mut x);
+        assert_eq!(x[0], 2.0);
     }
 
     #[test]

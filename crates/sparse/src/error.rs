@@ -71,6 +71,20 @@ pub enum SolveError {
         /// Column of the offending triplet.
         col: usize,
     },
+    /// Algebraic-multigrid coarsening failed to shrink the problem: the
+    /// aggregation pass produced (nearly) as many aggregates as unknowns,
+    /// so another level would gain nothing. Typical causes are matrices
+    /// with no strong off-diagonal couplings (e.g. diagonal matrices) —
+    /// a *numerical* condition, so the escalation ladder falls through to
+    /// a single-level preconditioner instead of failing the solve.
+    CoarseningFailed {
+        /// Multigrid level at which coarsening stalled (0 = finest).
+        level: usize,
+        /// Unknowns at the stalled level.
+        unknowns: usize,
+        /// Aggregates the pass produced for those unknowns.
+        aggregates: usize,
+    },
     /// The residual stopped improving for a full stagnation window before
     /// reaching tolerance. Distinct from [`SolveError::NotConverged`]:
     /// stagnation is detected early, leaving iteration budget for a
@@ -126,6 +140,15 @@ impl fmt::Display for SolveError {
                      the matrix structure changed and must be rebuilt"
                 )
             }
+            SolveError::CoarseningFailed {
+                level,
+                unknowns,
+                aggregates,
+            } => write!(
+                f,
+                "amg coarsening stalled at level {level}: {aggregates} aggregates \
+                 for {unknowns} unknowns"
+            ),
             SolveError::Stagnated {
                 iterations,
                 residual,

@@ -15,9 +15,12 @@
 //!   resistive grids and thermal networks, and BiCGSTAB
 //!   ([`solver::bicgstab`]) for the mildly non-symmetric systems produced by
 //!   MNA matrices with voltage and controlled sources.
-//! * [`dense`] — a small dense matrix with LU factorization (partial
-//!   pivoting), used for tiny systems (converter test benches) and as a
-//!   reference implementation in tests.
+//! * [`amg`] — an aggregation-based algebraic multigrid preconditioner
+//!   whose CG iteration counts stay nearly flat as grids grow; the
+//!   escalation ladder uses it as its top rung on large PDN systems.
+//! * [`dense`] — a small dense matrix with LU and Cholesky factorizations,
+//!   used for tiny systems (converter test benches), the AMG coarsest
+//!   level, and as a reference implementation in tests.
 //! * [`pool`] — a std-only scoped thread pool behind the parallel kernels
 //!   (row-partitioned SpMV, fixed-chunk tree reductions, level-scheduled
 //!   IC(0) triangular solves). All parallel paths are bit-identical to the
@@ -60,6 +63,7 @@ mod csr;
 mod error;
 mod triplet;
 
+pub mod amg;
 pub mod dense;
 pub mod ichol;
 pub mod pool;
@@ -67,10 +71,12 @@ pub mod robust;
 pub mod solver;
 pub mod vecops;
 
+pub use amg::{AmgHierarchy, AmgOptions};
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use robust::{
-    solve_robust, solve_robust_ws, RobustOptions, RobustSolved, SolveMethod, SolveReport,
+    solve_robust, solve_robust_cached_ws, solve_robust_ws, RobustOptions, RobustSolved,
+    SolveMethod, SolveReport,
 };
 pub use solver::SolveWorkspace;
 pub use triplet::TripletMatrix;

@@ -8,7 +8,13 @@
 //! near-singular operator. [`solve_robust`] climbs a fixed ladder instead
 //! of giving up:
 //!
-//! 1. **CG + IC(0)** — fastest on healthy grids;
+//! 0. **CG + AMG** (opt-in via [`RobustOptions::start_with_amg`]) — an
+//!    aggregation-based multigrid V-cycle whose iteration counts stay
+//!    nearly flat as grids grow; degenerate coarsening
+//!    ([`SolveError::CoarseningFailed`]) or any other numerical failure
+//!    drops cleanly to the next rung;
+//! 1. **CG + IC(0)** (on by default via [`RobustOptions::start_with_ic`])
+//!    — strongest single-level preconditioner on healthy grids;
 //! 2. **CG + Jacobi** — if the incomplete factorization fails (or IC-
 //!    preconditioned CG errors), fall back to diagonal scaling;
 //! 3. **BiCGSTAB + Jacobi** — if CG breaks down or stagnates; BiCGSTAB
@@ -23,15 +29,21 @@
 //! solves needed rescue. The ladder is fully deterministic: the same
 //! system and options always take the same path.
 
+use std::time::Instant;
+
+use crate::amg::{AmgHierarchy, AmgOptions};
 use crate::solver::{
-    bicgstab_with_guess_ws, cg_with_guess_ws, validate_finite, BiCgStabOptions, CgOptions,
-    Preconditioner, SolveWorkspace, Solved,
+    bicgstab_with_guess_ws, cg_with_amg_ws, cg_with_guess_ws, validate_finite, BiCgStabOptions,
+    CgOptions, Preconditioner, SolveWorkspace, Solved,
 };
 use crate::{CsrMatrix, SolveError, TripletMatrix};
 
 /// Solver method identifiers for [`SolveReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveMethod {
+    /// Conjugate gradient preconditioned by an aggregation-based algebraic
+    /// multigrid V-cycle (see [`crate::amg`]).
+    CgAmg,
     /// Conjugate gradient with zero-fill incomplete-Cholesky preconditioning.
     CgIncompleteCholesky,
     /// Conjugate gradient with Jacobi (diagonal) preconditioning.
@@ -46,6 +58,7 @@ pub enum SolveMethod {
 impl core::fmt::Display for SolveMethod {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let name = match self {
+            SolveMethod::CgAmg => "cg+amg",
             SolveMethod::CgIncompleteCholesky => "cg+ic0",
             SolveMethod::CgJacobi => "cg+jacobi",
             SolveMethod::BiCgStab => "bicgstab",
@@ -66,7 +79,12 @@ pub struct FallbackStep {
 
 /// Diagnostics for a [`solve_robust`] call: which method finally produced
 /// the answer, every fallback taken on the way, and the final quality.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ([`PartialEq`]) compares only the deterministic outcome and
+/// ignores the wall-clock fields ([`SolveReport::setup_us`],
+/// [`SolveReport::solve_us`]), so study results embedding reports stay
+/// comparable with `assert_eq!` across threads and re-runs.
+#[derive(Debug, Clone)]
 pub struct SolveReport {
     /// Method that produced the accepted solution.
     pub method: SolveMethod,
@@ -79,6 +97,23 @@ pub struct SolveReport {
     pub relative_residual: f64,
     /// Diagonal (Tikhonov) shift applied, `0.0` unless the last rung ran.
     pub diagonal_shift: f64,
+    /// Wall-clock microseconds the accepted rung spent on preconditioner
+    /// setup (AMG hierarchy build, IC(0) factorization, …); 0 when a
+    /// cached hierarchy was reused. Excluded from equality.
+    pub setup_us: u64,
+    /// Wall-clock microseconds the accepted rung spent iterating.
+    /// Excluded from equality.
+    pub solve_us: u64,
+}
+
+impl PartialEq for SolveReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.fallbacks == other.fallbacks
+            && self.iterations == other.iterations
+            && self.relative_residual == other.relative_residual
+            && self.diagonal_shift == other.diagonal_shift
+    }
 }
 
 impl SolveReport {
@@ -134,6 +169,13 @@ pub struct RobustOptions {
     /// Whether the ladder starts at IC(0) (rung 1). Disable for systems
     /// known to defeat incomplete factorization, saving the failed attempt.
     pub start_with_ic: bool,
+    /// Whether the ladder tries CG + AMG before everything else (rung 0).
+    /// Off by default: AMG setup only pays for itself on large systems or
+    /// when the hierarchy is cached across re-solves, so callers (e.g.
+    /// `vstack-pdn` above its node-count threshold) opt in explicitly.
+    pub start_with_amg: bool,
+    /// Build options for the AMG rung's hierarchy.
+    pub amg: AmgOptions,
 }
 
 impl Default for RobustOptions {
@@ -145,6 +187,8 @@ impl Default for RobustOptions {
             shift_scale: 1e-8,
             shift_acceptance: 100.0,
             start_with_ic: true,
+            start_with_amg: false,
+            amg: AmgOptions::default(),
         }
     }
 }
@@ -229,6 +273,32 @@ pub fn solve_robust_ws(
     options: &RobustOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<RobustSolved, SolveError> {
+    solve_robust_cached_ws(a, b, guess, options, ws, &mut None)
+}
+
+/// Like [`solve_robust_ws`], but the AMG rung's hierarchy lives in a
+/// caller-owned cache slot. When [`RobustOptions::start_with_amg`] is set
+/// and the slot is empty, the rung builds the hierarchy and *leaves it in
+/// the slot*; subsequent calls reuse it and report
+/// [`SolveReport::setup_us`] of 0. `vstack-pdn` holds the slot in its
+/// `SolveScratch`, clearing it whenever the sparsity pattern changes, so
+/// fault/sweep/warm-start re-solves pay AMG setup once per pattern.
+///
+/// The cached hierarchy is *frozen*: re-solves after value-only re-stamps
+/// keep using it (CG converges against the current matrix under any fixed
+/// SPD preconditioner; only iteration counts drift as values do).
+///
+/// # Errors
+///
+/// Same as [`solve_robust`].
+pub fn solve_robust_cached_ws(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &RobustOptions,
+    ws: &mut SolveWorkspace,
+    amg_cache: &mut Option<AmgHierarchy>,
+) -> Result<RobustSolved, SolveError> {
     if a.cols() != a.rows() {
         return Err(SolveError::NotSquare {
             rows: a.rows(),
@@ -254,8 +324,51 @@ pub fn solve_robust_ws(
                 iterations: solved.iterations,
                 relative_residual: solved.relative_residual,
                 diagonal_shift: 0.0,
+                setup_us: solved.setup_us,
+                solve_us: solved.solve_us,
             },
         };
+
+    // Rung 0: CG + AMG (opt-in). Build into the caller's cache slot when
+    // empty; any numerical failure — degenerate coarsening included —
+    // drops to the single-level rungs below.
+    if options.start_with_amg {
+        let mut build_us = 0u64;
+        if amg_cache.is_none() {
+            let timer = Instant::now();
+            match AmgHierarchy::build(a, &options.amg) {
+                Ok(h) => {
+                    build_us = timer.elapsed().as_micros() as u64;
+                    *amg_cache = Some(h);
+                }
+                Err(e) if is_structural(&e) => return Err(e),
+                Err(e) => fallbacks.push(FallbackStep {
+                    from: SolveMethod::CgAmg,
+                    error: e,
+                }),
+            }
+        }
+        if let Some(h) = amg_cache.as_ref() {
+            match cg_with_amg_ws(
+                a,
+                b,
+                guess,
+                &cg_options(options, Preconditioner::Amg),
+                h,
+                ws,
+            ) {
+                Ok(mut solved) => {
+                    solved.setup_us += build_us;
+                    return Ok(accept(SolveMethod::CgAmg, solved, &mut fallbacks));
+                }
+                Err(e) if is_structural(&e) => return Err(e),
+                Err(e) => fallbacks.push(FallbackStep {
+                    from: SolveMethod::CgAmg,
+                    error: e,
+                }),
+            }
+        }
+    }
 
     // Rung 1: CG + IC(0).
     if options.start_with_ic {
@@ -351,6 +464,8 @@ pub fn solve_robust_ws(
                             iterations: solved.iterations,
                             relative_residual: true_res,
                             diagonal_shift: lambda,
+                            setup_us: solved.setup_us,
+                            solve_us: solved.solve_us,
                         },
                     });
                 }
@@ -496,6 +611,65 @@ mod tests {
             CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
         let err = solve_robust(&a, &[1.0, 2.0], None, &RobustOptions::default()).unwrap_err();
         assert!(!is_structural(&err), "numerical failure expected: {err}");
+    }
+
+    #[test]
+    fn amg_rung_takes_priority_and_caches_the_hierarchy() {
+        let a = laplacian_1d(600);
+        let b = vec![1.0; 600];
+        let opts = RobustOptions {
+            start_with_amg: true,
+            ..RobustOptions::default()
+        };
+        let mut cache = None;
+        let cold =
+            solve_robust_cached_ws(&a, &b, None, &opts, &mut SolveWorkspace::new(), &mut cache)
+                .expect("amg rung solves");
+        assert_eq!(cold.report.method, SolveMethod::CgAmg);
+        assert!(!cold.report.was_rescued(), "trail: {}", cold.report.trail());
+        assert!(a.residual_norm(&cold.x, &b) < 1e-7);
+        assert!(cache.is_some(), "hierarchy must be left in the cache slot");
+        let warm =
+            solve_robust_cached_ws(&a, &b, None, &opts, &mut SolveWorkspace::new(), &mut cache)
+                .expect("cached re-solve");
+        assert_eq!(warm.report.setup_us, 0, "cached hierarchy skips setup");
+        assert_eq!(cold, warm, "cached re-solve must be bit-identical");
+    }
+
+    #[test]
+    fn degenerate_coarsening_falls_through_to_ic0() {
+        // Diagonal matrix above the AMG direct-solve size: every node
+        // aggregates into a singleton, coarsening stalls, and the ladder
+        // must carry on to IC(0) with the failure on record.
+        let n = 300;
+        let triplets: Vec<_> = (0..n).map(|i| (i, i, 2.0)).collect();
+        let a = CsrMatrix::from_triplets(n, n, &triplets);
+        let b = vec![1.0; n];
+        let opts = RobustOptions {
+            start_with_amg: true,
+            ..RobustOptions::default()
+        };
+        let mut cache = None;
+        let sol =
+            solve_robust_cached_ws(&a, &b, None, &opts, &mut SolveWorkspace::new(), &mut cache)
+                .expect("rescued by ic0");
+        assert_eq!(sol.report.method, SolveMethod::CgIncompleteCholesky);
+        assert!(
+            cache.is_none(),
+            "no hierarchy to cache after a failed build"
+        );
+        assert!(
+            matches!(
+                sol.report.fallbacks.first(),
+                Some(FallbackStep {
+                    from: SolveMethod::CgAmg,
+                    error: SolveError::CoarseningFailed { .. },
+                })
+            ),
+            "trail: {}",
+            sol.report.trail()
+        );
+        assert!(sol.report.trail().starts_with("cg+amg->cg+ic0"));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! diagonally dominant grid Laplacians' scaling and costs one divide per
 //! unknown per iteration.
 
+use std::time::Instant;
+
+use crate::amg::{AmgHierarchy, AmgOptions};
 use crate::ichol::IncompleteCholesky;
 use crate::vecops::{axpy, dot, norm2, xpby};
 use crate::{CsrMatrix, SolveError};
@@ -24,10 +27,18 @@ pub enum Preconditioner {
     #[default]
     Jacobi,
     /// Zero-fill incomplete Cholesky, `M = L·Lᵀ` (see
-    /// [`crate::ichol::IncompleteCholesky`]). Strongest of the three on
-    /// grid Laplacians; factorization fails (and the solve errors) if the
-    /// matrix is not SPD enough — fall back to Jacobi in that case.
+    /// [`crate::ichol::IncompleteCholesky`]). Strongest single-level
+    /// option on grid Laplacians; factorization fails (and the solve
+    /// errors) if the matrix is not SPD enough — fall back to Jacobi in
+    /// that case.
     IncompleteCholesky,
+    /// Aggregation-based algebraic multigrid V-cycle (see
+    /// [`crate::amg::AmgHierarchy`]), built with [`AmgOptions::default`].
+    /// Iteration counts are nearly independent of problem size, at the
+    /// price of a setup pass; callers that re-solve one sparsity pattern
+    /// many times should build the hierarchy once and use
+    /// [`cg_with_amg_ws`] instead.
+    Amg,
 }
 
 /// Options controlling a [`cg`] solve.
@@ -177,20 +188,26 @@ fn prep(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
-/// Materialized preconditioner state.
-enum Precond {
+/// Materialized preconditioner state. `AmgRef` borrows a hierarchy a
+/// caller built (and caches) elsewhere; the other variants are owned.
+enum Precond<'a> {
     None,
     Jacobi(Vec<f64>),
     Ic(Box<IncompleteCholesky>),
+    Amg(Box<AmgHierarchy>),
+    AmgRef(&'a AmgHierarchy),
 }
 
-impl Precond {
+impl Precond<'_> {
     fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolveError> {
         Ok(match kind {
             Preconditioner::None => Precond::None,
             Preconditioner::Jacobi => Precond::Jacobi(inverse_diagonal(a)?),
             Preconditioner::IncompleteCholesky => {
                 Precond::Ic(Box::new(IncompleteCholesky::factor(a)?))
+            }
+            Preconditioner::Amg => {
+                Precond::Amg(Box::new(AmgHierarchy::build(a, &AmgOptions::default())?))
             }
         })
     }
@@ -203,6 +220,8 @@ impl Precond {
                 }
             }
             Precond::Ic(ic) => ic.apply(r, z),
+            Precond::Amg(h) => h.apply(r, z),
+            Precond::AmgRef(h) => h.apply(r, z),
             Precond::None => z.copy_from_slice(r),
         }
     }
@@ -240,7 +259,13 @@ pub fn cg(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<Vec<f64>, Sol
 }
 
 /// Output of [`cg_with_guess`]: solution plus convergence diagnostics.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ([`PartialEq`]) compares only the *numerical* outcome — `x`,
+/// `iterations` and `relative_residual` — and deliberately ignores the
+/// wall-clock observability fields, so the crate's bit-identity guarantees
+/// ("reused workspace equals fresh", "threaded equals serial") remain
+/// testable with `assert_eq!`.
+#[derive(Debug, Clone)]
 pub struct Solved {
     /// The solution vector.
     pub x: Vec<f64>,
@@ -248,6 +273,33 @@ pub struct Solved {
     pub iterations: usize,
     /// Final relative residual `‖b − Ax‖ / ‖b‖`.
     pub relative_residual: f64,
+    /// Wall-clock microseconds spent building the preconditioner (0 when
+    /// the caller supplied a prebuilt one). Excluded from equality.
+    pub setup_us: u64,
+    /// Wall-clock microseconds spent iterating after setup. Excluded from
+    /// equality.
+    pub solve_us: u64,
+}
+
+impl PartialEq for Solved {
+    fn eq(&self, other: &Self) -> bool {
+        self.x == other.x
+            && self.iterations == other.iterations
+            && self.relative_residual == other.relative_residual
+    }
+}
+
+impl Solved {
+    /// The trivial solution of a zero right-hand side.
+    fn zeros(n: usize) -> Self {
+        Solved {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            setup_us: 0,
+            solve_us: 0,
+        }
+    }
 }
 
 /// Like [`cg`], but accepts a warm-start guess and reports diagnostics.
@@ -296,16 +348,80 @@ pub fn cg_with_guess_ws(
         });
     }
     validate_finite(a, b, guess)?;
-    let b_norm = norm2(b);
-    if b_norm == 0.0 {
-        return Ok(Solved {
-            x: vec![0.0; n],
-            iterations: 0,
-            relative_residual: 0.0,
-        });
+    if norm2(b) == 0.0 {
+        return Ok(Solved::zeros(n));
     }
 
+    let setup_timer = Instant::now();
     let pre = Precond::build(options.preconditioner, a)?;
+    let setup_us = setup_timer.elapsed().as_micros() as u64;
+    cg_core(a, b, guess, options, &pre, setup_us, ws)
+}
+
+/// Like [`cg_with_guess_ws`], but preconditions with a *prebuilt* AMG
+/// hierarchy instead of building one from `options.preconditioner` (which
+/// is ignored). This is the warm path for callers that solve one sparsity
+/// pattern many times — `vstack-pdn` caches the hierarchy in its
+/// `SolveScratch` so fault and sweep re-solves skip setup entirely; the
+/// reported [`Solved::setup_us`] is 0.
+///
+/// The hierarchy stays mathematically sound as a preconditioner even when
+/// the matrix *values* have drifted since it was built (CG converges
+/// against the current `a` for any fixed SPD preconditioner); only its
+/// dimension must still match.
+///
+/// # Errors
+///
+/// Same as [`cg`], plus [`SolveError::DimensionMismatch`] when
+/// `amg.dim() != a.rows()`.
+pub fn cg_with_amg_ws(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+    amg: &AmgHierarchy,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if amg.dim() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: amg.dim(),
+        });
+    }
+    validate_finite(a, b, guess)?;
+    if norm2(b) == 0.0 {
+        return Ok(Solved::zeros(n));
+    }
+    cg_core(a, b, guess, options, &Precond::AmgRef(amg), 0, ws)
+}
+
+/// The shared CG iteration, parameterized over a materialized
+/// preconditioner. Inputs are already validated and `b` is non-zero.
+fn cg_core(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+    pre: &Precond<'_>,
+    setup_us: u64,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let n = a.rows();
+    let b_norm = norm2(b);
+    let solve_timer = Instant::now();
 
     let mut x = match guess {
         Some(g) => {
@@ -349,6 +465,8 @@ pub fn cg_with_guess_ws(
                 x,
                 iterations: it,
                 relative_residual: res,
+                setup_us,
+                solve_us: solve_timer.elapsed().as_micros() as u64,
             });
         }
         if options.stagnation_window > 0 {
@@ -386,6 +504,8 @@ pub fn cg_with_guess_ws(
             x,
             iterations: options.max_iterations,
             relative_residual: res,
+            setup_us,
+            solve_us: solve_timer.elapsed().as_micros() as u64,
         })
     } else {
         Err(SolveError::NotConverged {
@@ -466,14 +586,13 @@ pub fn bicgstab_with_guess_ws(
     validate_finite(a, b, guess)?;
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(Solved {
-            x: vec![0.0; n],
-            iterations: 0,
-            relative_residual: 0.0,
-        });
+        return Ok(Solved::zeros(n));
     }
 
+    let setup_timer = Instant::now();
     let pre = Precond::build(options.preconditioner, a)?;
+    let setup_us = setup_timer.elapsed().as_micros() as u64;
+    let solve_timer = Instant::now();
 
     let mut x = match guess {
         Some(g) => {
@@ -519,6 +638,8 @@ pub fn bicgstab_with_guess_ws(
             x,
             iterations: 0,
             relative_residual: initial_res,
+            setup_us,
+            solve_us: solve_timer.elapsed().as_micros() as u64,
         });
     }
     r_hat.copy_from_slice(r);
@@ -554,6 +675,8 @@ pub fn bicgstab_with_guess_ws(
                 x,
                 iterations: it + 1,
                 relative_residual: s_res,
+                setup_us,
+                solve_us: solve_timer.elapsed().as_micros() as u64,
             });
         }
         pre.apply(s, shat);
@@ -574,6 +697,8 @@ pub fn bicgstab_with_guess_ws(
                 x,
                 iterations: it + 1,
                 relative_residual: res,
+                setup_us,
+                solve_us: solve_timer.elapsed().as_micros() as u64,
             });
         }
         if omega.abs() < f64::MIN_POSITIVE {

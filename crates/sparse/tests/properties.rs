@@ -5,9 +5,11 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use vstack_sparse::dense::DenseMatrix;
 use vstack_sparse::ichol::IncompleteCholesky;
-use vstack_sparse::pool::ThreadPool;
+use vstack_sparse::pool::{with_pool, ThreadPool};
 use vstack_sparse::robust::{solve_robust, RobustOptions, SolveMethod};
-use vstack_sparse::solver::{bicgstab, cg, cg_with_guess_ws, BiCgStabOptions, CgOptions};
+use vstack_sparse::solver::{
+    bicgstab, cg, cg_with_guess_ws, BiCgStabOptions, CgOptions, Preconditioner,
+};
 use vstack_sparse::{vecops, CsrMatrix, SolveWorkspace, TripletMatrix};
 
 /// Strategy: a random list of triplets inside an `n × n` matrix.
@@ -70,6 +72,42 @@ fn ic0_defeating_spd(tail: usize) -> impl Strategy<Value = CsrMatrix> {
         }
         t.to_csr()
     })
+}
+
+/// Strategy: an SPD `side`×`side` grid Laplacian with random edge
+/// conductances, anchored corners, and `converters` random cross-grid
+/// stamps — each one the rank-1 SPD update a voltage-stacked converter
+/// tether contributes between non-adjacent rail nodes.
+fn grid_spd(side: usize, converters: usize) -> impl Strategy<Value = CsrMatrix> {
+    let n = side * side;
+    (
+        prop::collection::vec(1.0..30.0f64, 2 * n),
+        prop::collection::vec((0..n, 0..n, 0.5..5.0f64), converters),
+    )
+        .prop_map(move |(edges, taps)| {
+            let mut t = TripletMatrix::new(n, n);
+            let mut e = edges.iter();
+            for j in 0..side {
+                for i in 0..side {
+                    let a = j * side + i;
+                    if i + 1 < side {
+                        t.stamp_conductance(Some(a), Some(a + 1), *e.next().unwrap());
+                    }
+                    if j + 1 < side {
+                        t.stamp_conductance(Some(a), Some(a + side), *e.next().unwrap());
+                    }
+                }
+            }
+            for corner in [0, side - 1, n - side, n - 1] {
+                t.push(corner, corner, 100.0);
+            }
+            for &(p, q, g) in &taps {
+                if p != q {
+                    t.stamp_conductance(Some(p), Some(q), g);
+                }
+            }
+            t.to_csr()
+        })
 }
 
 /// Shared pools for the parallel bit-identity properties: spawning threads
@@ -239,6 +277,43 @@ proptest! {
         }
     }
 
+    /// AMG-preconditioned CG converges on random grid Laplacians to the
+    /// same solution Jacobi-preconditioned CG finds. 400 unknowns is past
+    /// `direct_max`, so a genuine coarse level is built and cycled.
+    #[test]
+    fn amg_cg_agrees_with_jacobi_cg_on_grids(
+        a in grid_spd(20, 0),
+        b in prop::collection::vec(-2.0..2.0f64, 400),
+    ) {
+        let jac = cg(&a, &b, &CgOptions::default()).expect("jacobi cg");
+        let amg_opts = CgOptions {
+            preconditioner: Preconditioner::Amg,
+            ..CgOptions::default()
+        };
+        let amg = cg(&a, &b, &amg_opts).expect("amg cg");
+        for (u, v) in jac.iter().zip(&amg) {
+            prop_assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    /// The same agreement holds when the grid carries converter-style
+    /// rank-1 cross stamps, as the voltage-stacked PDN matrices do.
+    #[test]
+    fn amg_cg_agrees_with_jacobi_cg_on_converter_grids(
+        a in grid_spd(20, 4),
+        b in prop::collection::vec(-2.0..2.0f64, 400),
+    ) {
+        let jac = cg(&a, &b, &CgOptions::default()).expect("jacobi cg");
+        let amg_opts = CgOptions {
+            preconditioner: Preconditioner::Amg,
+            ..CgOptions::default()
+        };
+        let amg = cg(&a, &b, &amg_opts).expect("amg cg");
+        for (u, v) in jac.iter().zip(&amg) {
+            prop_assert!((u - v).abs() < 1e-5);
+        }
+    }
+
     /// One `SolveWorkspace` reused across systems of different sizes and
     /// patterns resizes correctly: every solve through it is bit-identical
     /// to a fresh-workspace solve of the same system.
@@ -258,6 +333,43 @@ proptest! {
                 .x;
             for (f, r) in fresh.iter().zip(&reused) {
                 prop_assert_eq!(f.to_bits(), r.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Few cases: each one builds an AMG hierarchy on a 7 396-unknown grid
+    // (big enough that `mul_vec_into` routes through the pool) and solves
+    // it under three pool widths.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A `Preconditioner::Amg` CG solve is bit-for-bit identical at 1, 2
+    /// and 4 pool contexts — hierarchy construction is serial and the
+    /// V-cycle's parallel SpMV is bit-identical by design.
+    #[test]
+    fn amg_cg_bit_identical_across_pools(a in grid_spd(86, 2)) {
+        let n = 86 * 86;
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 1e-3).collect();
+        let opts = CgOptions {
+            preconditioner: Preconditioner::Amg,
+            ..CgOptions::default()
+        };
+        let mut reference: Option<(Vec<f64>, usize)> = None;
+        for pool in pools() {
+            let solved = with_pool(pool, || {
+                let mut ws = SolveWorkspace::new();
+                cg_with_guess_ws(&a, &b, None, &opts, &mut ws)
+            })
+            .expect("amg cg");
+            match &reference {
+                None => reference = Some((solved.x, solved.iterations)),
+                Some((x0, it0)) => {
+                    prop_assert_eq!(*it0, solved.iterations);
+                    for (u, v) in x0.iter().zip(&solved.x) {
+                        prop_assert_eq!(u.to_bits(), v.to_bits());
+                    }
+                }
             }
         }
     }
