@@ -22,6 +22,11 @@
 //!   cost reported as its own `cg_scaling/amg_setup/g{N}` entry.
 //! * `fig6_sweep` — the end-to-end Fig 6 IR-drop study, whose series fan
 //!   out over the pool.
+//! * `obs_overhead/{disabled,enabled,span_disabled}` — the tracing
+//!   overhead gate: the `cg_solve` system solved with span recording off
+//!   (the shipping default; CI holds its median within 1% of
+//!   `cg_solve/threads1`) and on, plus the per-probe cost of a disabled
+//!   `span!` itself.
 //!
 //! Threaded variants are only benched at widths the host actually has:
 //! on a 1-CPU container a `threads4` pool just time-slices one core and
@@ -241,6 +246,42 @@ fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
     }
 }
 
+/// Tracing-overhead gate: the `cg_solve` system with spans compiled in,
+/// timed with recording disabled (the shipping default) and enabled, plus
+/// a microbench pricing the disabled `span!` probe itself. CI compares
+/// the `disabled` median against `cg_solve/threads1`.
+fn bench_obs_overhead(c: &mut Criterion, s: &Sizes) {
+    let (a, b) = grid_laplacian(s.cg_n);
+    let cg_uses_amg = a.rows() >= NetworkBuilder::AMG_MIN_UNKNOWNS;
+    let amg = AmgHierarchy::build(&a, &AmgOptions::default()).expect("grid laplacian coarsens");
+    let opts = CgOptions::default();
+    let pool = Arc::new(ThreadPool::new(1));
+    with_pool(&pool, || {
+        let mut g = c.benchmark_group("obs_overhead");
+        g.sample_size(s.kernel_samples);
+        for (mode, on) in [("disabled", false), ("enabled", true)] {
+            vstack_obs::trace::set_enabled(on);
+            g.bench_function(mode, |bch| {
+                let mut ws = SolveWorkspace::new();
+                bch.iter(|| {
+                    let solved = if cg_uses_amg {
+                        cg_with_amg_ws(&a, &b, None, &opts, &amg, &mut ws)
+                    } else {
+                        cg_with_guess_ws(&a, &b, None, &opts, &mut ws)
+                    };
+                    black_box(solved.expect("cg"))
+                })
+            });
+            vstack_obs::trace::set_enabled(false);
+            let _ = vstack_obs::trace::drain();
+        }
+        g.bench_function("span_disabled", |bch| {
+            bch.iter(|| black_box(vstack_obs::span!("overhead_probe")))
+        });
+        g.finish();
+    });
+}
+
 /// Single-thread iteration-count and median scaling across grid sizes,
 /// one entry per preconditioner per grid.
 fn bench_scaling(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
@@ -363,6 +404,7 @@ fn main() {
     let mut c = Criterion::default();
     let mut meta = Meta::new();
     bench_kernels(&mut c, &s, &mut meta);
+    bench_obs_overhead(&mut c, &s);
     bench_scaling(&mut c, &s, &mut meta);
     bench_fig6(&mut c, &s);
 

@@ -26,8 +26,13 @@
 //!   (V-S only) instead of a single point
 //! * `--cache-dir DIR` persist results across runs (a second identical
 //!   run is served from disk)
+//! * `--trace-out PATH` record spans for the whole run; writes NDJSON at
+//!   PATH and collapsed stacks at PATH.folded (flamegraph input)
+//! * `--metrics-out PATH` write the metrics-registry snapshot on exit
 
 use std::path::PathBuf;
+
+use vstack_bench::obs::ObsOutputs;
 
 use vstack::pdn::TsvTopology;
 use vstack_engine::{Engine, EngineConfig, ScenarioRequest, SolveSummary};
@@ -44,6 +49,8 @@ struct Args {
     quick: bool,
     sweep: Option<usize>,
     cache_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         sweep: None,
         cache_dir: None,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,6 +118,8 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc -p vstack-bench --bin explore");
                 std::process::exit(0);
@@ -213,6 +224,7 @@ fn print_cache_summary(engine: &Engine) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| format!("{e} (try --help)"))?;
+    let obs = ObsOutputs::new(args.trace_out.clone(), args.metrics_out.clone());
     let mut engine = Engine::new(EngineConfig {
         cache_dir: args.cache_dir.clone(),
         ..EngineConfig::default()
@@ -274,5 +286,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     print_cache_summary(&engine);
     engine.flush()?;
+    obs.finish()?;
     Ok(())
 }

@@ -6,6 +6,7 @@ use vstack::experiments::{ext_closed_loop, Fidelity};
 use vstack_bench::{heading, pct};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Extension — open-loop vs closed-loop SC control, 8 layers");
     let series = ext_closed_loop::control_policy_study(Fidelity::Paper, 8, &[2, 4, 8])?;
     for s in &series {
@@ -33,5 +34,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          higher light-load output impedance (≈5x the IR drop at 10%\n\
          imbalance)."
     );
+    obs.finish()?;
     Ok(())
 }

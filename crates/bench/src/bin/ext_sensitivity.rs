@@ -6,6 +6,7 @@ use vstack::experiments::{ext_sensitivity, Fidelity};
 use vstack_bench::{heading, pct};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Extension — sensitivity tornado, 8-layer V-S @ 65% imbalance");
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>10}",
@@ -26,5 +27,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          application-average imbalance — converter design, not TSV or pad\n\
          allocation, is where a V-S designer's effort pays off."
     );
+    obs.finish()?;
     Ok(())
 }

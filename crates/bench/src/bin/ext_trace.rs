@@ -6,6 +6,7 @@ use vstack::power::workload::ParsecApp;
 use vstack_bench::{heading, pct};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Extension — trace-driven V-S noise (200 windows, 8 conv/core, 8 layers)");
     let schedules: [(&str, [ParsecApp; 8]); 3] = [
         ("same-app (blackscholes)", [ParsecApp::Blackscholes; 8]),
@@ -56,5 +57,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          traces, but typical windows sit far below it — and same-app\n\
          scheduling keeps even the worst window near the balanced floor."
     );
+    obs.finish()?;
     Ok(())
 }

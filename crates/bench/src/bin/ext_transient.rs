@@ -6,6 +6,7 @@ use vstack::experiments::{ext_transient, Fidelity};
 use vstack_bench::{heading, pct};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Extension — V-S load-step transient (balanced → 65% imbalance, 8 layers)");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>12}",
@@ -38,5 +39,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|t| format!("{:.0} ns", t * 1e9))
             .unwrap_or_else(|| "—".into()),
     );
+    obs.finish()?;
     Ok(())
 }

@@ -25,6 +25,7 @@ fn outcome_label(o: &WearoutOutcome) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Extension — EM wearout feedback loop (5%/round earliest-failure kills)");
     let config = WearoutConfig {
         fidelity: Fidelity::Paper,
@@ -79,5 +80,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reg.degradation_slope() / vs.degradation_slope().max(f64::MIN_POSITIVE),
         );
     }
+    obs.finish()?;
     Ok(())
 }

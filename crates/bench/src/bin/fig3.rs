@@ -4,6 +4,7 @@
 use vstack_bench::heading;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Fig 3a — closed-loop control: efficiency vs load current");
     println!(
         "{:>10} {:>12} {:>12} {:>14} {:>14}",
@@ -36,5 +37,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.sim_vdrop_mv
         );
     }
+    obs.finish()?;
     Ok(())
 }

@@ -5,6 +5,7 @@ use vstack::experiments::{fig5, Fidelity};
 use vstack_bench::run_series_figure;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     let data = fig5::c4_lifetimes(Fidelity::Paper)?;
     run_series_figure(
         "Fig 5b — normalized C4 EM-free MTTF vs stacked layers",
@@ -12,5 +13,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|s| (s.label.as_str(), s.points.as_slice())),
     );
+    obs.finish()?;
     Ok(())
 }

@@ -5,6 +5,7 @@ use vstack::experiments::{fig6, Fidelity};
 use vstack_bench::{heading, pct, print_imbalance_row};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Fig 6 — max on-chip IR drop (% Vdd) vs workload imbalance, 8 layers");
     let data = fig6::ir_drop_study(Fidelity::Paper, 8)?;
     for s in &data.vs_series {
@@ -28,5 +29,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (topo, v) in &data.regular_references {
         println!("  {:<12} {}", topo.name(), pct(*v));
     }
+    obs.finish()?;
     Ok(())
 }

@@ -5,6 +5,7 @@ use vstack::experiments::fig7;
 use vstack_bench::heading;
 
 fn main() {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Fig 7 — Parsec 16-core layer power distributions (W)");
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
@@ -28,4 +29,5 @@ fn main() {
         100.0 * data.average_max_imbalance,
         100.0 * data.global_max_imbalance
     );
+    obs.finish().expect("write obs outputs");
 }

@@ -5,6 +5,7 @@ use vstack::experiments::{fig8, Fidelity};
 use vstack_bench::{heading, print_imbalance_row};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = vstack_bench::obs::ObsOutputs::from_cli_args();
     heading("Fig 8 — system power efficiency vs workload imbalance, 8 layers");
     let data = fig8::efficiency_study(Fidelity::Paper, 8)?;
     for s in data.vs_series.iter().chain([&data.regular_sc_reference]) {
@@ -14,5 +15,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!();
     }
+    obs.finish()?;
     Ok(())
 }

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
+
 /// Prints a header line followed by a rule.
 pub fn heading(title: &str) {
     println!("{title}");

@@ -1,0 +1,77 @@
+//! Observability wiring shared by the figure/exploration binaries.
+//!
+//! Every binary in this crate accepts two optional flags:
+//!
+//! * `--trace-out PATH` — enable span recording for the whole run and, on
+//!   exit, write the NDJSON span log at `PATH` plus the collapsed-stack
+//!   file at `PATH.folded` (feed the latter to `inferno-flamegraph`).
+//! * `--metrics-out PATH` — on exit, write the process-wide metrics
+//!   snapshot (`vstack-obs-metrics` JSON) at `PATH`.
+//!
+//! The fig/table/ext binaries take no other arguments, so they pick both
+//! flags up with [`ObsOutputs::from_cli_args`]; `explore` parses its own
+//! flag set and constructs [`ObsOutputs::new`] directly.
+
+use std::path::PathBuf;
+
+/// Deferred observability outputs for one binary run.
+///
+/// Construction arms the tracer when a trace path was requested;
+/// [`ObsOutputs::finish`] drains and writes everything at the end of
+/// `main`.
+#[must_use = "call finish() at the end of main to write the requested outputs"]
+pub struct ObsOutputs {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsOutputs {
+    /// Wires up the requested outputs, enabling span recording if a trace
+    /// destination was given.
+    pub fn new(trace_out: Option<PathBuf>, metrics_out: Option<PathBuf>) -> Self {
+        if trace_out.is_some() {
+            vstack_obs::trace::set_enabled(true);
+        }
+        ObsOutputs {
+            trace_out,
+            metrics_out,
+        }
+    }
+
+    /// Scans the raw CLI arguments for `--trace-out PATH` and
+    /// `--metrics-out PATH`, ignoring everything else. Safe for the
+    /// figure binaries, which define no other flags.
+    pub fn from_cli_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+        };
+        Self::new(value_of("--trace-out"), value_of("--metrics-out"))
+    }
+
+    /// Writes the requested trace and metrics files, reporting each path
+    /// on stderr. Call once, at the end of `main`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from writing the output files.
+    pub fn finish(self) -> std::io::Result<()> {
+        if let Some(path) = self.trace_out {
+            vstack_obs::trace::set_enabled(false);
+            let folded = vstack_obs::trace::write_trace(&path)?;
+            eprintln!(
+                "trace: wrote {} (NDJSON) and {} (collapsed stacks)",
+                path.display(),
+                folded.display()
+            );
+        }
+        if let Some(path) = self.metrics_out {
+            std::fs::write(&path, vstack_obs::metrics::snapshot_json())?;
+            eprintln!("metrics: wrote {}", path.display());
+        }
+        Ok(())
+    }
+}

@@ -225,6 +225,7 @@ impl DesignScenario {
         guess: Option<&[f64]>,
         scratch: &mut vstack_pdn::SolveScratch,
     ) -> Result<FaultedSolution, PdnError> {
+        let _span = vstack_obs::span!("scenario_solve");
         self.regular_pdn()
             .solve_warm(&self.peak_loads(), guess, scratch)
     }
@@ -242,6 +243,7 @@ impl DesignScenario {
         guess: Option<&[f64]>,
         scratch: &mut vstack_pdn::SolveScratch,
     ) -> Result<FaultedSolution, PdnError> {
+        let _span = vstack_obs::span!("scenario_solve");
         self.voltage_stacked_pdn()
             .solve_warm(&self.interleaved_loads(imbalance), guess, scratch)
     }

@@ -15,7 +15,8 @@
 //!
 //! Options: `--cache-dir DIR` (enable the disk tier), `--lru N`
 //! (memory-tier bound, default 256), `--no-warm-start` (disable
-//! neighbour seeding).
+//! neighbour seeding). Diagnostics go to stderr through the `vstack-obs`
+//! logger (target `serve`); tune with `VSTACK_LOG`.
 
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
@@ -24,19 +25,20 @@ use std::process::ExitCode;
 use vstack_engine::engine::{Engine, EngineConfig, QueryResult};
 use vstack_engine::json::Json;
 use vstack_engine::request::ScenarioRequest;
+use vstack_obs::{log_error, log_warn};
 
 fn main() -> ExitCode {
     let config = match parse_args(std::env::args().skip(1)) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("vstack-serve: {e}");
+            log_error!("serve", "{e}");
             return ExitCode::from(2);
         }
     };
     let mut engine = match Engine::new(config) {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("vstack-serve: cannot open cache dir: {e}");
+            log_error!("serve", "cannot open cache dir: {e}");
             return ExitCode::from(2);
         }
     };
@@ -48,7 +50,7 @@ fn main() -> ExitCode {
         let line = match line {
             Ok(l) => l,
             Err(e) => {
-                eprintln!("vstack-serve: stdin read failed: {e}");
+                log_warn!("serve", "stdin read failed: {e}");
                 break;
             }
         };
@@ -71,7 +73,7 @@ fn main() -> ExitCode {
         }
     }
     if let Err(e) = engine.flush() {
-        eprintln!("vstack-serve: cache flush failed: {e}");
+        log_error!("serve", "cache flush failed: {e}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -164,6 +166,21 @@ fn handle_line(engine: &mut Engine, line: &str) -> (Vec<Json>, bool) {
             }
             fields.push(("ok", Json::Bool(true)));
             fields.push(("stats", engine.stats().to_json()));
+            (vec![Json::obj(fields)], false)
+        }
+        "metrics" => {
+            // Snapshot the process-wide obs registry. The snapshot string
+            // is the obs crate's own (schema-versioned) JSON; re-parse it
+            // here so it embeds as a structured object, not a string.
+            let snapshot = vstack_obs::metrics::snapshot_json();
+            let metrics =
+                Json::parse(&snapshot).expect("obs metrics snapshot is valid JSON by construction");
+            let mut fields = vec![];
+            if let Some(id) = id {
+                fields.push(("id", id));
+            }
+            fields.push(("ok", Json::Bool(true)));
+            fields.push(("metrics", metrics));
             (vec![Json::obj(fields)], false)
         }
         "shutdown" => {

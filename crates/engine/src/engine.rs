@@ -142,9 +142,16 @@ impl EngineStats {
         }
     }
 
-    /// Serializes the counters for the `stats` protocol op.
+    /// Serializes the counters for the `stats` protocol op. The engine
+    /// protocol [`crate::SCHEMA_VERSION`] is stamped at the top level so
+    /// clients can detect incompatible servers from `stats` alone, not
+    /// just from cached result files.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            (
+                "schema_version",
+                Json::Num(f64::from(crate::SCHEMA_VERSION)),
+            ),
             ("requests", Json::Num(self.requests as f64)),
             ("invalid", Json::Num(self.invalid as f64)),
             ("memory_hits", Json::Num(self.memory_hits as f64)),
@@ -252,6 +259,9 @@ impl Engine {
         &mut self,
         requests: &[ScenarioRequest],
     ) -> Vec<Result<QueryResult, EngineError>> {
+        let _span = vstack_obs::span!("engine_batch");
+        let batch_timer = Instant::now();
+        let stats_before = self.stats;
         // Phase 1: validate + canonicalize, group duplicates.
         let mut results: Vec<Option<Result<QueryResult, EngineError>>> =
             (0..requests.len()).map(|_| None).collect();
@@ -310,6 +320,7 @@ impl Engine {
             Result<(SolveSummary, Vec<f64>), EngineError>,
             u64,
         );
+        let queue_depth = jobs.len() as u64;
         let solved: Vec<SolvedJob> = pool::par_map(jobs, |(fp, request, guess)| {
             let started = Instant::now();
             let warm = guess.is_some();
@@ -376,10 +387,37 @@ impl Engine {
                 }));
             }
         }
-        results
+        let out: Vec<Result<QueryResult, EngineError>> = results
             .into_iter()
             .map(|r| r.expect("every request slot is filled"))
-            .collect()
+            .collect();
+
+        // Mirror this batch's stat deltas into the global obs registry, so
+        // the `metrics` verb and `--metrics-out` see the same counters as
+        // the engine's own `stats` op.
+        let after = &self.stats;
+        let m = vstack_obs::metrics::global();
+        m.engine_requests
+            .add(after.requests - stats_before.requests);
+        m.engine_invalid.add(after.invalid - stats_before.invalid);
+        m.engine_memory_hits
+            .add(after.memory_hits - stats_before.memory_hits);
+        m.engine_disk_hits
+            .add(after.disk_hits - stats_before.disk_hits);
+        m.engine_deduped.add(after.deduped - stats_before.deduped);
+        m.engine_warm_solves
+            .add(after.warm_solves - stats_before.warm_solves);
+        m.engine_cold_solves
+            .add(after.cold_solves - stats_before.cold_solves);
+        m.engine_schema_rejects
+            .add(after.schema_rejects - stats_before.schema_rejects);
+        m.engine_corrupt_rejects
+            .add(after.corrupt_rejects - stats_before.corrupt_rejects);
+        m.engine_batch_size.observe(requests.len() as u64);
+        m.engine_queue_depth.observe(queue_depth);
+        m.engine_batch_us
+            .observe(batch_timer.elapsed().as_micros() as u64);
+        out
     }
 
     /// Writes every solve since the last flush to the disk tier. Returns

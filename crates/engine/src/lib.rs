@@ -43,7 +43,10 @@
 /// encoding, fingerprint domain, summary layout, disk-cache files). Bump
 /// on any incompatible change; older disk entries are then rejected —
 /// never misread — and re-solved.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 added the top-level `schema_version` field to the `stats`
+/// response object (the metrics/observability release).
+pub const SCHEMA_VERSION: u32 = 3;
 
 pub mod cache;
 pub mod engine;

@@ -30,7 +30,8 @@ fn serve_session_dedups_reports_errors_and_exits_cleanly() {
             s2 = r#"{"solve":"vs","layers":2,"imbalance":0.7,"fidelity":"quick"}"#
         ),
         r#"{"op":"stats","id":5}"#.to_string(),
-        r#"{"op":"shutdown","id":6}"#.to_string(),
+        r#"{"op":"metrics","id":6}"#.to_string(),
+        r#"{"op":"shutdown","id":7}"#.to_string(),
     ]
     .join("\n")
         + "\n";
@@ -54,7 +55,7 @@ fn serve_session_dedups_reports_errors_and_exits_cleanly() {
         .lines()
         .map(|l| Json::parse(l).expect("every response line is JSON"))
         .collect();
-    assert_eq!(lines.len(), 7, "stdout was: {stdout}");
+    assert_eq!(lines.len(), 8, "stdout was: {stdout}");
 
     let field = |v: &Json, k: &str| v.get(k).cloned().unwrap_or(Json::Null);
     // 1: cold solve with a summary and fingerprint.
@@ -80,17 +81,39 @@ fn serve_session_dedups_reports_errors_and_exits_cleanly() {
     assert_eq!(field(&lines[4], "outcome"), Json::Str("hit".to_string()));
     assert_eq!(field(&lines[4], "source"), Json::Str("dedup".to_string()));
     // 6: stats reflect 2 solves (1 cold, 1 warm), 1 memory hit, 1 dedup,
-    // 0 invalid scenarios (the malformed line never reached the engine).
+    // 0 invalid scenarios (the malformed line never reached the engine),
+    // and carry the protocol schema version at the top level.
     let stats = lines[5].get("stats").expect("stats payload");
     let count = |k: &str| stats.get(k).and_then(Json::as_usize).unwrap();
+    assert_eq!(
+        count("schema_version"),
+        vstack_engine::SCHEMA_VERSION as usize
+    );
     assert_eq!(count("requests"), 4);
     assert_eq!(count("cold_solves"), 1);
     assert_eq!(count("warm_solves"), 1);
     assert_eq!(count("memory_hits"), 1);
     assert_eq!(count("deduped"), 1);
     assert!(stats.get("hit_rate").and_then(Json::as_f64).unwrap() > 0.49);
-    // 7: acknowledged shutdown.
-    assert_eq!(field(&lines[6], "shutdown"), Json::Bool(true));
+    // 7: the obs metrics snapshot, versioned and consistent with stats.
+    assert_eq!(field(&lines[6], "ok"), Json::Bool(true));
+    let metrics = lines[6].get("metrics").expect("metrics payload");
+    assert_eq!(
+        metrics.get("schema").and_then(Json::as_str),
+        Some("vstack-obs-metrics/1")
+    );
+    let counters = metrics.get("counters").expect("counters object");
+    let counter = |k: &str| counters.get(k).and_then(Json::as_usize).unwrap();
+    assert_eq!(counter("engine_requests"), 4);
+    assert_eq!(counter("engine_memory_hits"), 1);
+    assert_eq!(counter("engine_deduped"), 1);
+    assert!(counter("cg_solves") >= 2, "both real solves ran CG");
+    assert!(counter("solver_iterations") > 0);
+    let hists = metrics.get("histograms").expect("histograms object");
+    let solve_us = hists.get("solve_us_hist").expect("solve_us_hist");
+    assert!(solve_us.get("count").and_then(Json::as_usize).unwrap() >= 2);
+    // 8: acknowledged shutdown.
+    assert_eq!(field(&lines[7], "shutdown"), Json::Bool(true));
 }
 
 #[test]

@@ -1,0 +1,32 @@
+//! # vstack-obs — observability primitives for the vstack workspace
+//!
+//! Std-only (no external dependencies, matching the workspace rule) and a
+//! dependency *leaf*: every other crate in the workspace may depend on it,
+//! so it must not pull in `vstack-sparse`, `vstack-engine`, or anything
+//! above them. It therefore carries its own tiny JSON *emitters* (never a
+//! parser — consumers that need to re-read snapshots already have one).
+//!
+//! Three independent facilities:
+//!
+//! * [`trace`] — span-based tracer. `span!("cg_solve")` returns an RAII
+//!   guard; on drop the completed span (wall-time, thread index, full
+//!   ancestor stack) is recorded into a per-thread ring buffer. Buffers
+//!   are drained centrally and serialized as NDJSON or as a
+//!   collapsed-stack file consumable by `inferno` / `flamegraph.pl`.
+//!   Tracing is **off by default**; a disabled span costs one relaxed
+//!   atomic load and a branch.
+//! * [`metrics`] — static registry of monotonic counters and fixed-bucket
+//!   histograms, always on (relaxed atomic adds), snapshot-serializable
+//!   to JSON with a schema version. Field names ending in `_us` are
+//!   wall-clock dependent by convention; everything else is deterministic
+//!   for a deterministic workload, which is what tests assert on.
+//! * [`log`] — leveled stderr logger filtered by the `VSTACK_LOG`
+//!   environment variable (`warn|info|debug[,target=level]*`), replacing
+//!   scattered bare `eprintln!`s. Includes a [`warn_once!`] macro for
+//!   messages that must not repeat per process.
+
+#![forbid(unsafe_code)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;

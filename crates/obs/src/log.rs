@@ -1,0 +1,221 @@
+//! Leveled stderr logger with a `VSTACK_LOG` environment filter.
+//!
+//! Filter syntax (comma-separated, case-insensitive):
+//!
+//! ```text
+//! VSTACK_LOG=warn                 # global max level (the default)
+//! VSTACK_LOG=info                 # info and below everywhere
+//! VSTACK_LOG=debug,serve=info     # debug globally, but serve capped at info
+//! VSTACK_LOG=warn,pool=debug      # quiet except the pool target
+//! ```
+//!
+//! Unknown tokens are ignored rather than erroring — a typo in an env var
+//! must never take down a serve process. The filter is parsed once per
+//! process on first use.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed `VSTACK_LOG` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    default: Level,
+    targets: Vec<(String, Level)>,
+}
+
+impl Filter {
+    /// Parse a filter spec; malformed fragments are skipped.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default: Level::Warn,
+            targets: Vec::new(),
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if let Some(level) = Level::parse(part) {
+                        filter.default = level;
+                    }
+                }
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        let target = target.trim().to_string();
+                        if !target.is_empty() {
+                            filter.targets.push((target, level));
+                        }
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// Maximum level emitted for `target`.
+    pub fn level_for(&self, target: &str) -> Level {
+        self.targets
+            .iter()
+            .rev()
+            .find(|(t, _)| t == target)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default)
+    }
+
+    /// Whether a record at `level` for `target` passes the filter.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        level <= self.level_for(target)
+    }
+}
+
+fn filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| Filter::parse(std::env::var("VSTACK_LOG").as_deref().unwrap_or("warn")))
+}
+
+/// Whether a message at `level` for `target` would be emitted.
+pub fn enabled(target: &str, level: Level) -> bool {
+    filter().enabled(target, level)
+}
+
+/// Emit one record to stderr if the filter passes. Prefer the macros.
+pub fn log(target: &str, level: Level, args: fmt::Arguments<'_>) {
+    if enabled(target, level) {
+        eprintln!("[vstack {level} {target}] {args}");
+    }
+}
+
+/// Log at error level: `log_error!("serve", "bind failed: {e}")`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Log at warn level.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Log at info level.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at debug level.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+/// Warn exactly once per process per call site, however often the
+/// surrounding code runs — for configuration diagnostics that would
+/// otherwise repeat on every pool construction in a long-lived server.
+#[macro_export]
+macro_rules! warn_once {
+    ($target:expr, $($arg:tt)*) => {{
+        static ONCE: ::std::sync::atomic::AtomicBool =
+            ::std::sync::atomic::AtomicBool::new(false);
+        if !ONCE.swap(true, ::std::sync::atomic::Ordering::Relaxed) {
+            $crate::log::log($target, $crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::parse("");
+        assert!(f.enabled("pool", Level::Error));
+        assert!(f.enabled("pool", Level::Warn));
+        assert!(!f.enabled("pool", Level::Info));
+    }
+
+    #[test]
+    fn target_overrides_win_and_later_entries_shadow() {
+        let f = Filter::parse("warn,pool=debug,pool=info");
+        assert_eq!(f.level_for("pool"), Level::Info);
+        assert_eq!(f.level_for("serve"), Level::Warn);
+        assert!(f.enabled("pool", Level::Info));
+        assert!(!f.enabled("pool", Level::Debug));
+    }
+
+    #[test]
+    fn malformed_fragments_are_ignored() {
+        let f = Filter::parse("bogus,=debug,serve=,serve=nope,info");
+        assert_eq!(
+            f,
+            Filter {
+                default: Level::Info,
+                targets: Vec::new()
+            }
+        );
+    }
+
+    #[test]
+    fn warn_once_fires_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static HITS: AtomicU32 = AtomicU32::new(0);
+        for _ in 0..3 {
+            // Mirror the macro's guard shape without writing to stderr.
+            static ONCE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+            if !ONCE.swap(true, Ordering::Relaxed) {
+                HITS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        assert_eq!(HITS.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! Static metrics registry: monotonic counters and fixed-bucket histograms.
+//!
+//! The registry is a single static [`Metrics`] struct rather than a
+//! dynamic name→metric map: every metric is a named field, so hot-path
+//! updates are a relaxed atomic add with zero lookup cost, the snapshot
+//! field order is fixed by declaration order (deterministic output), and
+//! adding a metric is a compile-time change reviewed like any other API.
+//!
+//! Naming convention: counters and histograms whose name ends in `_us`
+//! accumulate wall-clock microseconds and are therefore not reproducible
+//! across runs. Everything else counts discrete events and is
+//! deterministic for a deterministic workload — tests zero the `_us`
+//! fields and byte-compare the rest (see `canonicalize_snapshot`).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema tag embedded in every snapshot. Bump on any incompatible change
+/// to the snapshot layout or to bucket edges.
+pub const SCHEMA: &str = "vstack-obs-metrics/1";
+
+/// A monotonic counter (relaxed atomic).
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// Upper bound on `edges.len() + 1` for any [`Histogram`].
+pub const MAX_BUCKETS: usize = 16;
+
+/// Bucket edges for iteration-count style distributions.
+pub const ITERATION_EDGES: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000];
+/// Bucket edges for microsecond durations (10 µs … 10 s).
+pub const US_EDGES: &[u64] = &[10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+/// Bucket edges for batch/queue sizes.
+pub const SIZE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `edges[i-1] < v <= edges[i]` (bucket 0: `v <= edges[0]`); the final
+/// bucket counts `v > edges.last()`.
+#[derive(Debug)]
+pub struct Histogram {
+    edges: &'static [u64],
+    buckets: [AtomicU64; MAX_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub const fn new(edges: &'static [u64]) -> Self {
+        assert!(edges.len() < MAX_BUCKETS, "too many histogram edges");
+        Histogram {
+            edges,
+            buckets: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.edges.partition_point(|&e| e < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket counts, length `edges.len() + 1` (last bucket is overflow).
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets[..=self.edges.len()]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn edges(&self) -> &'static [u64] {
+        self.edges
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Every metric the workspace records. All fields are always-on; updates
+/// are relaxed atomic adds from the instrumented crates.
+#[derive(Debug)]
+pub struct Metrics {
+    // -- sparse: Krylov solvers --------------------------------------------
+    /// Completed CG solves (any preconditioner).
+    pub cg_solves: Counter,
+    /// Completed BiCGSTAB solves.
+    pub bicgstab_solves: Counter,
+    /// Total Krylov iterations across completed solves.
+    pub solver_iterations: Counter,
+    /// Accumulated preconditioner setup wall-time (µs).
+    pub solver_setup_us: Counter,
+    /// Accumulated iteration-loop wall-time (µs).
+    pub solver_solve_us: Counter,
+
+    // -- sparse: escalation ladder -----------------------------------------
+    /// `solve_robust*` entries.
+    pub ladder_solves: Counter,
+    /// Rung-to-rung escalations (one per recorded fallback step).
+    pub ladder_escalations: Counter,
+    /// Solves that succeeded only after at least one escalation.
+    pub ladder_rescued: Counter,
+
+    // -- sparse: AMG -------------------------------------------------------
+    /// Successful AMG hierarchy builds.
+    pub amg_builds: Counter,
+    /// AMG hierarchy builds that failed (degenerate coarsening etc.).
+    pub amg_build_failures: Counter,
+    /// Individual V-cycle applications.
+    pub amg_vcycles: Counter,
+
+    // -- sparse: thread pool -----------------------------------------------
+    /// Broadcasts dispatched to pool worker threads.
+    pub pool_broadcasts: Counter,
+    /// Broadcasts run inline (pool width 1 or nested).
+    pub pool_serial_runs: Counter,
+
+    // -- pdn ---------------------------------------------------------------
+    /// PDN operating-point solves.
+    pub pdn_solves: Counter,
+    /// Re-solves that re-stamped values into a cached CSR pattern.
+    pub pdn_pattern_reuses: Counter,
+    /// Solves that built the CSR pattern from scratch.
+    pub pdn_pattern_builds: Counter,
+    /// AMG-eligible solves that reused a cached hierarchy.
+    pub amg_cache_hits: Counter,
+    /// AMG-eligible solves with no cached hierarchy.
+    pub amg_cache_misses: Counter,
+    /// Accumulated conductance-stamping wall-time (µs).
+    pub pdn_stamp_us: Counter,
+
+    // -- engine ------------------------------------------------------------
+    /// Requests received by `query_batch`.
+    pub engine_requests: Counter,
+    /// Requests rejected by validation.
+    pub engine_invalid: Counter,
+    /// Requests served from the in-memory LRU.
+    pub engine_memory_hits: Counter,
+    /// Requests served from the on-disk cache.
+    pub engine_disk_hits: Counter,
+    /// Duplicate requests coalesced within a batch.
+    pub engine_deduped: Counter,
+    /// Solves warm-started from a neighbouring cached solution.
+    pub engine_warm_solves: Counter,
+    /// Solves started cold.
+    pub engine_cold_solves: Counter,
+    /// Disk-cache entries rejected for schema mismatch.
+    pub engine_schema_rejects: Counter,
+    /// Disk-cache entries rejected as corrupt.
+    pub engine_corrupt_rejects: Counter,
+
+    // -- histograms --------------------------------------------------------
+    /// Krylov iterations per completed solve.
+    pub solver_iterations_hist: Histogram,
+    /// V-cycles (== preconditioned iterations) per AMG-preconditioned solve.
+    pub amg_vcycles_per_solve: Histogram,
+    /// Requests per `query_batch` call.
+    pub engine_batch_size: Histogram,
+    /// Deduplicated solve jobs per batch (scheduler queue depth).
+    pub engine_queue_depth: Histogram,
+    /// Per-solve iteration-loop wall-time (µs).
+    pub solve_us_hist: Histogram,
+    /// Per-solve preconditioner setup wall-time (µs).
+    pub setup_us_hist: Histogram,
+    /// Per-batch end-to-end wall-time (µs).
+    pub engine_batch_us: Histogram,
+}
+
+impl Metrics {
+    pub const fn new() -> Self {
+        Metrics {
+            cg_solves: Counter::new(),
+            bicgstab_solves: Counter::new(),
+            solver_iterations: Counter::new(),
+            solver_setup_us: Counter::new(),
+            solver_solve_us: Counter::new(),
+            ladder_solves: Counter::new(),
+            ladder_escalations: Counter::new(),
+            ladder_rescued: Counter::new(),
+            amg_builds: Counter::new(),
+            amg_build_failures: Counter::new(),
+            amg_vcycles: Counter::new(),
+            pool_broadcasts: Counter::new(),
+            pool_serial_runs: Counter::new(),
+            pdn_solves: Counter::new(),
+            pdn_pattern_reuses: Counter::new(),
+            pdn_pattern_builds: Counter::new(),
+            amg_cache_hits: Counter::new(),
+            amg_cache_misses: Counter::new(),
+            pdn_stamp_us: Counter::new(),
+            engine_requests: Counter::new(),
+            engine_invalid: Counter::new(),
+            engine_memory_hits: Counter::new(),
+            engine_disk_hits: Counter::new(),
+            engine_deduped: Counter::new(),
+            engine_warm_solves: Counter::new(),
+            engine_cold_solves: Counter::new(),
+            engine_schema_rejects: Counter::new(),
+            engine_corrupt_rejects: Counter::new(),
+            solver_iterations_hist: Histogram::new(ITERATION_EDGES),
+            amg_vcycles_per_solve: Histogram::new(ITERATION_EDGES),
+            engine_batch_size: Histogram::new(SIZE_EDGES),
+            engine_queue_depth: Histogram::new(SIZE_EDGES),
+            solve_us_hist: Histogram::new(US_EDGES),
+            setup_us_hist: Histogram::new(US_EDGES),
+            engine_batch_us: Histogram::new(US_EDGES),
+        }
+    }
+
+    /// Named counters in snapshot order.
+    pub fn counters(&self) -> Vec<(&'static str, &Counter)> {
+        vec![
+            ("cg_solves", &self.cg_solves),
+            ("bicgstab_solves", &self.bicgstab_solves),
+            ("solver_iterations", &self.solver_iterations),
+            ("solver_setup_us", &self.solver_setup_us),
+            ("solver_solve_us", &self.solver_solve_us),
+            ("ladder_solves", &self.ladder_solves),
+            ("ladder_escalations", &self.ladder_escalations),
+            ("ladder_rescued", &self.ladder_rescued),
+            ("amg_builds", &self.amg_builds),
+            ("amg_build_failures", &self.amg_build_failures),
+            ("amg_vcycles", &self.amg_vcycles),
+            ("pool_broadcasts", &self.pool_broadcasts),
+            ("pool_serial_runs", &self.pool_serial_runs),
+            ("pdn_solves", &self.pdn_solves),
+            ("pdn_pattern_reuses", &self.pdn_pattern_reuses),
+            ("pdn_pattern_builds", &self.pdn_pattern_builds),
+            ("amg_cache_hits", &self.amg_cache_hits),
+            ("amg_cache_misses", &self.amg_cache_misses),
+            ("pdn_stamp_us", &self.pdn_stamp_us),
+            ("engine_requests", &self.engine_requests),
+            ("engine_invalid", &self.engine_invalid),
+            ("engine_memory_hits", &self.engine_memory_hits),
+            ("engine_disk_hits", &self.engine_disk_hits),
+            ("engine_deduped", &self.engine_deduped),
+            ("engine_warm_solves", &self.engine_warm_solves),
+            ("engine_cold_solves", &self.engine_cold_solves),
+            ("engine_schema_rejects", &self.engine_schema_rejects),
+            ("engine_corrupt_rejects", &self.engine_corrupt_rejects),
+        ]
+    }
+
+    /// Named histograms in snapshot order.
+    pub fn histograms(&self) -> Vec<(&'static str, &Histogram)> {
+        vec![
+            ("solver_iterations_hist", &self.solver_iterations_hist),
+            ("amg_vcycles_per_solve", &self.amg_vcycles_per_solve),
+            ("engine_batch_size", &self.engine_batch_size),
+            ("engine_queue_depth", &self.engine_queue_depth),
+            ("solve_us_hist", &self.solve_us_hist),
+            ("setup_us_hist", &self.setup_us_hist),
+            ("engine_batch_us", &self.engine_batch_us),
+        ]
+    }
+
+    /// Serialize every metric to a single JSON object (no trailing newline).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"schema\":\"{SCHEMA}\",\"counters\":{{");
+        for (i, (name, c)) in self.counters().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", c.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{{\"edges\":[");
+            push_u64s(&mut out, h.edges());
+            out.push_str("],\"buckets\":[");
+            push_u64s(&mut out, &h.buckets());
+            let _ = write!(out, "],\"count\":{},\"sum\":{}}}", h.count(), h.sum());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Zero every metric. Intended for tests; production counters are
+    /// monotonic for the life of the process.
+    pub fn reset(&self) {
+        for (_, c) in self.counters() {
+            c.reset();
+        }
+        for (_, h) in self.histograms() {
+            h.reset();
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+fn push_u64s(out: &mut String, values: &[u64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Metrics {
+    static METRICS: Metrics = Metrics::new();
+    &METRICS
+}
+
+/// Snapshot the global registry as JSON.
+pub fn snapshot_json() -> String {
+    global().snapshot_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5223);
+    }
+
+    #[test]
+    fn snapshot_is_valid_shape_and_resets() {
+        let m = Metrics::new();
+        m.cg_solves.inc();
+        m.solver_iterations.add(17);
+        m.solver_iterations_hist.observe(17);
+        let snap = m.snapshot_json();
+        assert!(snap.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+        assert!(snap.contains("\"cg_solves\":1"));
+        assert!(snap.contains("\"solver_iterations\":17"));
+        assert!(snap.contains("\"solver_iterations_hist\":{\"edges\":[1,2,5"));
+        m.reset();
+        let zeroed = m.snapshot_json();
+        assert!(zeroed.contains("\"cg_solves\":0"));
+        assert_eq!(m.solver_iterations_hist.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_equal_state() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for m in [&a, &b] {
+            m.engine_requests.add(3);
+            m.engine_batch_size.observe(3);
+        }
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = global().ladder_solves.get();
+        global().ladder_solves.inc();
+        assert_eq!(global().ladder_solves.get(), before + 1);
+    }
+}

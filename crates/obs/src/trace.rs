@@ -1,0 +1,429 @@
+//! Span-based tracer with per-thread ring buffers.
+//!
+//! Design:
+//!
+//! * A single process-global enable flag ([`set_enabled`]). The disabled
+//!   fast path in [`span`] is one `Relaxed` atomic load and a branch — no
+//!   clock read, no TLS access, no allocation — so instrumentation can be
+//!   left compiled into hot solver loops.
+//! * When enabled, each guard snapshots the microsecond offset from a
+//!   process epoch at construction and records a [`SpanRecord`] on drop.
+//!   Records land in a ring buffer owned by the recording thread. The
+//!   buffer is guarded by a `Mutex`, but the owning thread is its only
+//!   steady-state user: the lock is uncontended except during a
+//!   [`drain`], so recording never blocks on other recording threads.
+//! * Each record carries the full ancestor stack (a clone of the
+//!   thread-local name stack, `&'static str` pointers only), which is
+//!   what makes the collapsed-stack output a one-pass aggregation.
+//! * Ring capacity is fixed ([`RING_CAPACITY`] spans per thread); on
+//!   overflow the oldest records are overwritten and counted in
+//!   [`TraceDump::dropped`] rather than blocking or reallocating.
+//!
+//! Output is deterministic modulo timestamps for a deterministic
+//! single-threaded workload: records sort by `(thread, seq)` and span
+//! names are compile-time string literals. With a thread pool the
+//! span→thread assignment follows the pool's work distribution; run with
+//! `VSTACK_THREADS=1` when byte-stable traces are required.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans retained per recording thread before the oldest are overwritten.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+
+/// Turn span recording on or off process-wide.
+///
+/// Enabling also pins the process epoch so `start_us` offsets are
+/// anchored at (or before) the first recorded span.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dense index assigned to the recording thread on its first span.
+    pub thread: u32,
+    /// Per-thread completion sequence number (drop order).
+    pub seq: u64,
+    /// Nesting depth; 0 for a root span.
+    pub depth: u32,
+    /// Ancestor names root-first; the span's own name is last.
+    pub stack: Vec<&'static str>,
+    /// Microseconds from the process trace epoch to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// The span's own name (last element of `stack`).
+    pub fn name(&self) -> &'static str {
+        self.stack.last().expect("span stack is never empty")
+    }
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    seq: u64,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Ring {
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, record: SpanRecord) {
+        if self.records.len() < RING_CAPACITY {
+            self.records.push(record);
+        } else {
+            self.records[self.head] = record;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn take(&mut self) -> Vec<SpanRecord> {
+        let head = self.head;
+        self.head = 0;
+        let mut out = std::mem::take(&mut self.records);
+        out.rotate_left(head);
+        out
+    }
+}
+
+struct ThreadState {
+    thread: u32,
+    stack: Vec<&'static str>,
+    ring: Arc<Mutex<Ring>>,
+}
+
+thread_local! {
+    static STATE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+fn with_state<R>(f: impl FnOnce(&mut ThreadState) -> R) -> R {
+    STATE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let state = slot.get_or_insert_with(|| {
+            let ring = Arc::new(Mutex::new(Ring::new()));
+            RINGS
+                .lock()
+                .expect("trace registry poisoned")
+                .push(Arc::clone(&ring));
+            ThreadState {
+                thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                stack: Vec::new(),
+                ring,
+            }
+        });
+        f(state)
+    })
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+#[must_use = "a span guard records on drop; binding it to _ ends the span immediately"]
+pub struct SpanGuard {
+    live: bool,
+    start_us: u64,
+}
+
+/// Open a span. Prefer the [`span!`](crate::span) macro at call sites.
+///
+/// Span names must be plain static identifiers (no `"` `\` `;` or
+/// whitespace) so both serializers can emit them unescaped.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard {
+            live: false,
+            start_us: 0,
+        };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> SpanGuard {
+    debug_assert!(
+        !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| !b.is_ascii_whitespace() && b != b'"' && b != b'\\' && b != b';'),
+        "span name {name:?} must be a plain identifier"
+    );
+    let start_us = epoch().elapsed().as_micros() as u64;
+    with_state(|state| state.stack.push(name));
+    SpanGuard {
+        live: true,
+        start_us,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let end_us = epoch().elapsed().as_micros() as u64;
+        with_state(|state| {
+            let stack = state.stack.clone();
+            state.stack.pop();
+            debug_assert!(
+                !stack.is_empty(),
+                "span guard dropped with empty name stack"
+            );
+            let mut ring = state.ring.lock().expect("trace ring poisoned");
+            let seq = ring.seq;
+            ring.seq += 1;
+            ring.push(SpanRecord {
+                thread: state.thread,
+                seq,
+                depth: (stack.len() as u32).saturating_sub(1),
+                stack,
+                start_us: self.start_us,
+                dur_us: end_us.saturating_sub(self.start_us),
+            });
+        });
+    }
+}
+
+/// Everything drained from the per-thread rings.
+#[derive(Debug, Default)]
+pub struct TraceDump {
+    /// Completed spans, sorted by `(thread, seq)`.
+    pub records: Vec<SpanRecord>,
+    /// Spans lost to ring overflow since the previous drain.
+    pub dropped: u64,
+}
+
+/// Drain all per-thread rings, leaving them empty.
+///
+/// Spans still open (guards not yet dropped) are not included.
+pub fn drain() -> TraceDump {
+    let rings: Vec<Arc<Mutex<Ring>>> = RINGS.lock().expect("trace registry poisoned").clone();
+    let mut dump = TraceDump::default();
+    for ring in rings {
+        let mut guard = ring.lock().expect("trace ring poisoned");
+        dump.dropped += guard.dropped;
+        guard.dropped = 0;
+        dump.records.extend(guard.take());
+    }
+    dump.records.sort_by_key(|r| (r.thread, r.seq));
+    dump
+}
+
+/// Serialize a dump as NDJSON: one span object per line.
+pub fn to_ndjson(dump: &TraceDump) -> String {
+    let mut out = String::new();
+    for r in &dump.records {
+        let _ = write!(out, "{{\"name\":\"{}\",\"stack\":\"", r.name());
+        push_stack(&mut out, &r.stack);
+        let _ = writeln!(
+            out,
+            "\",\"thread\":{},\"seq\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+            r.thread, r.seq, r.depth, r.start_us, r.dur_us
+        );
+    }
+    out
+}
+
+/// Serialize a dump in collapsed-stack ("folded") form:
+/// `root;child;leaf <self_us>` per line, sorted, threads merged.
+///
+/// Values are *self* microseconds — each span's inclusive time minus its
+/// direct children's inclusive time — so frame widths in a flamegraph sum
+/// correctly instead of double-counting parents.
+pub fn to_collapsed(dump: &TraceDump) -> String {
+    let mut inclusive: BTreeMap<Vec<&'static str>, u64> = BTreeMap::new();
+    for r in &dump.records {
+        *inclusive.entry(r.stack.clone()).or_insert(0) += r.dur_us;
+    }
+    let mut self_us = inclusive.clone();
+    for (stack, incl) in &inclusive {
+        if stack.len() > 1 {
+            if let Some(parent) = self_us.get_mut(&stack[..stack.len() - 1]) {
+                *parent = parent.saturating_sub(*incl);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, v) in &self_us {
+        push_stack(&mut out, stack);
+        let _ = writeln!(out, " {v}");
+    }
+    out
+}
+
+fn push_stack(out: &mut String, stack: &[&'static str]) {
+    for (i, frame) in stack.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(frame);
+    }
+}
+
+/// Drain the tracer and write `path` (NDJSON) plus `<path>.folded`
+/// (collapsed stacks). Returns the folded path.
+pub fn write_trace(path: &Path) -> std::io::Result<PathBuf> {
+    let dump = drain();
+    let mut folded = path.as_os_str().to_owned();
+    folded.push(".folded");
+    let folded = PathBuf::from(folded);
+    std::fs::File::create(path)?.write_all(to_ndjson(&dump).as_bytes())?;
+    std::fs::File::create(&folded)?.write_all(to_collapsed(&dump).as_bytes())?;
+    Ok(folded)
+}
+
+/// Open a tracing span; returns the RAII [`SpanGuard`](crate::trace::SpanGuard).
+///
+/// ```
+/// let _span = vstack_obs::span!("cg_solve");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracer state is process-global; serialize the tests that toggle it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = lock();
+        set_enabled(false);
+        drain();
+        {
+            let _a = span("quiet_outer");
+            let _b = span("quiet_inner");
+        }
+        assert!(drain().records.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_capture_ancestor_stacks() {
+        let _gate = lock();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        {
+            let _a = span("outer_span");
+            {
+                let _b = span("inner_span");
+            }
+            {
+                let _c = span("sibling_span");
+            }
+        }
+        set_enabled(false);
+        let dump = drain();
+        let stacks: Vec<Vec<&str>> = dump.records.iter().map(|r| r.stack.clone()).collect();
+        assert_eq!(
+            stacks,
+            vec![
+                vec!["outer_span", "inner_span"],
+                vec!["outer_span", "sibling_span"],
+                vec!["outer_span"],
+            ]
+        );
+        assert_eq!(dump.records[0].depth, 1);
+        assert_eq!(dump.records[2].depth, 0);
+        assert_eq!(dump.dropped, 0);
+    }
+
+    #[test]
+    fn collapsed_output_reports_self_time() {
+        let dump = TraceDump {
+            records: vec![
+                SpanRecord {
+                    thread: 0,
+                    seq: 0,
+                    depth: 1,
+                    stack: vec!["root", "leaf"],
+                    start_us: 0,
+                    dur_us: 30,
+                },
+                SpanRecord {
+                    thread: 0,
+                    seq: 1,
+                    depth: 0,
+                    stack: vec!["root"],
+                    start_us: 0,
+                    dur_us: 100,
+                },
+            ],
+            dropped: 0,
+        };
+        assert_eq!(to_collapsed(&dump), "root 70\nroot;leaf 30\n");
+        let ndjson = to_ndjson(&dump);
+        assert_eq!(ndjson.lines().count(), 2);
+        assert!(ndjson.starts_with(
+            "{\"name\":\"leaf\",\"stack\":\"root;leaf\",\"thread\":0,\"seq\":0,\"depth\":1,"
+        ));
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let mut ring = Ring::new();
+        for seq in 0..(RING_CAPACITY as u64 + 3) {
+            ring.push(SpanRecord {
+                thread: 0,
+                seq,
+                depth: 0,
+                stack: vec!["overflow_probe"],
+                start_us: 0,
+                dur_us: 0,
+            });
+        }
+        assert_eq!(ring.dropped, 3);
+        let records = ring.take();
+        assert_eq!(records.len(), RING_CAPACITY);
+        assert_eq!(records.first().map(|r| r.seq), Some(3));
+        assert_eq!(
+            records.last().map(|r| r.seq),
+            Some(RING_CAPACITY as u64 + 2)
+        );
+    }
+}

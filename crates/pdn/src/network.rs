@@ -335,23 +335,33 @@ impl NetworkBuilder {
         guess: Option<&[f64]>,
         scratch: &mut SolveScratch,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
+        let _span = vstack_obs::span!("pdn_solve");
         let n = self.rhs.len();
         let mut pattern_reused = false;
-        let a = match scratch.pattern.take() {
-            Some(mut cached) if cached.rows() == n && cached.cols() == n => {
-                match cached.set_values_from_triplets(self.matrix.entries()) {
-                    Ok(()) => {
-                        pattern_reused = true;
-                        cached
+        let stamp_timer = std::time::Instant::now();
+        let a = {
+            let _stamp_span = vstack_obs::span!("pdn_stamp");
+            match scratch.pattern.take() {
+                Some(mut cached) if cached.rows() == n && cached.cols() == n => {
+                    match cached.set_values_from_triplets(self.matrix.entries()) {
+                        Ok(()) => {
+                            pattern_reused = true;
+                            cached
+                        }
+                        // Structure changed (or values left unspecified):
+                        // rebuild symbolically from the triplets.
+                        Err(_) => self.matrix.to_csr(),
                     }
-                    // Structure changed (or values left unspecified):
-                    // rebuild symbolically from the triplets.
-                    Err(_) => self.matrix.to_csr(),
                 }
+                _ => self.matrix.to_csr(),
             }
-            _ => self.matrix.to_csr(),
         };
-        if !pattern_reused {
+        let m = vstack_obs::metrics::global();
+        m.pdn_stamp_us.add(stamp_timer.elapsed().as_micros() as u64);
+        if pattern_reused {
+            m.pdn_pattern_reuses.inc();
+        } else {
+            m.pdn_pattern_builds.inc();
             // The cached hierarchy describes a different operator
             // structure; drop it so the next large solve rebuilds.
             scratch.amg = None;
@@ -392,6 +402,15 @@ impl NetworkBuilder {
             start_with_amg: a.rows() >= Self::AMG_MIN_UNKNOWNS,
             ..RobustOptions::default()
         };
+        let m = vstack_obs::metrics::global();
+        m.pdn_solves.inc();
+        if opts.start_with_amg {
+            if amg_cache.is_some() {
+                m.amg_cache_hits.inc();
+            } else {
+                m.amg_cache_misses.inc();
+            }
+        }
         let solved = solve_robust_cached_ws(a, &self.rhs, guess, &opts, workspace, amg_cache)?;
         Ok((solved.x, solved.report))
     }

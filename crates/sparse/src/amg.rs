@@ -167,6 +167,16 @@ impl AmgHierarchy {
     /// * [`SolveError::SingularMatrix`] — the coarsest operator is not
     ///   positive definite to working precision.
     pub fn build(a: &CsrMatrix, options: &AmgOptions) -> Result<Self, SolveError> {
+        let _span = vstack_obs::span!("amg_build");
+        let built = Self::build_inner(a, options);
+        match &built {
+            Ok(_) => vstack_obs::metrics::global().amg_builds.inc(),
+            Err(_) => vstack_obs::metrics::global().amg_build_failures.inc(),
+        }
+        built
+    }
+
+    fn build_inner(a: &CsrMatrix, options: &AmgOptions) -> Result<Self, SolveError> {
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
                 rows: a.rows(),
@@ -250,6 +260,7 @@ impl AmgHierarchy {
     pub fn apply(&self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), self.n, "amg apply: rhs dimension mismatch");
         assert_eq!(z.len(), self.n, "amg apply: output dimension mismatch");
+        vstack_obs::metrics::global().amg_vcycles.inc();
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
         if self.levels.is_empty() {

@@ -145,17 +145,20 @@ impl ThreadPool {
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
         let workers = self.handles.len();
         if workers == 0 || IN_POOL.with(Cell::get) {
+            vstack_obs::metrics::global().pool_serial_runs.inc();
             for ctx in 0..=workers {
                 f(ctx);
             }
             return;
         }
         let Ok(_guard) = self.submit.try_lock() else {
+            vstack_obs::metrics::global().pool_serial_runs.inc();
             for ctx in 0..=workers {
                 f(ctx);
             }
             return;
         };
+        vstack_obs::metrics::global().pool_broadcasts.inc();
         // SAFETY: we erase the lifetime of `f` to hand it to the workers;
         // this function blocks until `remaining == 0`, i.e. until no
         // worker can touch it again, before returning.
@@ -243,13 +246,13 @@ pub fn resolve_thread_count(raw: Option<&str>, default_width: usize) -> (usize, 
             Ok(_) => (
                 default_width,
                 Some(format!(
-                    "vstack: {THREADS_ENV}={value:?} must be >= 1; using {default_width} thread(s)"
+                    "{THREADS_ENV}={value:?} must be >= 1; using {default_width} thread(s)"
                 )),
             ),
             Err(_) => (
                 default_width,
                 Some(format!(
-                    "vstack: {THREADS_ENV}={value:?} is not an integer; using {default_width} thread(s)"
+                    "{THREADS_ENV}={value:?} is not an integer; using {default_width} thread(s)"
                 )),
             ),
         },
@@ -258,7 +261,8 @@ pub fn resolve_thread_count(raw: Option<&str>, default_width: usize) -> (usize, 
 
 /// The process-wide pool, sized from [`THREADS_ENV`] (if set to a positive
 /// integer) or [`std::thread::available_parallelism`]. An invalid override
-/// falls back to the default width with a one-line stderr warning.
+/// falls back to the default width with a once-per-process warning through
+/// the `vstack-obs` logger (target `pool`).
 pub fn global() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
     GLOBAL.get_or_init(|| {
@@ -266,7 +270,7 @@ pub fn global() -> &'static ThreadPool {
         let raw = std::env::var(THREADS_ENV).ok();
         let (contexts, warning) = resolve_thread_count(raw.as_deref(), default_width);
         if let Some(warning) = warning {
-            eprintln!("{warning}");
+            vstack_obs::warn_once!("pool", "{warning}");
         }
         ThreadPool::new(contexts)
     })

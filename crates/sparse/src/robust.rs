@@ -213,6 +213,13 @@ fn is_structural(e: &SolveError) -> bool {
     )
 }
 
+/// Records an abandoned rung: bumps the escalation counter exactly once
+/// per recorded fallback step, keeping the two in lock-step for tests.
+fn note_fallback(fallbacks: &mut Vec<FallbackStep>, from: SolveMethod, error: SolveError) {
+    vstack_obs::metrics::global().ladder_escalations.inc();
+    fallbacks.push(FallbackStep { from, error });
+}
+
 fn shifted_matrix(a: &CsrMatrix, lambda: f64) -> CsrMatrix {
     let mut t = TripletMatrix::new(a.rows(), a.cols());
     for (r, c, v) in a.iter() {
@@ -313,10 +320,15 @@ pub fn solve_robust_cached_ws(
     }
     validate_finite(a, b, guess)?;
 
+    let _span = vstack_obs::span!("solve_robust");
+    vstack_obs::metrics::global().ladder_solves.inc();
     let mut fallbacks = Vec::new();
 
-    let accept =
-        |method: SolveMethod, solved: Solved, fallbacks: &mut Vec<FallbackStep>| RobustSolved {
+    let accept = |method: SolveMethod, solved: Solved, fallbacks: &mut Vec<FallbackStep>| {
+        if !fallbacks.is_empty() {
+            vstack_obs::metrics::global().ladder_rescued.inc();
+        }
+        RobustSolved {
             x: solved.x,
             report: SolveReport {
                 method,
@@ -327,7 +339,8 @@ pub fn solve_robust_cached_ws(
                 setup_us: solved.setup_us,
                 solve_us: solved.solve_us,
             },
-        };
+        }
+    };
 
     // Rung 0: CG + AMG (opt-in). Build into the caller's cache slot when
     // empty; any numerical failure — degenerate coarsening included —
@@ -342,10 +355,7 @@ pub fn solve_robust_cached_ws(
                     *amg_cache = Some(h);
                 }
                 Err(e) if is_structural(&e) => return Err(e),
-                Err(e) => fallbacks.push(FallbackStep {
-                    from: SolveMethod::CgAmg,
-                    error: e,
-                }),
+                Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
             }
         }
         if let Some(h) = amg_cache.as_ref() {
@@ -362,10 +372,7 @@ pub fn solve_robust_cached_ws(
                     return Ok(accept(SolveMethod::CgAmg, solved, &mut fallbacks));
                 }
                 Err(e) if is_structural(&e) => return Err(e),
-                Err(e) => fallbacks.push(FallbackStep {
-                    from: SolveMethod::CgAmg,
-                    error: e,
-                }),
+                Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
             }
         }
     }
@@ -387,10 +394,7 @@ pub fn solve_robust_cached_ws(
                 ))
             }
             Err(e) if is_structural(&e) => return Err(e),
-            Err(e) => fallbacks.push(FallbackStep {
-                from: SolveMethod::CgIncompleteCholesky,
-                error: e,
-            }),
+            Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgIncompleteCholesky, e),
         }
     }
 
@@ -404,10 +408,7 @@ pub fn solve_robust_cached_ws(
     ) {
         Ok(solved) => return Ok(accept(SolveMethod::CgJacobi, solved, &mut fallbacks)),
         Err(e) if is_structural(&e) => return Err(e),
-        Err(e) => fallbacks.push(FallbackStep {
-            from: SolveMethod::CgJacobi,
-            error: e,
-        }),
+        Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgJacobi, e),
     }
 
     // Rung 3: BiCGSTAB. Use Jacobi unless the diagonal itself is singular
@@ -429,10 +430,7 @@ pub fn solve_robust_cached_ws(
     match bicgstab_with_guess_ws(a, b, guess, &bicg_opts, ws) {
         Ok(solved) => return Ok(accept(SolveMethod::BiCgStab, solved, &mut fallbacks)),
         Err(e) if is_structural(&e) => return Err(e),
-        Err(e) => fallbacks.push(FallbackStep {
-            from: SolveMethod::BiCgStab,
-            error: e,
-        }),
+        Err(e) => note_fallback(&mut fallbacks, SolveMethod::BiCgStab, e),
     }
 
     // Rung 4: Tikhonov-shifted CG. The shift regularizes a near-singular
@@ -456,6 +454,7 @@ pub fn solve_robust_cached_ws(
                 let b_norm = crate::vecops::norm2(b);
                 let true_res = a.residual_norm(&solved.x, b) / b_norm.max(f64::MIN_POSITIVE);
                 if true_res <= options.shift_acceptance * options.tolerance {
+                    vstack_obs::metrics::global().ladder_rescued.inc();
                     return Ok(RobustSolved {
                         x: solved.x,
                         report: SolveReport {

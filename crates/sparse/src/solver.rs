@@ -188,6 +188,37 @@ fn prep(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
+/// Publishes a completed CG solve to the global metrics registry.
+fn record_cg(solved: Solved, amg_preconditioned: bool) -> Solved {
+    let m = vstack_obs::metrics::global();
+    let it = solved.iterations as u64;
+    m.cg_solves.inc();
+    m.solver_iterations.add(it);
+    m.solver_iterations_hist.observe(it);
+    m.solver_setup_us.add(solved.setup_us);
+    m.solver_solve_us.add(solved.solve_us);
+    m.setup_us_hist.observe(solved.setup_us);
+    m.solve_us_hist.observe(solved.solve_us);
+    if amg_preconditioned {
+        m.amg_vcycles_per_solve.observe(it);
+    }
+    solved
+}
+
+/// Publishes a completed BiCGSTAB solve to the global metrics registry.
+fn record_bicgstab(solved: Solved) -> Solved {
+    let m = vstack_obs::metrics::global();
+    let it = solved.iterations as u64;
+    m.bicgstab_solves.inc();
+    m.solver_iterations.add(it);
+    m.solver_iterations_hist.observe(it);
+    m.solver_setup_us.add(solved.setup_us);
+    m.solver_solve_us.add(solved.solve_us);
+    m.setup_us_hist.observe(solved.setup_us);
+    m.solve_us_hist.observe(solved.solve_us);
+    solved
+}
+
 /// Materialized preconditioner state. `AmgRef` borrows a hierarchy a
 /// caller built (and caches) elsewhere; the other variants are owned.
 enum Precond<'a> {
@@ -353,7 +384,10 @@ pub fn cg_with_guess_ws(
     }
 
     let setup_timer = Instant::now();
-    let pre = Precond::build(options.preconditioner, a)?;
+    let pre = {
+        let _span = vstack_obs::span!("cg_setup");
+        Precond::build(options.preconditioner, a)?
+    };
     let setup_us = setup_timer.elapsed().as_micros() as u64;
     cg_core(a, b, guess, options, &pre, setup_us, ws)
 }
@@ -419,6 +453,8 @@ fn cg_core(
     setup_us: u64,
     ws: &mut SolveWorkspace,
 ) -> Result<Solved, SolveError> {
+    let _span = vstack_obs::span!("cg_solve");
+    let amg_preconditioned = matches!(pre, Precond::Amg(_) | Precond::AmgRef(_));
     let n = a.rows();
     let b_norm = norm2(b);
     let solve_timer = Instant::now();
@@ -461,13 +497,16 @@ fn cg_core(
     for it in 0..options.max_iterations {
         let res = norm2(r) / b_norm;
         if res <= options.tolerance {
-            return Ok(Solved {
-                x,
-                iterations: it,
-                relative_residual: res,
-                setup_us,
-                solve_us: solve_timer.elapsed().as_micros() as u64,
-            });
+            return Ok(record_cg(
+                Solved {
+                    x,
+                    iterations: it,
+                    relative_residual: res,
+                    setup_us,
+                    solve_us: solve_timer.elapsed().as_micros() as u64,
+                },
+                amg_preconditioned,
+            ));
         }
         if options.stagnation_window > 0 {
             if res < best_res * (1.0 - 1e-6) {
@@ -500,13 +539,16 @@ fn cg_core(
 
     let res = norm2(r) / b_norm;
     if res <= options.tolerance {
-        Ok(Solved {
-            x,
-            iterations: options.max_iterations,
-            relative_residual: res,
-            setup_us,
-            solve_us: solve_timer.elapsed().as_micros() as u64,
-        })
+        Ok(record_cg(
+            Solved {
+                x,
+                iterations: options.max_iterations,
+                relative_residual: res,
+                setup_us,
+                solve_us: solve_timer.elapsed().as_micros() as u64,
+            },
+            amg_preconditioned,
+        ))
     } else {
         Err(SolveError::NotConverged {
             iterations: options.max_iterations,
@@ -570,6 +612,7 @@ pub fn bicgstab_with_guess_ws(
     options: &BiCgStabOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<Solved, SolveError> {
+    let _span = vstack_obs::span!("bicgstab_solve");
     let n = a.rows();
     if a.cols() != n {
         return Err(SolveError::NotSquare {
@@ -634,13 +677,13 @@ pub fn bicgstab_with_guess_ws(
     }
     let initial_res = norm2(r) / b_norm;
     if initial_res <= options.tolerance {
-        return Ok(Solved {
+        return Ok(record_bicgstab(Solved {
             x,
             iterations: 0,
             relative_residual: initial_res,
             setup_us,
             solve_us: solve_timer.elapsed().as_micros() as u64,
-        });
+        }));
     }
     r_hat.copy_from_slice(r);
     let mut rho = 1.0;
@@ -671,13 +714,13 @@ pub fn bicgstab_with_guess_ws(
         let s_res = norm2(s) / b_norm;
         if s_res <= options.tolerance {
             axpy(alpha, phat, &mut x);
-            return Ok(Solved {
+            return Ok(record_bicgstab(Solved {
                 x,
                 iterations: it + 1,
                 relative_residual: s_res,
                 setup_us,
                 solve_us: solve_timer.elapsed().as_micros() as u64,
-            });
+            }));
         }
         pre.apply(s, shat);
         a.mul_vec_into(shat, t);
@@ -693,13 +736,13 @@ pub fn bicgstab_with_guess_ws(
         }
         let res = norm2(r) / b_norm;
         if res <= options.tolerance {
-            return Ok(Solved {
+            return Ok(record_bicgstab(Solved {
                 x,
                 iterations: it + 1,
                 relative_residual: res,
                 setup_us,
                 solve_us: solve_timer.elapsed().as_micros() as u64,
-            });
+            }));
         }
         if omega.abs() < f64::MIN_POSITIVE {
             return Err(SolveError::Breakdown { iterations: it });
