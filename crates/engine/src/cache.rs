@@ -14,13 +14,34 @@
 //!   [`crate::SCHEMA_VERSION`]; an entry written by a different schema is
 //!   *rejected*, never misread, and the stored request's recomputed
 //!   fingerprint must match the key or the entry is treated as corrupt.
+//!
+//! # Crash safety
+//!
+//! The disk tier assumes it can be killed at any instruction and reopened:
+//!
+//! * **Writes are atomic and durable**: an entry is written to a `*.tmp`
+//!   sibling, `fsync`ed, and renamed into place, so a crash mid-store
+//!   leaves either the old entry or a stray temp file — never a
+//!   half-written entry under the live name.
+//! * **Every entry is checksummed**: the payload (fingerprint + request +
+//!   summary) carries a FNV-1a checksum over its canonical emission. A
+//!   torn write that somehow survives the rename discipline (filesystem
+//!   reordering, truncation, bit rot) fails the checksum on load.
+//! * **Corrupt entries are quarantined, never fatal**: any undecodable or
+//!   checksum-failing file is renamed to `<name>.corrupt` (best effort),
+//!   logged once per process, counted in the `serve_cache_quarantined`
+//!   metric, and reported as [`DiskLoad::Corrupt`] — a cache miss. One
+//!   bad file can never wedge its fingerprint: the next store simply
+//!   writes a fresh entry under the live name.
 
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use vstack_obs::warn_once;
+
 use crate::json::Json;
-use crate::request::ScenarioRequest;
+use crate::request::{fnv1a_64, ScenarioRequest};
 use crate::summary::SolveSummary;
 use crate::SCHEMA_VERSION;
 
@@ -144,8 +165,10 @@ impl DiskCache {
         ))
     }
 
-    /// Loads the entry for `fingerprint`, enforcing the schema stamp and
-    /// key integrity. Never panics on a bad file.
+    /// Loads the entry for `fingerprint`, enforcing the schema stamp, the
+    /// payload checksum and key integrity. Never panics on a bad file; an
+    /// undecodable or checksum-failing file is quarantined to `*.corrupt`
+    /// and reported as a (logged, counted) miss.
     pub fn load(&self, fingerprint: u64) -> DiskLoad {
         let path = self.path_for(fingerprint);
         let text = match fs::read_to_string(&path) {
@@ -153,41 +176,79 @@ impl DiskCache {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskLoad::Missing,
             Err(e) => return DiskLoad::Corrupt(format!("read failed: {e}")),
         };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
-            Err(e) => return DiskLoad::Corrupt(format!("parse failed: {e}")),
-        };
+        match Self::decode(&text, fingerprint) {
+            Ok(Decoded::Entry(entry)) => DiskLoad::Hit(entry),
+            Ok(Decoded::SchemaMismatch) => DiskLoad::SchemaMismatch,
+            Err(why) => {
+                self.quarantine(&path, &why);
+                DiskLoad::Corrupt(why)
+            }
+        }
+    }
+
+    /// Decodes one entry file. `Err` means the file cannot be trusted and
+    /// must be quarantined; a clean schema mismatch is *not* an error —
+    /// entries from older/newer builds are intact, just unusable here.
+    fn decode(text: &str, fingerprint: u64) -> Result<Decoded, String> {
+        let doc = Json::parse(text).map_err(|e| format!("parse failed: {e}"))?;
         match doc.get("schema").and_then(Json::as_usize) {
             Some(v) if v == SCHEMA_VERSION as usize => {}
-            _ => return DiskLoad::SchemaMismatch,
+            Some(_) => return Ok(Decoded::SchemaMismatch),
+            // No readable schema stamp at all: not an old version, junk.
+            None => return Err("no schema stamp".to_string()),
         }
-        let request = match doc
+        // A current-schema entry without a verifiable checksum is treated
+        // as corrupt, not legacy: every writer of this schema checksums.
+        let stored_sum = doc
+            .get("checksum")
+            .and_then(Json::as_str)
+            .and_then(ScenarioRequest::parse_fingerprint)
+            .ok_or("checksum missing or unreadable")?;
+        let payload = doc.get("payload").ok_or("no payload")?;
+        // The payload re-emits canonically (`parse(emit(x)) == x` per the
+        // json module), so the checksum domain is stable across round
+        // trips; any mutation of the stored bytes surfaces here.
+        if fnv1a_64(payload.emit().as_bytes()) != stored_sum {
+            return Err("payload checksum mismatch (torn or corrupted write)".to_string());
+        }
+        let request = payload
             .get("request")
             .ok_or("no request")
-            .and_then(|r| ScenarioRequest::from_json(r).map_err(|_| "bad request"))
-        {
-            Ok(r) => r,
-            Err(e) => return DiskLoad::Corrupt(e.to_string()),
-        };
+            .and_then(|r| ScenarioRequest::from_json(r).map_err(|_| "bad request"))?;
         if request.fingerprint() != fingerprint {
-            return DiskLoad::Corrupt("stored request does not match its key".to_string());
+            return Err("stored request does not match its key".to_string());
         }
-        let summary = match doc
+        let summary = payload
             .get("summary")
             .ok_or_else(|| "no summary".to_string())
-            .and_then(SolveSummary::from_json)
-        {
-            Ok(s) => s,
-            Err(e) => return DiskLoad::Corrupt(e),
-        };
-        DiskLoad::Hit(Box::new(CacheEntry {
+            .and_then(SolveSummary::from_json)?;
+        Ok(Decoded::Entry(Box::new(CacheEntry {
             request,
             summary,
             voltages: None,
-        }))
+        })))
     }
 
-    /// Writes an entry atomically (temp file + rename).
+    /// Moves a corrupt entry aside so subsequent loads are clean misses
+    /// (and the evidence survives for inspection). Best effort: if the
+    /// rename itself fails the entry stays and keeps reporting corrupt,
+    /// which is still only a miss.
+    fn quarantine(&self, path: &Path, why: &str) {
+        vstack_obs::metrics::global().serve_cache_quarantined.inc();
+        warn_once!(
+            "serve",
+            "quarantining corrupt cache entry {} ({why}); further corrupt entries are \
+             quarantined silently",
+            path.display()
+        );
+        let mut corrupt = path.as_os_str().to_os_string();
+        corrupt.push(".corrupt");
+        let _ = fs::rename(path, PathBuf::from(corrupt));
+    }
+
+    /// Writes an entry atomically and durably: checksummed payload, temp
+    /// file + `fsync` + rename. A crash at any point leaves either the
+    /// previous entry or no entry — never a torn one.
     ///
     /// # Errors
     ///
@@ -198,8 +259,7 @@ impl DiskCache {
         request: &ScenarioRequest,
         summary: &SolveSummary,
     ) -> io::Result<()> {
-        let doc = Json::obj(vec![
-            ("schema", Json::Num(f64::from(SCHEMA_VERSION))),
+        let payload = Json::obj(vec![
             (
                 "fingerprint",
                 Json::Str(ScenarioRequest::format_fingerprint(fingerprint)),
@@ -207,11 +267,34 @@ impl DiskCache {
             ("request", request.to_json()),
             ("summary", summary.to_json()),
         ]);
+        let body = payload.emit();
+        let doc = Json::obj(vec![
+            ("schema", Json::Num(f64::from(SCHEMA_VERSION))),
+            (
+                "checksum",
+                Json::Str(ScenarioRequest::format_fingerprint(fnv1a_64(
+                    body.as_bytes(),
+                ))),
+            ),
+            ("payload", payload),
+        ]);
+        let mut text = doc.emit() + "\n";
+        crate::server::chaos::cache_store_hook(&mut text)?;
         let path = self.path_for(fingerprint);
         let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, doc.emit() + "\n")?;
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
         fs::rename(&tmp, &path)
     }
+}
+
+/// Outcome of [`DiskCache::decode`]: a live entry or a clean version skew.
+enum Decoded {
+    Entry(Box<CacheEntry>),
+    SchemaMismatch,
 }
 
 #[cfg(test)]

@@ -26,8 +26,8 @@ use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use vstack_pdn::SolveScratch;
-use vstack_sparse::pool;
+use vstack_pdn::{PdnError, SolveScratch};
+use vstack_sparse::{pool, CancelToken, SolveError};
 
 use crate::cache::{CacheEntry, DiskCache, DiskLoad, LruCache};
 use crate::json::Json;
@@ -193,6 +193,11 @@ pub enum EngineError {
     Invalid(String),
     /// The solver could not produce a solution for this scenario.
     Solve(String),
+    /// The solve was abandoned because its cancellation token fired — the
+    /// request deadline passed or the server began draining. Distinct
+    /// from [`EngineError::Solve`] so serving tiers can answer with a
+    /// `deadline_exceeded` error instead of a solver failure.
+    Cancelled,
 }
 
 impl core::fmt::Display for EngineError {
@@ -200,6 +205,7 @@ impl core::fmt::Display for EngineError {
         match self {
             EngineError::Invalid(m) => write!(f, "invalid request: {m}"),
             EngineError::Solve(m) => write!(f, "solve failed: {m}"),
+            EngineError::Cancelled => write!(f, "solve cancelled (deadline or shutdown)"),
         }
     }
 }
@@ -214,6 +220,9 @@ pub struct Engine {
     /// Fingerprints solved since the last flush, oldest first.
     dirty: Vec<u64>,
     stats: EngineStats,
+    /// Cancellation token cloned into every solve dispatched by
+    /// [`Engine::query_batch`]; defaults to the never-firing token.
+    cancel: CancelToken,
 }
 
 impl Engine {
@@ -233,12 +242,21 @@ impl Engine {
             dirty: Vec::new(),
             stats: EngineStats::default(),
             config,
+            cancel: CancelToken::never(),
         })
     }
 
     /// The counters so far.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Installs the cancellation token threaded into every subsequent
+    /// solve (deadline enforcement happens between escalation-ladder
+    /// rungs). Serving tiers set a per-request token before each query;
+    /// pass [`CancelToken::never`] to clear.
+    pub fn set_cancel_token(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Serves one request (a batch of one).
@@ -321,10 +339,11 @@ impl Engine {
             u64,
         );
         let queue_depth = jobs.len() as u64;
+        let cancel = self.cancel.clone();
         let solved: Vec<SolvedJob> = pool::par_map(jobs, |(fp, request, guess)| {
             let started = Instant::now();
             let warm = guess.is_some();
-            let outcome = solve_scenario(&request, guess.as_deref());
+            let outcome = solve_scenario_cancellable(&request, guess.as_deref(), &cancel);
             let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
             (fp, warm, outcome, micros)
         });
@@ -491,14 +510,33 @@ pub fn solve_scenario(
     request: &ScenarioRequest,
     guess: Option<&[f64]>,
 ) -> Result<(SolveSummary, Vec<f64>), EngineError> {
+    solve_scenario_cancellable(request, guess, &CancelToken::never())
+}
+
+/// [`solve_scenario`] with a cooperative cancellation token threaded down
+/// to the escalation ladder, which polls it between rungs. A fired token
+/// surfaces as [`EngineError::Cancelled`].
+///
+/// # Errors
+///
+/// As for [`solve_scenario`], plus [`EngineError::Cancelled`].
+pub fn solve_scenario_cancellable(
+    request: &ScenarioRequest,
+    guess: Option<&[f64]>,
+    cancel: &CancelToken,
+) -> Result<(SolveSummary, Vec<f64>), EngineError> {
     let scenario = request.to_scenario();
     let mut scratch = SolveScratch::new();
+    scratch.set_cancel(cancel.clone());
     let solved = match request.kind {
         SolveKind::Regular => scenario.solve_regular_peak_warm(guess, &mut scratch),
         SolveKind::VoltageStacked => {
             scenario.solve_voltage_stacked_warm(request.imbalance, guess, &mut scratch)
         }
     }
-    .map_err(|e| EngineError::Solve(e.to_string()))?;
+    .map_err(|e| match e {
+        PdnError::Solve(SolveError::Cancelled) => EngineError::Cancelled,
+        other => EngineError::Solve(other.to_string()),
+    })?;
     Ok((SolveSummary::from_faulted(&solved), solved.voltages))
 }

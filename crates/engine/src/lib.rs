@@ -46,12 +46,19 @@
 ///
 /// Version 3 added the top-level `schema_version` field to the `stats`
 /// response object (the metrics/observability release).
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// Version 4 is the hardened-serving release: disk-cache entries moved to
+/// the checksummed `{schema, checksum, payload}` envelope (torn or
+/// corrupted writes are detected and quarantined instead of trusted), and
+/// the wire protocol gained `deadline_ms` on requests plus
+/// `retry_after_ms` on overload rejections.
+pub const SCHEMA_VERSION: u32 = 4;
 
 pub mod cache;
 pub mod engine;
 pub mod json;
 pub mod request;
+pub mod server;
 pub mod summary;
 
 pub use engine::{Engine, EngineConfig, EngineStats, Outcome, QueryResult};

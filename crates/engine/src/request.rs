@@ -363,6 +363,15 @@ fn tsv_tag(t: TsvTopology) -> u8 {
     }
 }
 
+/// Plain 64-bit FNV-1a over a byte string — the checksum the disk cache
+/// stamps on every entry payload (see [`crate::cache::DiskCache`]). The
+/// same primitive as the request fingerprint, minus the field tagging.
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// 64-bit FNV-1a with length-prefixed field tagging, so adjacent fields
 /// can never alias (`[1,2] ++ [3]` hashes differently from `[1] ++ [2,3]`).
 struct Fnv(u64);

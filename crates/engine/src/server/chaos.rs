@@ -1,0 +1,103 @@
+//! Feature-gated fault injection for chaos testing the serving stack.
+//!
+//! With the `chaos` cargo feature enabled, tests can arm injection points
+//! that production code paths poll:
+//!
+//! * **cache I/O** — the next N disk-cache stores fail with an I/O error,
+//!   or are *torn* (half the bytes written, then reported as success —
+//!   the moral equivalent of `kill -9` on a filesystem that loses the
+//!   tail of a write);
+//! * **worker panics** — the next N shard solves panic mid-request;
+//! * **slow solves** — every solve sleeps first, driving queues into
+//!   overload and deadlines into expiry at will.
+//!
+//! Without the feature (the default, and what ships), every hook compiles
+//! to an empty inline function: zero branches, zero atomics, no way to
+//! trip in production.
+
+#[cfg(feature = "chaos")]
+mod armed {
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static FAIL_STORES: AtomicU64 = AtomicU64::new(0);
+    static TEAR_STORES: AtomicU64 = AtomicU64::new(0);
+    static PANIC_SOLVES: AtomicU64 = AtomicU64::new(0);
+    static SOLVE_DELAY_US: AtomicU64 = AtomicU64::new(0);
+
+    /// Decrements an armed count-down; true if this call consumed a shot.
+    fn take(counter: &AtomicU64) -> bool {
+        counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Arms the next `n` disk-cache stores to fail with an I/O error.
+    pub fn fail_next_cache_stores(n: u64) {
+        FAIL_STORES.store(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` disk-cache stores to tear: half the entry's
+    /// bytes reach the file, yet the store reports success.
+    pub fn tear_next_cache_stores(n: u64) {
+        TEAR_STORES.store(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` worker solves to panic.
+    pub fn panic_next_solves(n: u64) {
+        PANIC_SOLVES.store(n, Ordering::Relaxed);
+    }
+
+    /// Makes every worker solve sleep `us` microseconds before starting
+    /// (0 disables).
+    pub fn delay_solves_us(us: u64) {
+        SOLVE_DELAY_US.store(us, Ordering::Relaxed);
+    }
+
+    /// Disarms every injection point.
+    pub fn reset() {
+        FAIL_STORES.store(0, Ordering::Relaxed);
+        TEAR_STORES.store(0, Ordering::Relaxed);
+        PANIC_SOLVES.store(0, Ordering::Relaxed);
+        SOLVE_DELAY_US.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_store_hook(text: &mut String) -> io::Result<()> {
+        if take(&FAIL_STORES) {
+            return Err(io::Error::other("chaos: injected cache store failure"));
+        }
+        if take(&TEAR_STORES) {
+            text.truncate(text.len() / 2);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn worker_solve_hook() {
+        let us = SOLVE_DELAY_US.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+        if take(&PANIC_SOLVES) {
+            panic!("chaos: injected worker panic");
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub(crate) use armed::{cache_store_hook, worker_solve_hook};
+#[cfg(feature = "chaos")]
+pub use armed::{
+    delay_solves_us, fail_next_cache_stores, panic_next_solves, reset, tear_next_cache_stores,
+};
+
+/// Cache-store injection point; a no-op without the `chaos` feature.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn cache_store_hook(_text: &mut String) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Worker-solve injection point; a no-op without the `chaos` feature.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn worker_solve_hook() {}

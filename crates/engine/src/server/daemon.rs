@@ -1,0 +1,594 @@
+//! The socket daemon: listener, connection threads, deadline enforcement
+//! and graceful drain on top of the [`ShardPool`].
+//!
+//! # Threading model
+//!
+//! One accept thread turns connections into one thread each; connection
+//! threads parse NDJSON requests, run admission control via
+//! [`ShardPool::submit`], and *wait with a bounded timeout* for the
+//! shard's reply. Nothing in a connection thread ever blocks without a
+//! bound:
+//!
+//! * socket reads poll with a short timeout so the drain flag is noticed
+//!   on idle connections;
+//! * reply waits use `recv_timeout` capped at the request deadline plus a
+//!   small grace window, so a wedged (or deliberately slowed) solve turns
+//!   into a `deadline_exceeded` response rather than a hung client.
+//!
+//! The per-request [`CancelToken`] carries the same deadline into the
+//! escalation ladder, which abandons the solve between rungs — the
+//! timeout answer and the cooperative cancellation are two views of one
+//! deadline.
+//!
+//! # Shutdown
+//!
+//! [`Daemon::shutdown`] (triggered by the owner, typically after SIGTERM,
+//! or by a client's `shutdown` op): set the drain flag, nudge the
+//! listener awake with a self-connection, stop accepting, then stop the
+//! pool — which finishes (drain) or sheds (fast stop) queued jobs and
+//! flushes every disk-cache segment before returning. The final metrics
+//! snapshot is returned to the caller.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vstack_obs::{log_info, log_warn};
+use vstack_sparse::CancelToken;
+
+use crate::json::Json;
+use crate::request::ScenarioRequest;
+use crate::server::protocol::{
+    self, code, engine_error_response, error_response, metrics_response, ok_response,
+    overloaded_response,
+};
+use crate::server::shard::{Admission, ShardConfig, ShardOutcome, ShardPool};
+
+/// How long a reply wait may exceed the request deadline: covers the gap
+/// between the ladder's cancellation poll points so a cooperatively
+/// cancelled solve usually delivers its own `deadline_exceeded` before
+/// the connection gives up on it.
+const REPLY_GRACE: Duration = Duration::from_millis(500);
+
+/// Poll interval for idle socket reads; bounds how long an idle
+/// connection takes to notice the drain flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// TCP address, e.g. `127.0.0.1:7077` (port 0 picks a free port).
+    Tcp(String),
+    /// Unix-domain socket path (a stale file there is replaced).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon construction options.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listening endpoint.
+    pub bind: Bind,
+    /// Worker-pool shape (shards, queue bound, cache tiers).
+    pub shard: ShardConfig,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Upper clamp for client-supplied `deadline_ms`.
+    pub max_deadline_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            shard: ShardConfig::default(),
+            default_deadline_ms: 30_000,
+            max_deadline_ms: 300_000,
+        }
+    }
+}
+
+/// State shared by the accept thread and every connection thread.
+struct Shared {
+    pool: ShardPool,
+    /// Set once shutdown begins; connection and accept loops exit on it.
+    draining: AtomicBool,
+    /// Latched by a client `shutdown` op for the owner to observe.
+    shutdown_requested: Mutex<bool>,
+    shutdown_signal: Condvar,
+    default_deadline_ms: u64,
+    max_deadline_ms: u64,
+}
+
+/// A running daemon. Dropping it without calling [`Daemon::shutdown`]
+/// leaks the listener thread; owners are expected to shut down.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+    bind: Bind,
+    /// Resolved TCP address (meaningful for port-0 binds).
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Daemon {
+    /// Binds the endpoint, starts the shard pool and the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures and cache-segment creation failures.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        let pool = ShardPool::start(&config.shard)?;
+        let shared = Arc::new(Shared {
+            pool,
+            draining: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+            default_deadline_ms: config.default_deadline_ms.max(1),
+            max_deadline_ms: config.max_deadline_ms.max(1),
+        });
+        let (listener, tcp_addr) = Listener::bind(&config.bind)?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("vstack-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(io::Error::other)?
+        };
+        match &config.bind {
+            Bind::Tcp(_) => log_info!(
+                "serve",
+                "listening on tcp {}",
+                tcp_addr.expect("tcp bind resolves an address")
+            ),
+            #[cfg(unix)]
+            Bind::Unix(path) => log_info!("serve", "listening on unix {}", path.display()),
+        }
+        Ok(Daemon {
+            shared,
+            accept: Mutex::new(Some(accept)),
+            bind: config.bind,
+            tcp_addr,
+        })
+    }
+
+    /// The resolved TCP listening address (`None` for Unix binds).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Blocks until a client `shutdown` op arrives or `timeout` passes;
+    /// true when shutdown was requested. Owners typically loop on this
+    /// with a short timeout, interleaving their own signal checks.
+    pub fn wait_shutdown_requested(&self, timeout: Duration) -> bool {
+        let guard = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag lock");
+        let (guard, _) = self
+            .shared
+            .shutdown_signal
+            .wait_timeout_while(guard, timeout, |requested| !*requested)
+            .expect("shutdown flag lock");
+        *guard
+    }
+
+    /// Stops the daemon: stop accepting, then stop the pool (finishing
+    /// queued work when `drain`, shedding it otherwise) and flush every
+    /// cache segment. Returns the final obs metrics snapshot. Idempotent.
+    pub fn shutdown(&self, drain: bool) -> String {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.nudge_listener();
+        let accept = self.accept.lock().expect("accept handle lock").take();
+        if let Some(handle) = accept {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown(drain);
+        #[cfg(unix)]
+        if let Bind::Unix(path) = &self.bind {
+            let _ = std::fs::remove_file(path);
+        }
+        let snapshot = vstack_obs::metrics::snapshot_json();
+        log_info!("serve", "daemon stopped (drain={drain})");
+        snapshot
+    }
+
+    /// Wakes the accept loop's blocking `accept` with a throwaway
+    /// self-connection so it can observe the drain flag.
+    fn nudge_listener(&self) {
+        match &self.bind {
+            Bind::Tcp(_) => {
+                if let Some(addr) = self.tcp_addr {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+                }
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+}
+
+/// The listener half of the [`Bind`] abstraction.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(bind: &Bind) -> io::Result<(Listener, Option<SocketAddr>)> {
+        match bind {
+            Bind::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                Ok((Listener::Tcp(listener), Some(local)))
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a previous run would fail the
+                // bind; replacing it is the conventional daemon behavior.
+                let _ = std::fs::remove_file(path);
+                Ok((Listener::Unix(UnixListener::bind(path)?), None))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// The stream half: one accepted connection, TCP or Unix.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Accepts until the drain flag is set. Connection threads are detached:
+/// each exits within a read-poll interval of the flag, and the pool they
+/// talk to outlives them through the `Arc`.
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok(conn) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                vstack_obs::metrics::global().serve_connections.inc();
+                let shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("vstack-conn".to_string())
+                    .spawn(move || handle_conn(conn, &shared));
+                if let Err(e) = spawned {
+                    log_warn!("serve", "connection thread spawn failed: {e}");
+                }
+            }
+            Err(e) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                log_warn!("serve", "accept failed: {e}");
+            }
+        }
+    }
+}
+
+/// Serves one connection: NDJSON request per line, one (or per batch
+/// item, several) NDJSON response line(s) back.
+fn handle_conn(conn: Conn, shared: &Arc<Shared>) {
+    if conn.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let reader = match conn.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            log_warn!("serve", "connection clone failed: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = conn;
+    let mut line = String::new();
+    loop {
+        // A timeout can surface mid-line; the bytes read so far stay in
+        // `line`, so the next pass keeps appending — don't clear on poll.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let text = std::mem::take(&mut line);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let (responses, close) = handle_request(&text, shared);
+        for response in responses {
+            if writeln!(writer, "{}", response.emit())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+        if close {
+            break;
+        }
+    }
+}
+
+/// Dispatches one request line; returns response lines and whether the
+/// connection should close afterwards.
+fn handle_request(text: &str, shared: &Arc<Shared>) -> (Vec<Json>, bool) {
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => {
+            return (
+                vec![error_response(None, code::PARSE_ERROR, &e.to_string())],
+                false,
+            )
+        }
+    };
+    let id = doc.get("id").cloned();
+    let Some(op) = doc.get("op").and_then(Json::as_str) else {
+        return (
+            vec![error_response(
+                id,
+                code::INVALID_REQUEST,
+                "missing \"op\" field",
+            )],
+            false,
+        );
+    };
+    match op {
+        "solve" => (vec![serve_solve(&doc, id, shared)], false),
+        "batch" => (serve_batch(&doc, id, shared), false),
+        "stats" => (vec![stats_response(id, shared)], false),
+        "metrics" => (vec![metrics_response(id)], false),
+        "shutdown" => {
+            let mut fields = vec![];
+            if let Some(id) = id {
+                fields.push(("id", id));
+            }
+            fields.push(("ok", Json::Bool(true)));
+            fields.push(("shutdown", Json::Bool(true)));
+            let mut requested = shared
+                .shutdown_requested
+                .lock()
+                .expect("shutdown flag lock");
+            *requested = true;
+            shared.shutdown_signal.notify_all();
+            (vec![Json::obj(fields)], true)
+        }
+        other => (
+            vec![error_response(
+                id,
+                code::UNKNOWN_OP,
+                &format!("unknown op \"{other}\""),
+            )],
+            false,
+        ),
+    }
+}
+
+/// Admission plus bounded reply wait for one `solve` op.
+fn serve_solve(doc: &Json, id: Option<Json>, shared: &Shared) -> Json {
+    let Some(scenario) = doc.get("scenario") else {
+        return error_response(id, code::INVALID_REQUEST, "solve needs a \"scenario\"");
+    };
+    let request = match ScenarioRequest::from_json(scenario) {
+        Ok(r) => r,
+        Err(e) => return error_response(id, code::INVALID_REQUEST, &e),
+    };
+    if let Err(e) = request.validate() {
+        return error_response(id, code::INVALID_REQUEST, &e);
+    }
+    let deadline_ms = match protocol::parse_deadline_ms(doc, shared.max_deadline_ms) {
+        Ok(ms) => ms.unwrap_or(shared.default_deadline_ms),
+        Err(e) => return error_response(id, code::INVALID_REQUEST, &e),
+    };
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let cancel = CancelToken::with_deadline(deadline);
+    let admission = shared.pool.submit(&request, cancel.clone());
+    settle(admission, id, deadline, &cancel, shared)
+}
+
+/// A `batch` op: admit every parseable item up front (so siblings dedup
+/// against each other in flight), then settle them in order under one
+/// shared deadline. One response line per item, input order.
+fn serve_batch(doc: &Json, batch_id: Option<Json>, shared: &Shared) -> Vec<Json> {
+    let Some(items) = doc.get("requests").and_then(Json::as_arr) else {
+        return vec![error_response(
+            batch_id,
+            code::INVALID_REQUEST,
+            "batch needs a \"requests\" array",
+        )];
+    };
+    let deadline_ms = match protocol::parse_deadline_ms(doc, shared.max_deadline_ms) {
+        Ok(ms) => ms.unwrap_or(shared.default_deadline_ms),
+        Err(e) => return vec![error_response(batch_id, code::INVALID_REQUEST, &e)],
+    };
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let cancel = CancelToken::with_deadline(deadline);
+    let mut pending: Vec<(Option<Json>, Result<Admission, Json>)> = Vec::new();
+    for item in items {
+        let id = item.get("id").cloned();
+        let request = match item.get("scenario") {
+            Some(s) => ScenarioRequest::from_json(s).and_then(|r| r.validate().map(|()| r)),
+            None => Err("batch item needs a \"scenario\"".to_string()),
+        };
+        match request {
+            Ok(request) => {
+                let admission = shared.pool.submit(&request, cancel.clone());
+                pending.push((id, Ok(admission)));
+            }
+            Err(e) => {
+                pending.push((
+                    id.clone(),
+                    Err(error_response(id, code::INVALID_REQUEST, &e)),
+                ));
+            }
+        }
+    }
+    pending
+        .into_iter()
+        .map(|(id, entry)| match entry {
+            Ok(admission) => settle(admission, id, deadline, &cancel, shared),
+            Err(response) => response,
+        })
+        .collect()
+}
+
+/// Turns an admission decision into the final response, waiting (bounded)
+/// for the shard when the request was admitted or joined.
+fn settle(
+    admission: Admission,
+    id: Option<Json>,
+    deadline: Instant,
+    cancel: &CancelToken,
+    _shared: &Shared,
+) -> Json {
+    let m = vstack_obs::metrics::global();
+    let rx = match admission {
+        Admission::Queued(rx) | Admission::Joined(rx) => rx,
+        Admission::Shed { retry_after_ms } => return overloaded_response(id, retry_after_ms),
+        Admission::Closed => {
+            return error_response(id, code::UNAVAILABLE, "server is shutting down")
+        }
+    };
+    let wait = deadline + REPLY_GRACE - Instant::now();
+    match rx.recv_timeout(wait) {
+        Ok(ShardOutcome::Done(Ok(result))) => ok_response(id, &result),
+        Ok(ShardOutcome::Done(Err(e))) => engine_error_response(id, &e),
+        Ok(ShardOutcome::Panicked) => error_response(
+            id,
+            code::INTERNAL,
+            "request crashed its worker (contained); see server logs",
+        ),
+        Ok(ShardOutcome::Drained) => {
+            error_response(id, code::UNAVAILABLE, "shed during server drain")
+        }
+        Err(_) => {
+            // The solve outlived deadline + grace (it will abandon itself
+            // at the ladder's next cancellation poll) or its worker died.
+            // Either way the client gets a bounded, structured answer.
+            cancel.cancel();
+            m.serve_deadline_exceeded.inc();
+            error_response(
+                id,
+                code::DEADLINE_EXCEEDED,
+                "deadline passed before the solve finished",
+            )
+        }
+    }
+}
+
+/// The daemon `stats` op: serving-tier counters from the global obs
+/// registry (engine counters aggregate across all shards there), stamped
+/// with the schema version like the stdin front-end's `stats`.
+fn stats_response(id: Option<Json>, shared: &Shared) -> Json {
+    let m = vstack_obs::metrics::global();
+    let mut fields = vec![];
+    if let Some(id) = id {
+        fields.push(("id", id));
+    }
+    fields.push(("ok", Json::Bool(true)));
+    fields.push((
+        "stats",
+        Json::obj(vec![
+            (
+                "schema_version",
+                Json::Num(f64::from(crate::SCHEMA_VERSION)),
+            ),
+            ("shards", Json::Num(shared.pool.len() as f64)),
+            ("queued", Json::Num(shared.pool.queued() as f64)),
+            ("connections", Json::Num(m.serve_connections.get() as f64)),
+            ("accepted", Json::Num(m.serve_accepted.get() as f64)),
+            ("shed", Json::Num(m.serve_shed.get() as f64)),
+            ("dedup_joins", Json::Num(m.serve_dedup_joins.get() as f64)),
+            (
+                "deadline_exceeded",
+                Json::Num(m.serve_deadline_exceeded.get() as f64),
+            ),
+            (
+                "worker_panics",
+                Json::Num(m.serve_worker_panics.get() as f64),
+            ),
+            ("drained_jobs", Json::Num(m.serve_drained_jobs.get() as f64)),
+            (
+                "cache_quarantined",
+                Json::Num(m.serve_cache_quarantined.get() as f64),
+            ),
+        ]),
+    ));
+    Json::obj(fields)
+}

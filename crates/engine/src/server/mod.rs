@@ -1,0 +1,35 @@
+//! The hardened serving tier: a concurrent daemon over the engine.
+//!
+//! The stdin front-end (`vstack-serve` without `--listen`) is one engine
+//! on one thread; this module is what turns that into something that
+//! survives production traffic:
+//!
+//! * [`queue`] — the bounded, non-blocking admission queue (the load-shed
+//!   primitive);
+//! * [`shard`] — fingerprint-sharded workers, each owning a private
+//!   engine (LRU + disk-cache segment), with cross-request dedup of
+//!   identical in-flight fingerprints and `catch_unwind` panic
+//!   containment;
+//! * [`daemon`] — the TCP/Unix-socket listener, per-request deadlines
+//!   (cooperatively cancelling solves between escalation-ladder rungs),
+//!   and graceful drain that flushes every cache segment;
+//! * [`protocol`] — shared NDJSON response builders and the stable error
+//!   vocabulary (`overloaded` + `retry_after_ms`, `deadline_exceeded`,
+//!   `internal`, `unavailable`);
+//! * [`chaos`] — feature-gated fault injection (torn cache writes, worker
+//!   panics, slow solves) for the chaos test harness; compiled out by
+//!   default.
+//!
+//! Every wait in the tier is bounded: admission never blocks, reply waits
+//! are capped by the request deadline, socket reads poll for the drain
+//! flag. An overloaded or crashing server answers structured errors; it
+//! does not hang, grow without bound, or lose its disk cache.
+
+pub mod chaos;
+pub mod daemon;
+pub mod protocol;
+pub mod queue;
+pub mod shard;
+
+pub use daemon::{Bind, Daemon, DaemonConfig};
+pub use shard::{ShardConfig, ShardPool};

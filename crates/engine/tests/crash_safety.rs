@@ -1,0 +1,167 @@
+//! Crash-safety integration tests for the disk cache: torn writes, bit
+//! flips, junk files and interrupted stores must all degrade to clean
+//! (counted, quarantined) misses — never a panic, never a trusted lie.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vstack_engine::{Engine, EngineConfig, Outcome, ScenarioRequest};
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vstack-crash-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request() -> ScenarioRequest {
+    ScenarioRequest::voltage_stacked(2, 0.4).quick()
+}
+
+fn engine(dir: &Path) -> Engine {
+    Engine::new(EngineConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..EngineConfig::default()
+    })
+    .expect("open engine")
+}
+
+/// Solves once and flushes, so `dir` holds exactly one entry file.
+fn seed_cache(dir: &Path) -> PathBuf {
+    let mut e = engine(dir);
+    let result = e.query(&request()).expect("cold solve");
+    assert_eq!(result.outcome, Outcome::Cold);
+    e.flush().expect("flush");
+    entry_file(dir)
+}
+
+/// The single `*.json` entry file in `dir`.
+fn entry_file(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected one entry file in {dir:?}");
+    entries.pop().expect("one entry")
+}
+
+fn corrupt_files(dir: &Path) -> Vec<PathBuf> {
+    fs::read_dir(dir)
+        .expect("cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.to_string_lossy().ends_with(".corrupt"))
+        .collect()
+}
+
+#[test]
+fn clean_reopen_serves_from_disk() {
+    let dir = scratch_dir("clean");
+    seed_cache(&dir);
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("disk hit");
+    assert_eq!(result.outcome, Outcome::HitDisk);
+    assert_eq!(e.stats().corrupt_rejects, 0);
+}
+
+/// The acceptance scenario: a store whose tail never reached the disk
+/// (the observable state after `kill -9` plus a lost tail) must reopen as
+/// a quarantined miss, re-solve cold, and leave the cache fully usable.
+#[test]
+fn torn_entry_quarantined_then_resolved_cold_then_usable() {
+    let dir = scratch_dir("torn");
+    let entry = seed_cache(&dir);
+    let text = fs::read_to_string(&entry).expect("read entry");
+    fs::write(&entry, &text[..text.len() / 2]).expect("tear entry");
+
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("re-solve");
+    assert_eq!(result.outcome, Outcome::Cold, "torn entry must not serve");
+    assert_eq!(e.stats().corrupt_rejects, 1);
+    assert!(!entry.exists(), "torn entry must be moved aside");
+    let quarantined = corrupt_files(&dir);
+    assert_eq!(quarantined.len(), 1, "torn entry must be quarantined");
+    e.flush().expect("flush re-solve");
+    drop(e);
+
+    // Third generation: the re-solved entry serves, quarantine untouched.
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("disk hit");
+    assert_eq!(result.outcome, Outcome::HitDisk);
+    assert_eq!(e.stats().corrupt_rejects, 0);
+    assert_eq!(corrupt_files(&dir).len(), 1);
+}
+
+#[test]
+fn payload_bitflip_fails_the_checksum() {
+    let dir = scratch_dir("bitflip");
+    let entry = seed_cache(&dir);
+    // Corrupt one byte inside the payload without breaking JSON syntax:
+    // the checksum, not the parser, must catch it.
+    let text = fs::read_to_string(&entry).expect("read entry");
+    let needle = "\"layers\":";
+    let at = text.find(needle).expect("payload has layers") + needle.len();
+    let mut bytes = text.into_bytes();
+    bytes[at] = if bytes[at] == b'9' { b'8' } else { b'9' };
+    fs::write(&entry, bytes).expect("flip byte");
+
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("re-solve");
+    assert_eq!(result.outcome, Outcome::Cold);
+    assert_eq!(e.stats().corrupt_rejects, 1);
+    assert_eq!(corrupt_files(&dir).len(), 1);
+}
+
+#[test]
+fn junk_entry_is_a_quarantined_miss() {
+    let dir = scratch_dir("junk");
+    let entry = seed_cache(&dir);
+    fs::write(&entry, "{\"not\": \"a cache entry\"}\n").expect("write junk");
+
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("re-solve");
+    assert_eq!(result.outcome, Outcome::Cold);
+    assert_eq!(e.stats().corrupt_rejects, 1);
+    assert_eq!(corrupt_files(&dir).len(), 1);
+}
+
+/// Entries from a different schema generation are intact, just unusable:
+/// a miss that is counted separately and *not* quarantined.
+#[test]
+fn old_schema_entry_is_a_clean_miss_not_corruption() {
+    let dir = scratch_dir("schema");
+    let entry = seed_cache(&dir);
+    let text = fs::read_to_string(&entry).expect("read entry");
+    let stamped = format!("{{\"schema\":{},", vstack_engine::SCHEMA_VERSION);
+    assert!(text.starts_with(&stamped), "entry text: {text}");
+    fs::write(&entry, text.replacen(&stamped, "{\"schema\":1,", 1)).expect("restamp");
+
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("re-solve");
+    assert_eq!(result.outcome, Outcome::Cold);
+    assert_eq!(e.stats().schema_rejects, 1);
+    assert_eq!(e.stats().corrupt_rejects, 0);
+    assert!(entry.exists(), "version skew must not quarantine");
+    assert!(corrupt_files(&dir).is_empty());
+}
+
+/// A crash between the temp-file write and the rename leaves only a
+/// `*.json.tmp`; the store must ignore it and keep working.
+#[test]
+fn leftover_tmp_file_is_ignored() {
+    let dir = scratch_dir("tmpfile");
+    let entry = seed_cache(&dir);
+    let tmp = entry.with_extension("json.tmp");
+    let text = fs::read_to_string(&entry).expect("read entry");
+    fs::write(&tmp, &text[..text.len() / 3]).expect("write partial tmp");
+    fs::remove_file(&entry).expect("drop final entry");
+
+    let mut e = engine(&dir);
+    let result = e.query(&request()).expect("re-solve");
+    assert_eq!(result.outcome, Outcome::Cold, "tmp files are not entries");
+    assert_eq!(e.stats().corrupt_rejects, 0);
+    e.flush().expect("flush overwrites cleanly");
+    drop(e);
+    let mut e = engine(&dir);
+    assert_eq!(e.query(&request()).expect("hit").outcome, Outcome::HitDisk);
+}

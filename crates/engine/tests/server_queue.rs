@@ -1,0 +1,127 @@
+//! Property tests for the admission-control primitives: the bounded
+//! queue's capacity invariant and the shed response's `retry_after_ms`
+//! guarantee.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use vstack_engine::json::Json;
+use vstack_engine::server::protocol;
+use vstack_engine::server::queue::{BoundedQueue, Popped, PushError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any interleaving of pushes and pops, the queue never holds
+    /// more than `capacity` items, FIFO order holds, and a refused push
+    /// returns the item while the queue is exactly full.
+    #[test]
+    fn queue_never_exceeds_capacity(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(0usize..2, 0..96),
+    ) {
+        let q = BoundedQueue::new(capacity);
+        let mut model: VecDeque<usize> = VecDeque::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            if op == 1 {
+                match q.try_push(i) {
+                    Ok(depth) => {
+                        model.push_back(i);
+                        prop_assert_eq!(depth, model.len());
+                        prop_assert!(depth <= capacity);
+                    }
+                    Err(PushError::Full(item)) => {
+                        prop_assert_eq!(item, i);
+                        prop_assert_eq!(model.len(), capacity);
+                    }
+                    Err(PushError::Closed(_)) => prop_assert!(false, "queue was never closed"),
+                }
+            } else {
+                match q.pop(Duration::ZERO) {
+                    Popped::Item(item) => prop_assert_eq!(Some(item), model.pop_front()),
+                    Popped::TimedOut => prop_assert!(model.is_empty()),
+                    Popped::Drained => prop_assert!(false, "queue was never closed"),
+                }
+            }
+            prop_assert!(q.len() <= capacity, "queue exceeded its bound");
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+
+    /// Every shed (`overloaded`) response carries `retry_after_ms`, for
+    /// any id shape and any hint value the estimator can produce.
+    #[test]
+    fn shed_responses_always_carry_retry_after_ms(
+        retry_after_ms in 1u64..120_000,
+        has_id in 0usize..2,
+        id_value in 0u32..1000,
+    ) {
+        let id = (has_id == 1).then(|| Json::Num(f64::from(id_value)));
+        let response = protocol::overloaded_response(id.clone(), retry_after_ms);
+        prop_assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        if let Some(id) = id {
+            prop_assert_eq!(response.get("id"), Some(&id));
+        }
+        let error = response.get("error").expect("error object");
+        prop_assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some(protocol::code::OVERLOADED)
+        );
+        prop_assert_eq!(
+            error.get("retry_after_ms").and_then(Json::as_f64),
+            Some(retry_after_ms as f64)
+        );
+        // The response survives a wire round-trip with the hint intact.
+        let wire = Json::parse(&response.emit()).expect("emit parses");
+        prop_assert_eq!(
+            wire.get("error").and_then(|e| e.get("retry_after_ms")).and_then(Json::as_f64),
+            Some(retry_after_ms as f64)
+        );
+    }
+}
+
+/// Concurrent hammering from multiple producers and consumers never
+/// drives the queue over capacity and never loses an admitted item.
+#[test]
+fn queue_bound_holds_under_concurrency() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 500;
+    let q = Arc::new(BoundedQueue::new(3));
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let q = Arc::clone(&q);
+        handles.push(std::thread::spawn(move || {
+            let mut admitted = 0usize;
+            for i in 0..PER_PRODUCER {
+                match q.try_push(p * PER_PRODUCER + i) {
+                    Ok(depth) => {
+                        assert!(depth <= q.capacity());
+                        admitted += 1;
+                    }
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("never closed while producing"),
+                }
+            }
+            admitted
+        }));
+    }
+    let consumer = {
+        let q = Arc::clone(&q);
+        std::thread::spawn(move || {
+            let mut drained = 0usize;
+            loop {
+                match q.pop(Duration::from_millis(20)) {
+                    Popped::Item(_) => drained += 1,
+                    Popped::TimedOut => assert!(q.len() <= q.capacity()),
+                    Popped::Drained => return drained,
+                }
+            }
+        })
+    };
+    let admitted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    q.close();
+    let drained = consumer.join().unwrap();
+    assert_eq!(admitted, drained, "every admitted item is consumed");
+}

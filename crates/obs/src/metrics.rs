@@ -145,6 +145,9 @@ pub struct Metrics {
     pub ladder_escalations: Counter,
     /// Solves that succeeded only after at least one escalation.
     pub ladder_rescued: Counter,
+    /// Solves abandoned at a rung boundary because their cancellation
+    /// token fired (deadline passed or shutdown requested).
+    pub ladder_cancelled: Counter,
 
     // -- sparse: AMG -------------------------------------------------------
     /// Successful AMG hierarchy builds.
@@ -194,6 +197,25 @@ pub struct Metrics {
     /// Disk-cache entries rejected as corrupt.
     pub engine_corrupt_rejects: Counter,
 
+    // -- serving daemon ----------------------------------------------------
+    /// Connections accepted by the serving daemon.
+    pub serve_connections: Counter,
+    /// Requests admitted past admission control.
+    pub serve_accepted: Counter,
+    /// Requests shed by admission control (bounded queue full).
+    pub serve_shed: Counter,
+    /// Requests that missed their deadline (cancelled or answered late).
+    pub serve_deadline_exceeded: Counter,
+    /// Requests that joined an identical in-flight fingerprint instead of
+    /// queueing their own solve.
+    pub serve_dedup_joins: Counter,
+    /// Worker-shard panics contained by `catch_unwind` (shard kept alive).
+    pub serve_worker_panics: Counter,
+    /// Queued jobs shed during shutdown drain instead of being solved.
+    pub serve_drained_jobs: Counter,
+    /// Corrupt disk-cache files quarantined to `*.corrupt` on load.
+    pub serve_cache_quarantined: Counter,
+
     // -- histograms --------------------------------------------------------
     /// Krylov iterations per completed solve.
     pub solver_iterations_hist: Histogram,
@@ -209,6 +231,11 @@ pub struct Metrics {
     pub setup_us_hist: Histogram,
     /// Per-batch end-to-end wall-time (µs).
     pub engine_batch_us: Histogram,
+    /// Shard queue depth observed at each admission decision.
+    pub serve_queue_depth: Histogram,
+    /// End-to-end request latency inside the daemon (µs), admission to
+    /// response.
+    pub serve_request_us: Histogram,
 }
 
 impl Metrics {
@@ -222,6 +249,7 @@ impl Metrics {
             ladder_solves: Counter::new(),
             ladder_escalations: Counter::new(),
             ladder_rescued: Counter::new(),
+            ladder_cancelled: Counter::new(),
             amg_builds: Counter::new(),
             amg_build_failures: Counter::new(),
             amg_vcycles: Counter::new(),
@@ -242,6 +270,14 @@ impl Metrics {
             engine_cold_solves: Counter::new(),
             engine_schema_rejects: Counter::new(),
             engine_corrupt_rejects: Counter::new(),
+            serve_connections: Counter::new(),
+            serve_accepted: Counter::new(),
+            serve_shed: Counter::new(),
+            serve_deadline_exceeded: Counter::new(),
+            serve_dedup_joins: Counter::new(),
+            serve_worker_panics: Counter::new(),
+            serve_drained_jobs: Counter::new(),
+            serve_cache_quarantined: Counter::new(),
             solver_iterations_hist: Histogram::new(ITERATION_EDGES),
             amg_vcycles_per_solve: Histogram::new(ITERATION_EDGES),
             engine_batch_size: Histogram::new(SIZE_EDGES),
@@ -249,6 +285,8 @@ impl Metrics {
             solve_us_hist: Histogram::new(US_EDGES),
             setup_us_hist: Histogram::new(US_EDGES),
             engine_batch_us: Histogram::new(US_EDGES),
+            serve_queue_depth: Histogram::new(SIZE_EDGES),
+            serve_request_us: Histogram::new(US_EDGES),
         }
     }
 
@@ -263,6 +301,7 @@ impl Metrics {
             ("ladder_solves", &self.ladder_solves),
             ("ladder_escalations", &self.ladder_escalations),
             ("ladder_rescued", &self.ladder_rescued),
+            ("ladder_cancelled", &self.ladder_cancelled),
             ("amg_builds", &self.amg_builds),
             ("amg_build_failures", &self.amg_build_failures),
             ("amg_vcycles", &self.amg_vcycles),
@@ -283,6 +322,14 @@ impl Metrics {
             ("engine_cold_solves", &self.engine_cold_solves),
             ("engine_schema_rejects", &self.engine_schema_rejects),
             ("engine_corrupt_rejects", &self.engine_corrupt_rejects),
+            ("serve_connections", &self.serve_connections),
+            ("serve_accepted", &self.serve_accepted),
+            ("serve_shed", &self.serve_shed),
+            ("serve_deadline_exceeded", &self.serve_deadline_exceeded),
+            ("serve_dedup_joins", &self.serve_dedup_joins),
+            ("serve_worker_panics", &self.serve_worker_panics),
+            ("serve_drained_jobs", &self.serve_drained_jobs),
+            ("serve_cache_quarantined", &self.serve_cache_quarantined),
         ]
     }
 
@@ -296,6 +343,8 @@ impl Metrics {
             ("solve_us_hist", &self.solve_us_hist),
             ("setup_us_hist", &self.setup_us_hist),
             ("engine_batch_us", &self.engine_batch_us),
+            ("serve_queue_depth", &self.serve_queue_depth),
+            ("serve_request_us", &self.serve_request_us),
         ]
     }
 

@@ -3,8 +3,8 @@
 //! topologies.
 
 use vstack_sparse::{
-    solve_robust_cached_ws, AmgHierarchy, CsrMatrix, RobustOptions, SolveError, SolveReport,
-    SolveWorkspace, TripletMatrix,
+    solve_robust_cached_ws, AmgHierarchy, CancelToken, CsrMatrix, RobustOptions, SolveError,
+    SolveReport, SolveWorkspace, TripletMatrix,
 };
 
 use crate::error::PdnError;
@@ -104,6 +104,11 @@ pub struct SolveScratch {
     /// value-only re-stamps — CG converges against the *current* matrix;
     /// only the rung's iteration count drifts with the values.
     amg: Option<AmgHierarchy>,
+    /// Cooperative cancellation token handed to the escalation ladder of
+    /// every solve run through this scratch. Defaults to
+    /// [`CancelToken::never`]; serving tiers install a per-request token
+    /// (deadline + shutdown flag) with [`SolveScratch::set_cancel`].
+    cancel: CancelToken,
 }
 
 impl SolveScratch {
@@ -111,6 +116,12 @@ impl SolveScratch {
     /// pattern cache and sizes the workspace.
     pub fn new() -> Self {
         SolveScratch::default()
+    }
+
+    /// Installs the cancellation token polled between escalation-ladder
+    /// rungs of subsequent solves (see [`vstack_sparse::CancelToken`]).
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 }
 
@@ -366,7 +377,13 @@ impl NetworkBuilder {
             // structure; drop it so the next large solve rebuilds.
             scratch.amg = None;
         }
-        let result = self.solve_csr(&a, guess, &mut scratch.workspace, &mut scratch.amg);
+        let result = self.solve_csr(
+            &a,
+            guess,
+            &mut scratch.workspace,
+            &mut scratch.amg,
+            &scratch.cancel,
+        );
         scratch.pattern = Some(a);
         result
     }
@@ -388,6 +405,7 @@ impl NetworkBuilder {
         guess: Option<&[f64]>,
         workspace: &mut SolveWorkspace,
         amg_cache: &mut Option<AmgHierarchy>,
+        cancel: &CancelToken,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
         if let Some((floating_nodes, example_node)) = self.floating_nodes(a) {
             return Err(PdnError::Disconnected {
@@ -400,6 +418,7 @@ impl NetworkBuilder {
             max_iterations: 50_000,
             start_with_ic: false,
             start_with_amg: a.rows() >= Self::AMG_MIN_UNKNOWNS,
+            cancel: cancel.clone(),
             ..RobustOptions::default()
         };
         let m = vstack_obs::metrics::global();

@@ -95,6 +95,12 @@ pub enum SolveError {
         /// Relative residual at the stagnated iterate.
         residual: f64,
     },
+    /// The solve was abandoned because its [`crate::cancel::CancelToken`]
+    /// fired — a request deadline passed or a shutdown/drain was
+    /// requested. The system may well be solvable; the caller chose to
+    /// stop waiting. Never escalated past: every further rung would waste
+    /// the same already-expired budget.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -157,6 +163,9 @@ impl fmt::Display for SolveError {
                 "iterative solver stagnated after {iterations} iterations \
                  (relative residual {residual:.3e})"
             ),
+            SolveError::Cancelled => {
+                write!(f, "solve cancelled (deadline exceeded or shutdown)")
+            }
         }
     }
 }

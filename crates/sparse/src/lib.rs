@@ -64,6 +64,7 @@ mod error;
 mod triplet;
 
 pub mod amg;
+pub mod cancel;
 pub mod dense;
 pub mod ichol;
 pub mod pool;
@@ -72,6 +73,7 @@ pub mod solver;
 pub mod vecops;
 
 pub use amg::{AmgHierarchy, AmgOptions};
+pub use cancel::CancelToken;
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use robust::{

@@ -32,6 +32,7 @@
 use std::time::Instant;
 
 use crate::amg::{AmgHierarchy, AmgOptions};
+use crate::cancel::CancelToken;
 use crate::solver::{
     bicgstab_with_guess_ws, cg_with_amg_ws, cg_with_guess_ws, validate_finite, BiCgStabOptions,
     CgOptions, Preconditioner, SolveWorkspace, Solved,
@@ -176,6 +177,12 @@ pub struct RobustOptions {
     pub start_with_amg: bool,
     /// Build options for the AMG rung's hierarchy.
     pub amg: AmgOptions,
+    /// Cooperative cancellation handle, polled between ladder rungs. The
+    /// default ([`CancelToken::never`]) can never fire. A fired token
+    /// aborts the ladder with [`SolveError::Cancelled`] before the next
+    /// rung starts; a rung already running completes normally. Tokens
+    /// compare equal, so options equality is unaffected.
+    pub cancel: CancelToken,
 }
 
 impl Default for RobustOptions {
@@ -189,6 +196,7 @@ impl Default for RobustOptions {
             start_with_ic: true,
             start_with_amg: false,
             amg: AmgOptions::default(),
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -210,7 +218,18 @@ fn is_structural(e: &SolveError) -> bool {
         SolveError::DimensionMismatch { .. }
             | SolveError::NotSquare { .. }
             | SolveError::NonFinite { .. }
+            | SolveError::Cancelled
     )
+}
+
+/// Polls the cooperative cancellation token at a rung boundary.
+fn check_cancelled(cancel: &CancelToken) -> Result<(), SolveError> {
+    if cancel.is_cancelled() {
+        vstack_obs::metrics::global().ladder_cancelled.inc();
+        Err(SolveError::Cancelled)
+    } else {
+        Ok(())
+    }
 }
 
 /// Records an abandoned rung: bumps the escalation counter exactly once
@@ -322,6 +341,7 @@ pub fn solve_robust_cached_ws(
 
     let _span = vstack_obs::span!("solve_robust");
     vstack_obs::metrics::global().ladder_solves.inc();
+    check_cancelled(&options.cancel)?;
     let mut fallbacks = Vec::new();
 
     let accept = |method: SolveMethod, solved: Solved, fallbacks: &mut Vec<FallbackStep>| {
@@ -378,6 +398,7 @@ pub fn solve_robust_cached_ws(
     }
 
     // Rung 1: CG + IC(0).
+    check_cancelled(&options.cancel)?;
     if options.start_with_ic {
         match cg_with_guess_ws(
             a,
@@ -399,6 +420,7 @@ pub fn solve_robust_cached_ws(
     }
 
     // Rung 2: CG + Jacobi.
+    check_cancelled(&options.cancel)?;
     match cg_with_guess_ws(
         a,
         b,
@@ -414,6 +436,7 @@ pub fn solve_robust_cached_ws(
     // Rung 3: BiCGSTAB. Use Jacobi unless the diagonal itself is singular
     // (the very error rung 2 may have just hit), in which case run
     // unpreconditioned.
+    check_cancelled(&options.cancel)?;
     let bicg_pre = if fallbacks
         .iter()
         .any(|f| matches!(f.error, SolveError::SingularDiagonal { .. }))
@@ -436,6 +459,7 @@ pub fn solve_robust_cached_ws(
     // Rung 4: Tikhonov-shifted CG. The shift regularizes a near-singular
     // operator; the answer is only accepted if it actually satisfies the
     // *original* system to within the acceptance slack.
+    check_cancelled(&options.cancel)?;
     let max_diag = a
         .diagonal()
         .into_iter()
