@@ -7,19 +7,27 @@
 //! * `spmv` — row-partitioned CSR matrix–vector product on a PDN-sized
 //!   grid Laplacian (above the `PAR_SPMV_MIN_NNZ` threshold, so the
 //!   threaded pool genuinely engages).
-//! * `cg_solve` — a full workspace-reusing CG solve with the production
-//!   default preconditioner for its size (AMG at or above
-//!   `NetworkBuilder::AMG_MIN_UNKNOWNS`, Jacobi below).
-//! * `cg_amg` — the same system solved through a pattern-cached
-//!   [`AmgHierarchy`], the steady-state path `SolveScratch` reuse pays.
+//! * `cg_solve` — a full workspace-reusing CG solve through the production
+//!   hot path for its size: at or above `NetworkBuilder::AMG_MIN_UNKNOWNS`
+//!   that is the matrix-free stencil operator with the mixed-precision f32
+//!   AMG V-cycle, below it plain Jacobi CG.
+//! * `cg_amg` — the same system solved through a pattern-cached f64
+//!   [`AmgHierarchy`] over the CSR — the pre-stencil baseline the 2×
+//!   speedup target is measured against.
+//! * `cg_stencil` — stencil operator outer CG, f64 AMG V-cycle: isolates
+//!   the matrix-free apply's contribution.
+//! * `cg_mixed` — stencil operator outer CG, f32 AMG V-cycle: the full
+//!   mixed-precision hot path (same code `cg_solve` takes at this size).
 //! * `ic0_apply` — the level-scheduled IC(0) forward/backward
 //!   substitution.
-//! * `cg_scaling/{jacobi,ic0,amg}/g{N}` — single-thread CG medians and
-//!   iteration counts across grid sizes, one entry per preconditioner.
-//!   Jacobi and IC(0) pay any setup inside the timed solve (as the
-//!   escalation ladder does); AMG is timed against a pattern-cached
-//!   hierarchy (as `SolveScratch` reuse does), with the one-time build
-//!   cost reported as its own `cg_scaling/amg_setup/g{N}` entry.
+//! * `cg_scaling/{jacobi,ic0,amg,mixed}/g{N}` — single-thread CG medians
+//!   and iteration counts across grid sizes, one entry per
+//!   preconditioner (`mixed` is the stencil-operator + f32-V-cycle hot
+//!   path). Jacobi and IC(0) pay any setup inside the timed solve (as
+//!   the escalation ladder does); AMG and mixed are timed against a
+//!   pattern-cached hierarchy (as `SolveScratch` reuse does), with the
+//!   one-time f64 build cost reported as its own
+//!   `cg_scaling/amg_setup/g{N}` entry.
 //! * `fig6_sweep` — the end-to-end Fig 6 IR-drop study, whose series fan
 //!   out over the pool.
 //! * `obs_overhead/{disabled,enabled,span_disabled}` — the tracing
@@ -50,9 +58,13 @@ use vstack::pdn::network::NetworkBuilder;
 use vstack::sparse::ichol::IncompleteCholesky;
 use vstack::sparse::pool::{with_pool, ThreadPool};
 use vstack::sparse::solver::{
-    cg_with_amg_ws, cg_with_guess_ws, CgOptions, Preconditioner, SolveWorkspace,
+    cg_with_amg_f32_ws, cg_with_amg_op_ws, cg_with_amg_ws, cg_with_guess_ws, CgOptions,
+    Preconditioner, SolveWorkspace,
 };
-use vstack::sparse::{AmgHierarchy, AmgOptions, CsrMatrix, TripletMatrix};
+use vstack::sparse::{
+    AmgHierarchy, AmgHierarchyF32, AmgOptions, CsrMatrix, StencilDescriptor, StencilOperator,
+    TripletMatrix,
+};
 
 /// 2-D grid Laplacian with Dirichlet corners, sized like one PDN net.
 fn grid_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
@@ -91,8 +103,8 @@ fn sizes(quick: bool) -> Sizes {
     if quick {
         Sizes {
             spmv_n: 192, // 36 864 nodes: keeps nnz above PAR_SPMV_MIN_NNZ
-            cg_n: 48,
-            ic0_n: 96, // 9 216 unknowns: above the IC(0) PAR_MIN_DIM gate
+            cg_n: 96,    // 9 216 unknowns: engages the stencil + mixed hot path
+            ic0_n: 96,   // 9 216 unknowns: above the IC(0) PAR_MIN_DIM gate
             scaling_grids: &[12, 48, 96],
             fig6_layers: 2,
             kernel_samples: 10,
@@ -102,7 +114,7 @@ fn sizes(quick: bool) -> Sizes {
     } else {
         Sizes {
             spmv_n: 256,
-            cg_n: 96,
+            cg_n: 192, // 36 864 unknowns: the g192 2x-speedup acceptance point
             ic0_n: 160,
             scaling_grids: &[24, 48, 96, 192],
             fig6_layers: 4,
@@ -116,6 +128,10 @@ fn sizes(quick: bool) -> Sizes {
 /// Extra per-entry facts the timing report alone cannot carry.
 struct Extra {
     preconditioner: &'static str,
+    /// Outer-iteration operator: `"csr"` or `"stencil"`.
+    operator: &'static str,
+    /// Preconditioner precision: `"f64"` or `"mixed"` (f32 V-cycle).
+    precision: &'static str,
     iterations: usize,
 }
 
@@ -156,15 +172,45 @@ fn probe_iterations(
     solved.iterations
 }
 
+/// Iteration count of the stencil-operator + f64 AMG path.
+fn probe_iterations_stencil(
+    op: &StencilOperator,
+    b: &[f64],
+    opts: &CgOptions,
+    amg: &AmgHierarchy,
+) -> usize {
+    let mut ws = SolveWorkspace::new();
+    cg_with_amg_op_ws(op, b, None, opts, amg, &mut ws)
+        .expect("stencil probe solve")
+        .iterations
+}
+
+/// Iteration count of the mixed-precision (f32 V-cycle) path.
+fn probe_iterations_mixed(
+    op: &StencilOperator,
+    b: &[f64],
+    opts: &CgOptions,
+    amg: &AmgHierarchyF32,
+) -> usize {
+    let mut ws = SolveWorkspace::new();
+    cg_with_amg_f32_ws(op, b, None, opts, amg, &mut ws)
+        .expect("mixed probe solve")
+        .iterations
+}
+
 fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
     let (a_spmv, b_spmv) = grid_laplacian(s.spmv_n);
     let (a_cg, b_cg) = grid_laplacian(s.cg_n);
     let (a_ic, b_ic) = grid_laplacian(s.ic0_n);
     let ic = IncompleteCholesky::factor(&a_ic).expect("grid laplacian admits IC(0)");
     let amg = AmgHierarchy::build(&a_cg, &AmgOptions::default()).expect("grid laplacian coarsens");
+    let stencil = StencilOperator::from_csr(&a_cg, StencilDescriptor::single_plane(s.cg_n))
+        .expect("grid laplacian extracts");
+    let amg_f32 = AmgHierarchyF32::from_hierarchy(&amg);
 
-    // cg_solve mirrors the production default for its size: the pdn layer
-    // switches its first ladder rung to AMG at AMG_MIN_UNKNOWNS unknowns.
+    // cg_solve mirrors the production default for its size: at
+    // AMG_MIN_UNKNOWNS unknowns the pdn layer switches its first ladder
+    // rung to the stencil operator with the mixed-precision f32 V-cycle.
     let cg_uses_amg = a_cg.rows() >= NetworkBuilder::AMG_MIN_UNKNOWNS;
     let cg_opts = CgOptions::default();
 
@@ -183,14 +229,16 @@ fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
         });
         with_pool(&pool, || {
             let iterations = if cg_uses_amg {
-                probe_iterations(&a_cg, &b_cg, &cg_opts, Some(&amg))
+                probe_iterations_mixed(&stencil, &b_cg, &cg_opts, &amg_f32)
             } else {
                 probe_iterations(&a_cg, &b_cg, &cg_opts, None)
             };
             meta.insert(
                 format!("cg_solve/threads{threads}"),
                 Extra {
-                    preconditioner: if cg_uses_amg { "amg" } else { "jacobi" },
+                    preconditioner: if cg_uses_amg { "amgf32" } else { "jacobi" },
+                    operator: if cg_uses_amg { "stencil" } else { "csr" },
+                    precision: if cg_uses_amg { "mixed" } else { "f64" },
                     iterations,
                 },
             );
@@ -200,7 +248,7 @@ fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
                 let mut ws = SolveWorkspace::new();
                 bch.iter(|| {
                     let solved = if cg_uses_amg {
-                        cg_with_amg_ws(&a_cg, &b_cg, None, &cg_opts, &amg, &mut ws)
+                        cg_with_amg_f32_ws(&stencil, &b_cg, None, &cg_opts, &amg_f32, &mut ws)
                     } else {
                         cg_with_guess_ws(&a_cg, &b_cg, None, &cg_opts, &mut ws)
                     };
@@ -215,6 +263,8 @@ fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
                 format!("cg_amg/threads{threads}"),
                 Extra {
                     preconditioner: "amg",
+                    operator: "csr",
+                    precision: "f64",
                     iterations,
                 },
             );
@@ -226,6 +276,54 @@ fn bench_kernels(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
                     black_box(
                         cg_with_amg_ws(&a_cg, &b_cg, None, &cg_opts, &amg, &mut ws)
                             .expect("cg+amg"),
+                    )
+                })
+            });
+            g.finish();
+        });
+        with_pool(&pool, || {
+            let iterations = probe_iterations_stencil(&stencil, &b_cg, &cg_opts, &amg);
+            meta.insert(
+                format!("cg_stencil/threads{threads}"),
+                Extra {
+                    preconditioner: "amg",
+                    operator: "stencil",
+                    precision: "f64",
+                    iterations,
+                },
+            );
+            let mut g = c.benchmark_group("cg_stencil");
+            g.sample_size(s.kernel_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                let mut ws = SolveWorkspace::new();
+                bch.iter(|| {
+                    black_box(
+                        cg_with_amg_op_ws(&stencil, &b_cg, None, &cg_opts, &amg, &mut ws)
+                            .expect("cg+stencil"),
+                    )
+                })
+            });
+            g.finish();
+        });
+        with_pool(&pool, || {
+            let iterations = probe_iterations_mixed(&stencil, &b_cg, &cg_opts, &amg_f32);
+            meta.insert(
+                format!("cg_mixed/threads{threads}"),
+                Extra {
+                    preconditioner: "amgf32",
+                    operator: "stencil",
+                    precision: "mixed",
+                    iterations,
+                },
+            );
+            let mut g = c.benchmark_group("cg_mixed");
+            g.sample_size(s.kernel_samples);
+            g.bench_function(format!("threads{threads}"), |bch| {
+                let mut ws = SolveWorkspace::new();
+                bch.iter(|| {
+                    black_box(
+                        cg_with_amg_f32_ws(&stencil, &b_cg, None, &cg_opts, &amg_f32, &mut ws)
+                            .expect("cg+mixed"),
                     )
                 })
             });
@@ -254,6 +352,9 @@ fn bench_obs_overhead(c: &mut Criterion, s: &Sizes) {
     let (a, b) = grid_laplacian(s.cg_n);
     let cg_uses_amg = a.rows() >= NetworkBuilder::AMG_MIN_UNKNOWNS;
     let amg = AmgHierarchy::build(&a, &AmgOptions::default()).expect("grid laplacian coarsens");
+    let stencil = StencilOperator::from_csr(&a, StencilDescriptor::single_plane(s.cg_n))
+        .expect("grid laplacian extracts");
+    let amg_f32 = AmgHierarchyF32::from_hierarchy(&amg);
     let opts = CgOptions::default();
     let pool = Arc::new(ThreadPool::new(1));
     with_pool(&pool, || {
@@ -265,7 +366,7 @@ fn bench_obs_overhead(c: &mut Criterion, s: &Sizes) {
                 let mut ws = SolveWorkspace::new();
                 bch.iter(|| {
                     let solved = if cg_uses_amg {
-                        cg_with_amg_ws(&a, &b, None, &opts, &amg, &mut ws)
+                        cg_with_amg_f32_ws(&stencil, &b, None, &opts, &amg_f32, &mut ws)
                     } else {
                         cg_with_guess_ws(&a, &b, None, &opts, &mut ws)
                     };
@@ -314,6 +415,8 @@ fn bench_scaling(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
                     format!("cg_scaling/{pre}/g{grid}"),
                     Extra {
                         preconditioner: pre,
+                        operator: "csr",
+                        precision: "f64",
                         iterations,
                     },
                 );
@@ -331,6 +434,34 @@ fn bench_scaling(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
                 });
                 g.finish();
             }
+            // The stencil + f32-V-cycle hot path at every size, so the
+            // crossover against the pure-f64 rungs is in the record.
+            let stencil = StencilOperator::from_csr(&a, StencilDescriptor::single_plane(grid))
+                .expect("grid laplacian extracts");
+            let amg_f32 = AmgHierarchyF32::from_hierarchy(&amg);
+            let opts = CgOptions::default();
+            let iterations = probe_iterations_mixed(&stencil, &b, &opts, &amg_f32);
+            meta.insert(
+                format!("cg_scaling/mixed/g{grid}"),
+                Extra {
+                    preconditioner: "amgf32",
+                    operator: "stencil",
+                    precision: "mixed",
+                    iterations,
+                },
+            );
+            let mut g = c.benchmark_group("cg_scaling");
+            g.sample_size(s.scaling_samples);
+            g.bench_function(format!("mixed/g{grid}"), |bch| {
+                let mut ws = SolveWorkspace::new();
+                bch.iter(|| {
+                    black_box(
+                        cg_with_amg_f32_ws(&stencil, &b, None, &opts, &amg_f32, &mut ws)
+                            .expect("mixed scaling solve"),
+                    )
+                })
+            });
+            g.finish();
         });
     }
 }
@@ -369,7 +500,7 @@ fn bench_fig6(c: &mut Criterion, s: &Sizes) {
 fn render_json(reports: &[BenchReport], meta: &Meta, quick: bool) -> String {
     let host = host_parallelism();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"vstack-bench-solver/2\",\n");
+    out.push_str("  \"schema\": \"vstack-bench-solver/3\",\n");
     out.push_str(&format!("  \"host_parallelism\": {host},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -387,8 +518,9 @@ fn render_json(reports: &[BenchReport], meta: &Meta, quick: bool) -> String {
         );
         if let Some(x) = meta.get(&r.name) {
             entry.push_str(&format!(
-                ", \"preconditioner\": \"{}\", \"iterations\": {}",
-                x.preconditioner, x.iterations
+                ", \"preconditioner\": \"{}\", \"operator\": \"{}\", \
+                 \"precision\": \"{}\", \"iterations\": {}",
+                x.preconditioner, x.operator, x.precision, x.iterations
             ));
         }
         entry.push('}');

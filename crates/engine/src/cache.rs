@@ -314,6 +314,7 @@ mod tests {
                 solver_iterations: 10,
                 solver_setup_us: 0,
                 solver_trail: "cg+ic0".to_string(),
+                solver_path: "csr+f64".to_string(),
             },
             request: req,
             voltages: None,

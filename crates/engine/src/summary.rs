@@ -37,6 +37,12 @@ pub struct SolveSummary {
     /// The escalation-ladder trail, e.g. `"cg+amg"` or
     /// `"cg+ic0 → cg+jacobi"`.
     pub solver_trail: String,
+    /// Operator and precision of the accepted rung, `"<operator>+<precision>"`
+    /// — e.g. `"stencil+mixed"` for the matrix-free mixed-precision hot
+    /// path, `"csr+f64"` for the classic path. Optional-additive on the
+    /// wire: summaries cached before this field existed parse as
+    /// `"csr+f64"`, keeping the schema version unchanged.
+    pub solver_path: String,
 }
 
 impl SolveSummary {
@@ -54,6 +60,7 @@ impl SolveSummary {
             solver_iterations: solved.report.iterations,
             solver_setup_us: solved.report.setup_us,
             solver_trail: solved.report.trail(),
+            solver_path: format!("{}+{}", solved.report.operator, solved.report.precision),
         }
     }
 
@@ -76,6 +83,7 @@ impl SolveSummary {
             ),
             ("solver_setup_us", Json::Num(self.solver_setup_us as f64)),
             ("solver_trail", Json::Str(self.solver_trail.clone())),
+            ("solver_path", Json::Str(self.solver_path.clone())),
         ])
     }
 
@@ -112,6 +120,13 @@ impl SolveSummary {
                 .and_then(Json::as_str)
                 .ok_or("summary field \"solver_trail\" missing or not a string")?
                 .to_string(),
+            // Additive field: absent in summaries cached by older builds,
+            // which all ran the classic CSR/f64 path.
+            solver_path: value
+                .get("solver_path")
+                .and_then(Json::as_str)
+                .unwrap_or("csr+f64")
+                .to_string(),
         })
     }
 }
@@ -132,7 +147,16 @@ mod tests {
             solver_iterations: 113,
             solver_setup_us: 842,
             solver_trail: "cg+ic0".to_string(),
+            solver_path: "csr+f64".to_string(),
         }
+    }
+
+    #[test]
+    fn solver_path_defaults_for_old_cached_summaries() {
+        let mut doc = s_obj();
+        doc.retain(|(k, _)| k != "solver_path");
+        let s = SolveSummary::from_json(&Json::Obj(doc)).unwrap();
+        assert_eq!(s.solver_path, "csr+f64");
     }
 
     #[test]

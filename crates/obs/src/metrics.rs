@@ -156,6 +156,12 @@ pub struct Metrics {
     pub amg_build_failures: Counter,
     /// Individual V-cycle applications.
     pub amg_vcycles: Counter,
+    /// Matrix-free stencil-operator SpMV applications.
+    pub stencil_applies: Counter,
+    /// Mixed-precision refinement sweeps (f32 V-cycle applications).
+    pub refinement_sweeps: Counter,
+    /// f32 hierarchy mirrors built from an f64 AMG hierarchy.
+    pub f32_hierarchy_builds: Counter,
 
     // -- sparse: thread pool -----------------------------------------------
     /// Broadcasts dispatched to pool worker threads.
@@ -253,6 +259,9 @@ impl Metrics {
             amg_builds: Counter::new(),
             amg_build_failures: Counter::new(),
             amg_vcycles: Counter::new(),
+            stencil_applies: Counter::new(),
+            refinement_sweeps: Counter::new(),
+            f32_hierarchy_builds: Counter::new(),
             pool_broadcasts: Counter::new(),
             pool_serial_runs: Counter::new(),
             pdn_solves: Counter::new(),
@@ -305,6 +314,9 @@ impl Metrics {
             ("amg_builds", &self.amg_builds),
             ("amg_build_failures", &self.amg_build_failures),
             ("amg_vcycles", &self.amg_vcycles),
+            ("stencil_applies", &self.stencil_applies),
+            ("refinement_sweeps", &self.refinement_sweeps),
+            ("f32_hierarchy_builds", &self.f32_hierarchy_builds),
             ("pool_broadcasts", &self.pool_broadcasts),
             ("pool_serial_runs", &self.pool_serial_runs),
             ("pdn_solves", &self.pdn_solves),

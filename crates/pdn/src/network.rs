@@ -3,8 +3,8 @@
 //! topologies.
 
 use vstack_sparse::{
-    solve_robust_cached_ws, AmgHierarchy, CancelToken, CsrMatrix, RobustOptions, SolveError,
-    SolveReport, SolveWorkspace, TripletMatrix,
+    solve_robust_operator_ws, AmgHierarchy, AmgHierarchyF32, CancelToken, CsrMatrix, RobustOptions,
+    SolveError, SolveReport, SolveWorkspace, StencilDescriptor, StencilOperator, TripletMatrix,
 };
 
 use crate::error::PdnError;
@@ -104,6 +104,15 @@ pub struct SolveScratch {
     /// value-only re-stamps — CG converges against the *current* matrix;
     /// only the rung's iteration count drifts with the values.
     amg: Option<AmgHierarchy>,
+    /// f32 mirror of the cached hierarchy, powering the mixed-precision
+    /// rung. Lives and dies with [`SolveScratch::amg`]: cleared on every
+    /// pattern change, converted lazily on the first mixed solve.
+    amg_f32: Option<AmgHierarchyF32>,
+    /// Matrix-free stencil operator extracted from the assembled CSR when
+    /// the builder carries a [`StencilDescriptor`]. Rebuilt on pattern
+    /// changes; on value-only re-stamps only its values are refreshed
+    /// (same classification, bit-identical applies).
+    stencil: Option<StencilOperator>,
     /// Cooperative cancellation token handed to the escalation ladder of
     /// every solve run through this scratch. Defaults to
     /// [`CancelToken::never`]; serving tiers install a per-request token
@@ -138,6 +147,10 @@ pub struct NetworkBuilder {
     /// — the Dirichlet anchors every other node must reach for the system
     /// to be non-singular.
     rail_nodes: Vec<bool>,
+    /// Regular-grid shape of the stamped system, when the topology has
+    /// one. Lets large solves extract a matrix-free [`StencilOperator`]
+    /// for the mixed-precision hot path; `None` keeps everything on CSR.
+    stencil_desc: Option<StencilDescriptor>,
 }
 
 impl NetworkBuilder {
@@ -147,7 +160,26 @@ impl NetworkBuilder {
             matrix: TripletMatrix::with_capacity(n, n, 8 * n),
             rhs: vec![0.0; n],
             rail_nodes: vec![false; n],
+            stencil_desc: None,
         }
+    }
+
+    /// Declares the regular-grid shape of this network so large solves can
+    /// extract a matrix-free [`StencilOperator`] from the assembled CSR.
+    /// `desc.unknowns()` must equal the builder's unknown count; rows that
+    /// do not match the stencil pattern (pads, converters) are handled by
+    /// the operator's side-CSR, so declaring the shape is always safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.unknowns()` differs from [`NetworkBuilder::len`].
+    pub fn set_stencil_descriptor(&mut self, desc: StencilDescriptor) {
+        assert_eq!(
+            desc.unknowns(),
+            self.rhs.len(),
+            "stencil descriptor does not cover the unknowns"
+        );
+        self.stencil_desc = Some(desc);
     }
 
     /// Number of unknowns.
@@ -373,15 +405,37 @@ impl NetworkBuilder {
             m.pdn_pattern_reuses.inc();
         } else {
             m.pdn_pattern_builds.inc();
-            // The cached hierarchy describes a different operator
-            // structure; drop it so the next large solve rebuilds.
+            // The cached hierarchy and stencil describe a different
+            // operator structure; drop them so the next large solve
+            // rebuilds.
             scratch.amg = None;
+            scratch.amg_f32 = None;
+            scratch.stencil = None;
+        }
+        // Keep the matrix-free operator in sync with the fresh stamping:
+        // refresh values in place on a pattern hit, re-extract otherwise.
+        // Only systems large enough for the mixed rung pay the extraction.
+        if self.stencil_desc.is_some() && n >= Self::AMG_MIN_UNKNOWNS {
+            let refreshed = match scratch.stencil.as_mut() {
+                Some(s) if pattern_reused => s.refresh_values_from(&a).is_ok(),
+                _ => false,
+            };
+            if !refreshed {
+                scratch.stencil = self
+                    .stencil_desc
+                    .clone()
+                    .and_then(|d| StencilOperator::from_csr(&a, d).ok());
+            }
+        } else {
+            scratch.stencil = None;
         }
         let result = self.solve_csr(
             &a,
+            scratch.stencil.as_ref(),
             guess,
             &mut scratch.workspace,
             &mut scratch.amg,
+            &mut scratch.amg_f32,
             &scratch.cancel,
         );
         scratch.pattern = Some(a);
@@ -398,13 +452,19 @@ impl NetworkBuilder {
     pub const AMG_MIN_UNKNOWNS: usize = 4096;
 
     /// The shared solve tail: connectivity check, then the escalation
-    /// ladder over an already-assembled CSR matrix.
+    /// ladder over an already-assembled CSR matrix. Large systems lead
+    /// with the mixed-precision rung (f64 outer CG — through `stencil`
+    /// when available — preconditioned by the f32 V-cycle), falling back
+    /// to the pure-f64 CSR rungs on any numerical trouble.
+    #[allow(clippy::too_many_arguments)]
     fn solve_csr(
         &self,
         a: &CsrMatrix,
+        stencil: Option<&StencilOperator>,
         guess: Option<&[f64]>,
         workspace: &mut SolveWorkspace,
         amg_cache: &mut Option<AmgHierarchy>,
+        amg_f32_cache: &mut Option<AmgHierarchyF32>,
         cancel: &CancelToken,
     ) -> Result<(Vec<f64>, SolveReport), PdnError> {
         if let Some((floating_nodes, example_node)) = self.floating_nodes(a) {
@@ -413,24 +473,35 @@ impl NetworkBuilder {
                 example_node,
             });
         }
+        let use_amg = a.rows() >= Self::AMG_MIN_UNKNOWNS;
         let opts = RobustOptions {
             tolerance: 1e-9,
             max_iterations: 50_000,
             start_with_ic: false,
-            start_with_amg: a.rows() >= Self::AMG_MIN_UNKNOWNS,
+            start_with_amg: use_amg,
+            start_with_mixed: use_amg,
             cancel: cancel.clone(),
             ..RobustOptions::default()
         };
         let m = vstack_obs::metrics::global();
         m.pdn_solves.inc();
-        if opts.start_with_amg {
+        if use_amg {
             if amg_cache.is_some() {
                 m.amg_cache_hits.inc();
             } else {
                 m.amg_cache_misses.inc();
             }
         }
-        let solved = solve_robust_cached_ws(a, &self.rhs, guess, &opts, workspace, amg_cache)?;
+        let solved = solve_robust_operator_ws(
+            a,
+            stencil,
+            &self.rhs,
+            guess,
+            &opts,
+            workspace,
+            amg_cache,
+            amg_f32_cache,
+        )?;
         Ok((solved.x, solved.report))
     }
 

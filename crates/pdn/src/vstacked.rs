@@ -13,7 +13,7 @@
 
 use vstack_power::floorplan::Floorplan;
 use vstack_sc::compact::ScConverter;
-use vstack_sparse::SolveError;
+use vstack_sparse::{SolveError, StencilDescriptor};
 
 use crate::c4::{C4Array, PadNet};
 use crate::error::PdnError;
@@ -567,6 +567,17 @@ impl VstackPdn {
         let mut nb = NetworkBuilder::new(n_unknowns);
         let seg_r = self.params.grid_segment_resistance_ohm();
         let n = self.n_layers;
+        // Unknowns are 2·n stacked copies of the same nx×ny grid (ground
+        // then supply net per layer); TSVs couple each layer's supply
+        // plane (odd index) to the next layer's ground plane at exactly
+        // the plane stride, which is the vertical coupling the stencil
+        // operator models. Pads and converter stamps fall to its side-CSR.
+        nb.set_stencil_descriptor(StencilDescriptor {
+            nx: self.grid.nx,
+            ny: self.grid.ny,
+            planes: 2 * n,
+            interfaces: (0..2 * n - 1).map(|p| p % 2 == 1).collect(),
+        });
         let v_supply = n as f64 * self.params.vdd;
 
         // On-chip grids.

@@ -45,6 +45,8 @@
 use std::cell::RefCell;
 
 use crate::dense::{CholeskyFactors, DenseMatrix};
+use crate::solver::{SetupScratch, SolveWorkspace};
+use crate::vecops::norm_inf;
 use crate::{CsrMatrix, SolveError};
 
 /// Tuning knobs for [`AmgHierarchy::build`].
@@ -167,8 +169,35 @@ impl AmgHierarchy {
     /// * [`SolveError::SingularMatrix`] — the coarsest operator is not
     ///   positive definite to working precision.
     pub fn build(a: &CsrMatrix, options: &AmgOptions) -> Result<Self, SolveError> {
+        Self::build_scratch(a, options, &mut SetupScratch::default())
+    }
+
+    /// Like [`AmgHierarchy::build`], but setup temporaries (strength-graph
+    /// diagonal, aggregation buffers, prolongator triplets) come from the
+    /// workspace instead of fresh allocations — once the workspace has
+    /// grown to the largest pattern it has seen, re-setup is allocation-
+    /// free apart from the hierarchy's own storage (verify with
+    /// [`SolveWorkspace::setup_regrowths`]). Results are bit-identical to
+    /// [`AmgHierarchy::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AmgHierarchy::build`].
+    pub fn build_ws(
+        a: &CsrMatrix,
+        options: &AmgOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Result<Self, SolveError> {
+        Self::build_scratch(a, options, &mut ws.setup)
+    }
+
+    pub(crate) fn build_scratch(
+        a: &CsrMatrix,
+        options: &AmgOptions,
+        scratch: &mut SetupScratch,
+    ) -> Result<Self, SolveError> {
         let _span = vstack_obs::span!("amg_build");
-        let built = Self::build_inner(a, options);
+        let built = Self::build_inner(a, options, scratch);
         match &built {
             Ok(_) => vstack_obs::metrics::global().amg_builds.inc(),
             Err(_) => vstack_obs::metrics::global().amg_build_failures.inc(),
@@ -176,7 +205,11 @@ impl AmgHierarchy {
         built
     }
 
-    fn build_inner(a: &CsrMatrix, options: &AmgOptions) -> Result<Self, SolveError> {
+    fn build_inner(
+        a: &CsrMatrix,
+        options: &AmgOptions,
+        scratch: &mut SetupScratch,
+    ) -> Result<Self, SolveError> {
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
                 rows: a.rows(),
@@ -194,9 +227,17 @@ impl AmgHierarchy {
                     aggregates: n,
                 });
             }
-            let diag = current.diagonal();
-            let inv_diag = invert_diagonal(&diag)?;
-            let (agg, n_agg) = aggregate(&current, &diag, options.strength_theta);
+            SetupScratch::prep(&mut scratch.growths, &mut scratch.diag, n, 0.0);
+            diagonal_into(&current, &mut scratch.diag);
+            let inv_diag = invert_diagonal(&scratch.diag)?;
+            let n_agg = aggregate_into(
+                &current,
+                &scratch.diag,
+                options.strength_theta,
+                &mut scratch.agg,
+                &mut scratch.pass,
+                &mut scratch.growths,
+            );
             if n_agg == 0 || (n_agg as f64) > options.max_coarsening_ratio * (n as f64) {
                 return Err(SolveError::CoarseningFailed {
                     level: levels.len(),
@@ -204,7 +245,15 @@ impl AmgHierarchy {
                     aggregates: n_agg,
                 });
             }
-            let p = prolongator(&current, &inv_diag, &agg, n_agg, options.prolongation_omega);
+            let p = prolongator(
+                &current,
+                &inv_diag,
+                &scratch.agg,
+                n_agg,
+                options.prolongation_omega,
+                &mut scratch.trip,
+                &mut scratch.growths,
+            );
             let pt = p.transpose();
             let coarse_a = pt.matmul(&current.matmul(&p));
             let fine = std::mem::replace(&mut current, coarse_a);
@@ -348,6 +397,298 @@ fn smooth_from_zero(
     }
 }
 
+/// Compressed-sparse-row storage in `f32` with `u32` indices.
+///
+/// A compact single-precision mirror of a [`CsrMatrix`] used by
+/// [`AmgHierarchyF32`]: halving both the value and the index width roughly
+/// halves the memory traffic of the smoother and residual SpMVs that
+/// dominate V-cycle cost. Applied serially only — the f32 cycle is a
+/// preconditioner whose output feeds a fixed-precision f64 outer
+/// iteration, and keeping it serial keeps it deterministic across thread
+/// counts without duplicating the pool's chunked-reduction machinery in a
+/// second precision.
+#[derive(Debug, Clone)]
+struct CsrF32 {
+    rows: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrF32 {
+    fn from_f64(a: &CsrMatrix) -> Self {
+        let (row_ptr, col_idx, values) = a.raw_parts();
+        assert!(
+            values.len() <= u32::MAX as usize,
+            "matrix too large for the u32-indexed f32 mirror"
+        );
+        CsrF32 {
+            rows: a.rows(),
+            row_ptr: row_ptr.iter().map(|&p| p as u32).collect(),
+            col_idx: col_idx.iter().map(|&c| c as u32).collect(),
+            values: values.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Serial SpMV with a fixed 4-way-unrolled summation order. Unlike
+    /// the f64 kernels this is *not* bound by the CSR bit-identity
+    /// contract — the f32 cycle is a preconditioner, so any deterministic
+    /// order is valid — and independent accumulators break the dependent
+    /// add chain that makes the scalar gather loop latency-bound.
+    #[allow(clippy::needless_range_loop)]
+    fn mul_vec_into(&self, x: &[f32], y: &mut [f32]) {
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let vals = &self.values[lo..hi];
+            let cols = &self.col_idx[lo..hi];
+            let mut acc = [0.0f32; 4];
+            let mut v4 = vals.chunks_exact(4);
+            let mut c4 = cols.chunks_exact(4);
+            for (v, c) in (&mut v4).zip(&mut c4) {
+                acc[0] += v[0] * x[c[0] as usize];
+                acc[1] += v[1] * x[c[1] as usize];
+                acc[2] += v[2] * x[c[2] as usize];
+                acc[3] += v[3] * x[c[3] as usize];
+            }
+            for (v, c) in v4.remainder().iter().zip(c4.remainder()) {
+                acc[0] += v * x[*c as usize];
+            }
+            y[r] = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+        }
+    }
+}
+
+/// One non-coarsest level of the single-precision hierarchy.
+#[derive(Debug, Clone)]
+struct LevelF32 {
+    a: CsrF32,
+    inv_diag: Vec<f32>,
+    p: CsrF32,
+    pt: CsrF32,
+}
+
+/// Per-level f32 work vectors plus the f64 staging buffer for the
+/// coarsest direct solve.
+#[derive(Debug, Clone)]
+struct ScratchF32 {
+    x: Vec<Vec<f32>>,
+    r: Vec<Vec<f32>>,
+    t: Vec<Vec<f32>>,
+    coarse32: Vec<f32>,
+    coarse64: Vec<f64>,
+}
+
+/// A single-precision mirror of a built [`AmgHierarchy`].
+///
+/// Smoothing, residual formation, restriction, and prolongation all run in
+/// `f32` (roughly half the memory traffic of the f64 V-cycle); only the
+/// coarsest dense Cholesky solve round-trips through `f64`, reusing the
+/// factor from the source hierarchy. Used as the preconditioner of a
+/// **mixed-precision iterative-refinement** scheme: the outer CG iteration
+/// stays entirely in f64 (same fixed-chunk reduction order, same
+/// bit-identity guarantees), while each preconditioner application is a
+/// cheap low-precision V-cycle. CG tolerates an approximate (but fixed,
+/// SPD-ish) preconditioner, so the outer solve converges to full f64
+/// tolerance; if the f32 cycle degrades convergence, the escalation ladder
+/// in [`crate::robust`] falls back to the pure-f64 path.
+///
+/// To guard against overflow/underflow of extreme residuals in `f32`, each
+/// application scales the residual by `1/‖r‖∞` before conversion and
+/// rescales the result. A non-finite or zero scale, or a non-finite cycle
+/// output (e.g. matrix entries that overflow `f32`), yields `z = 0`, which
+/// deterministically surfaces as [`SolveError::Breakdown`] in the outer CG
+/// so the ladder can escalate.
+///
+/// Like [`AmgHierarchy`], the type is `Send` but not `Sync`; each solver
+/// thread owns its own mirror.
+#[derive(Debug, Clone)]
+pub struct AmgHierarchyF32 {
+    /// Fine-level dimension.
+    n: usize,
+    /// Smoother damping, converted from the source hierarchy.
+    smoother_omega: f32,
+    /// Pre-smoothing sweeps.
+    pre_sweeps: usize,
+    /// Post-smoothing sweeps.
+    post_sweeps: usize,
+    /// Fine-to-coarse f32 levels, finest first.
+    levels: Vec<LevelF32>,
+    /// Dense f64 Cholesky factor cloned from the source hierarchy.
+    coarse: CholeskyFactors,
+    scratch: RefCell<ScratchF32>,
+}
+
+impl AmgHierarchyF32 {
+    /// Converts a built f64 hierarchy into its f32 mirror.
+    ///
+    /// The conversion is value-only (indices, aggregates, and the coarse
+    /// factor are reused), so it is much cheaper than an
+    /// [`AmgHierarchy::build`] and can be cached alongside the f64
+    /// hierarchy per sparsity pattern.
+    pub fn from_hierarchy(h: &AmgHierarchy) -> Self {
+        let _span = vstack_obs::span!("amg_f32_build");
+        vstack_obs::metrics::global().f32_hierarchy_builds.inc();
+        let levels: Vec<LevelF32> = h
+            .levels
+            .iter()
+            .map(|l| LevelF32 {
+                a: CsrF32::from_f64(&l.a),
+                inv_diag: l.inv_diag.iter().map(|&d| d as f32).collect(),
+                p: CsrF32::from_f64(&l.p),
+                pt: CsrF32::from_f64(&l.pt),
+            })
+            .collect();
+        let scratch = ScratchF32 {
+            x: levels.iter().map(|l| vec![0.0f32; l.a.rows]).collect(),
+            r: levels.iter().map(|l| vec![0.0f32; l.a.rows]).collect(),
+            t: levels.iter().map(|l| vec![0.0f32; l.a.rows]).collect(),
+            coarse32: vec![0.0f32; h.coarse.dim()],
+            coarse64: vec![0.0f64; h.coarse.dim()],
+        };
+        AmgHierarchyF32 {
+            n: h.n,
+            smoother_omega: h.smoother_omega as f32,
+            pre_sweeps: h.pre_sweeps,
+            post_sweeps: h.post_sweeps,
+            levels,
+            coarse: h.coarse.clone(),
+            scratch: RefCell::new(scratch),
+        }
+    }
+
+    /// Dimension of the fine-level system this hierarchy preconditions.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Applies one scaled f32 V-cycle: `z ≈ A⁻¹ r`. Allocation-free.
+    ///
+    /// The residual is normalized by `1/‖r‖∞` before conversion to `f32`
+    /// and the correction rescaled on the way out; see the type-level
+    /// documentation for the degenerate-input contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` or `z.len()` differ from
+    /// [`AmgHierarchyF32::dim`], or on re-entrant use of the shared
+    /// scratch buffers.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "amg f32 apply: rhs dimension mismatch");
+        assert_eq!(z.len(), self.n, "amg f32 apply: output dimension mismatch");
+        vstack_obs::metrics::global().refinement_sweeps.inc();
+        if self.levels.is_empty() {
+            // Degenerate tiny problem: the "hierarchy" is just the dense
+            // f64 factor, so there is nothing to do in reduced precision.
+            z.copy_from_slice(r);
+            self.coarse.solve_into(z);
+            return;
+        }
+        let scale = norm_inf(r);
+        if !scale.is_finite() || scale == 0.0 {
+            z.fill(0.0);
+            return;
+        }
+        let inv_scale = 1.0 / scale;
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        for (ri32, &ri) in s.r[0].iter_mut().zip(r) {
+            *ri32 = (ri * inv_scale) as f32;
+        }
+        let depth = self.levels.len();
+        // Downward sweep: smooth, form the residual, restrict.
+        for l in 0..depth {
+            let level = &self.levels[l];
+            smooth_from_zero_f32(
+                level,
+                &mut s.x[l],
+                &s.r[l],
+                &mut s.t[l],
+                self.smoother_omega,
+                self.pre_sweeps,
+            );
+            level.a.mul_vec_into(&s.x[l], &mut s.t[l]);
+            for (ti, ri) in s.t[l].iter_mut().zip(&s.r[l]) {
+                *ti = ri - *ti;
+            }
+            if l + 1 == depth {
+                level.pt.mul_vec_into(&s.t[l], &mut s.coarse32);
+            } else {
+                let (_, tail) = s.r.split_at_mut(l + 1);
+                level.pt.mul_vec_into(&s.t[l], &mut tail[0]);
+            }
+        }
+        // Coarsest level: round-trip through the dense f64 factor.
+        for (c64, &c32) in s.coarse64.iter_mut().zip(&s.coarse32) {
+            *c64 = c32 as f64;
+        }
+        self.coarse.solve_into(&mut s.coarse64);
+        for (c32, &c64) in s.coarse32.iter_mut().zip(&s.coarse64) {
+            *c32 = c64 as f32;
+        }
+        // Upward sweep: prolong the correction, post-smooth.
+        for l in (0..depth).rev() {
+            let level = &self.levels[l];
+            if l + 1 == depth {
+                level.p.mul_vec_into(&s.coarse32, &mut s.t[l]);
+            } else {
+                let (_, tail) = s.x.split_at_mut(l + 1);
+                level.p.mul_vec_into(&tail[0], &mut s.t[l]);
+            }
+            for (xi, ti) in s.x[l].iter_mut().zip(&s.t[l]) {
+                *xi += ti;
+            }
+            for _ in 0..self.post_sweeps {
+                level.a.mul_vec_into(&s.x[l], &mut s.t[l]);
+                for ((xi, ti), (ri, di)) in s.x[l]
+                    .iter_mut()
+                    .zip(&s.t[l])
+                    .zip(s.r[l].iter().zip(&level.inv_diag))
+                {
+                    *xi += self.smoother_omega * di * (ri - ti);
+                }
+            }
+        }
+        for (zi, &xi) in z.iter_mut().zip(&s.x[0]) {
+            *zi = (xi as f64) * scale;
+        }
+        if z.iter().any(|v| !v.is_finite()) {
+            // f32 overflow somewhere inside the cycle (e.g. matrix entries
+            // beyond f32 range). Zeroing makes the outer CG break down
+            // deterministically instead of propagating NaN.
+            z.fill(0.0);
+        }
+    }
+}
+
+/// `x ← sweeps` of damped Jacobi on `A x = r` in `f32`, from `x = 0`.
+fn smooth_from_zero_f32(
+    level: &LevelF32,
+    x: &mut [f32],
+    r: &[f32],
+    t: &mut [f32],
+    omega: f32,
+    sweeps: usize,
+) {
+    if sweeps == 0 {
+        x.fill(0.0);
+        return;
+    }
+    for ((xi, ri), di) in x.iter_mut().zip(r).zip(&level.inv_diag) {
+        *xi = omega * di * ri;
+    }
+    for _ in 1..sweeps {
+        level.a.mul_vec_into(x, t);
+        for ((xi, ti), (ri, di)) in x
+            .iter_mut()
+            .zip(t.iter())
+            .zip(r.iter().zip(&level.inv_diag))
+        {
+            *xi += omega * di * (ri - ti);
+        }
+    }
+}
+
 /// Validates and inverts the diagonal for the damped-Jacobi smoother.
 fn invert_diagonal(diag: &[f64]) -> Result<Vec<f64>, SolveError> {
     let mut inv = Vec::with_capacity(diag.len());
@@ -361,19 +702,40 @@ fn invert_diagonal(diag: &[f64]) -> Result<Vec<f64>, SolveError> {
     Ok(inv)
 }
 
+/// Extracts the diagonal of `a` into a caller-provided buffer (the
+/// allocation-free sibling of [`CsrMatrix::diagonal`]).
+fn diagonal_into(a: &CsrMatrix, out: &mut [f64]) {
+    for (r, slot) in out.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        *slot = match cols.binary_search(&r) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        };
+    }
+}
+
 /// Greedy neighborhood aggregation in fixed ascending node order.
 ///
-/// Returns the aggregate id of every node and the number of aggregates.
-/// Entirely serial and order-deterministic: re-running on the same matrix
-/// always yields the same partition.
-fn aggregate(a: &CsrMatrix, diag: &[f64], theta: f64) -> (Vec<usize>, usize) {
+/// Writes the aggregate id of every node into `agg` (a reused scratch
+/// buffer; `pass1` holds the pass-1 snapshot) and returns the number of
+/// aggregates. Entirely serial and order-deterministic: re-running on the
+/// same matrix always yields the same partition.
+fn aggregate_into(
+    a: &CsrMatrix,
+    diag: &[f64],
+    theta: f64,
+    agg_buf: &mut Vec<usize>,
+    pass1_buf: &mut Vec<usize>,
+    growths: &mut u64,
+) -> usize {
     const UNASSIGNED: usize = usize::MAX;
     let n = a.rows();
     let theta2 = theta * theta;
     let strong = |i: usize, j: usize, v: f64| -> bool {
         j != i && v != 0.0 && v * v >= theta2 * (diag[i] * diag[j]).abs()
     };
-    let mut agg = vec![UNASSIGNED; n];
+    SetupScratch::prep(growths, agg_buf, n, UNASSIGNED);
+    let agg = &mut agg_buf[..];
     let mut next = 0usize;
     // Pass 1: seed an aggregate from every node whose strong neighborhood
     // is fully unassigned; isolated nodes become singletons immediately.
@@ -411,7 +773,9 @@ fn aggregate(a: &CsrMatrix, diag: &[f64], theta: f64) -> (Vec<usize>, usize) {
     // Pass 2: attach leftovers to the strongest pass-1 aggregate in reach.
     // Ties go to the lowest column index (CSR order), keeping the
     // partition independent of everything but the matrix itself.
-    let pass1 = agg.clone();
+    SetupScratch::prep(growths, pass1_buf, n, UNASSIGNED);
+    pass1_buf.copy_from_slice(agg);
+    let pass1 = &pass1_buf[..];
     for (i, slot) in agg.iter_mut().enumerate() {
         if *slot != UNASSIGNED {
             continue;
@@ -437,7 +801,7 @@ fn aggregate(a: &CsrMatrix, diag: &[f64], theta: f64) -> (Vec<usize>, usize) {
             next += 1;
         }
     }
-    (agg, next)
+    next
 }
 
 /// Builds the (optionally smoothed) prolongator for an aggregation.
@@ -452,10 +816,16 @@ fn prolongator(
     agg: &[usize],
     n_agg: usize,
     omega: f64,
+    triplets: &mut Vec<(usize, usize, f64)>,
+    growths: &mut u64,
 ) -> CsrMatrix {
     let n = a.rows();
-    let mut triplets: Vec<(usize, usize, f64)> =
-        Vec::with_capacity(if omega == 0.0 { n } else { n + a.nnz() });
+    let needed = if omega == 0.0 { n } else { n + a.nnz() };
+    if triplets.capacity() < needed {
+        *growths += 1;
+        triplets.reserve(needed - triplets.len());
+    }
+    triplets.clear();
     for i in 0..n {
         triplets.push((i, agg[i], 1.0));
         if omega != 0.0 {
@@ -465,7 +835,7 @@ fn prolongator(
             }
         }
     }
-    CsrMatrix::from_triplets(n, n_agg, &triplets)
+    CsrMatrix::from_triplets(n, n_agg, triplets)
 }
 
 /// Densifies the (small) coarsest operator for direct factorization.

@@ -172,6 +172,13 @@ impl CsrMatrix {
         }
     }
 
+    /// Raw CSR arrays `(row_ptr, col_idx, values)` for in-crate consumers
+    /// that stream the whole matrix (stencil extraction, f32 hierarchy
+    /// conversion) without per-row bounds checks.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
     /// Returns `(column indices, values)` of the stored entries in `row`.
     ///
     /// # Panics
@@ -196,9 +203,12 @@ impl CsrMatrix {
     }
 
     /// Serial per-row kernel shared by the serial and parallel SpMV paths,
-    /// so both produce identical bits for every row.
+    /// so both produce identical bits for every row. Also the reference
+    /// accumulation order the stencil operator (`crate::stencil`)
+    /// reproduces for its regular rows and delegates to for its side-CSR
+    /// rows.
     #[inline]
-    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+    pub(crate) fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
         let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
         let mut acc = 0.0;
         for k in lo..hi {

@@ -14,6 +14,7 @@
 //! fall back to Jacobi.
 
 use crate::pool::{self, SharedSliceMut, ThreadPool};
+use crate::solver::SetupScratch;
 use crate::{CsrMatrix, SolveError};
 
 /// An IC(0) factor `L` (lower triangular, unit-free, CSR-like storage).
@@ -76,6 +77,19 @@ impl IncompleteCholesky {
     /// * [`SolveError::SingularMatrix`] if a pivot becomes non-positive
     ///   (the matrix is not an M-matrix / not SPD enough for IC(0)).
     pub fn factor(a: &CsrMatrix) -> Result<Self, SolveError> {
+        Self::factor_scratch(a, &mut SetupScratch::default())
+    }
+
+    /// [`IncompleteCholesky::factor`] with analysis temporaries (column
+    /// counts, level numbers) drawn from the solver workspace's setup
+    /// scratch instead of fresh allocations. Once the scratch has grown to
+    /// the largest pattern seen, re-factorization only allocates the
+    /// factor's own storage. Results are bit-identical to
+    /// [`IncompleteCholesky::factor`].
+    pub(crate) fn factor_scratch(
+        a: &CsrMatrix,
+        scratch: &mut SetupScratch,
+    ) -> Result<Self, SolveError> {
         let n = a.rows();
         if a.cols() != n {
             return Err(SolveError::NotSquare {
@@ -152,8 +166,10 @@ impl IncompleteCholesky {
         }
 
         // Build the column-major view of the strictly-lower entries for
-        // the Lᵀ solve.
-        let mut col_counts = vec![0usize; n + 1];
+        // the Lᵀ solve. Counts live in the workspace scratch; `col_ptr`
+        // is part of the factor and stays an owned allocation.
+        SetupScratch::prep(&mut scratch.growths, &mut scratch.idx_a, n + 1, 0);
+        let col_counts = &mut scratch.idx_a[..];
         for r in 0..n {
             for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
                 if c < r {
@@ -164,8 +180,8 @@ impl IncompleteCholesky {
         for j in 0..n {
             col_counts[j + 1] += col_counts[j];
         }
-        let col_ptr = col_counts.clone();
-        let mut next = col_counts;
+        let col_ptr: Vec<usize> = col_counts.to_vec();
+        let next = col_counts;
         let nnz_lower = col_ptr[n];
         let mut col_rows = vec![0usize; nnz_lower];
         let mut col_vals = vec![0usize; nnz_lower];
@@ -187,7 +203,8 @@ impl IncompleteCholesky {
 
         // Level schedules (computed once here, reused every apply).
         // Forward: row r waits on every strictly-lower column it touches.
-        let mut flevels = vec![0usize; n];
+        SetupScratch::prep(&mut scratch.growths, &mut scratch.idx_b, n, 0);
+        let flevels = &mut scratch.idx_b[..];
         for r in 0..n {
             let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
             let mut l = 0;
@@ -198,10 +215,11 @@ impl IncompleteCholesky {
             }
             flevels[r] = l;
         }
-        let (flevel_ptr, flevel_rows) = bucket_levels(&flevels);
+        let (flevel_ptr, flevel_rows) = bucket_levels(flevels);
         // Backward (Lᵀ): column j waits on every sub-diagonal row of its
         // column, i.e. dependencies run from high indices to low.
-        let mut blevels = vec![0usize; n];
+        SetupScratch::prep(&mut scratch.growths, &mut scratch.idx_c, n, 0);
+        let blevels = &mut scratch.idx_c[..];
         for col in (0..n).rev() {
             let mut l = 0;
             for k in col_ptr[col]..col_ptr[col + 1] {
@@ -209,7 +227,7 @@ impl IncompleteCholesky {
             }
             blevels[col] = l;
         }
-        let (blevel_ptr, blevel_cols) = bucket_levels(&blevels);
+        let (blevel_ptr, blevel_cols) = bucket_levels(blevels);
 
         Ok(IncompleteCholesky {
             n,

@@ -70,15 +70,17 @@ pub mod ichol;
 pub mod pool;
 pub mod robust;
 pub mod solver;
+pub mod stencil;
 pub mod vecops;
 
-pub use amg::{AmgHierarchy, AmgOptions};
+pub use amg::{AmgHierarchy, AmgHierarchyF32, AmgOptions};
 pub use cancel::CancelToken;
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use robust::{
-    solve_robust, solve_robust_cached_ws, solve_robust_ws, RobustOptions, RobustSolved,
-    SolveMethod, SolveReport,
+    solve_robust, solve_robust_cached_ws, solve_robust_operator_ws, solve_robust_ws, RobustOptions,
+    RobustSolved, SolveMethod, SolveReport,
 };
 pub use solver::SolveWorkspace;
+pub use stencil::{LinearOperator, StencilDescriptor, StencilOperator};
 pub use triplet::TripletMatrix;

@@ -8,6 +8,12 @@
 //! near-singular operator. [`solve_robust`] climbs a fixed ladder instead
 //! of giving up:
 //!
+//! -1. **CG + f32 AMG** (opt-in via [`RobustOptions::start_with_mixed`])
+//!    — the mixed-precision hot path: an f64 outer CG (optionally driven
+//!    through a matrix-free [`StencilOperator`]) preconditioned by a
+//!    single-precision V-cycle ([`crate::amg::AmgHierarchyF32`]); any
+//!    breakdown or stagnation of the refinement drops to the pure-f64
+//!    rungs below with a [`FallbackStep`] on record;
 //! 0. **CG + AMG** (opt-in via [`RobustOptions::start_with_amg`]) — an
 //!    aggregation-based multigrid V-cycle whose iteration counts stay
 //!    nearly flat as grids grow; degenerate coarsening
@@ -31,17 +37,22 @@
 
 use std::time::Instant;
 
-use crate::amg::{AmgHierarchy, AmgOptions};
+use crate::amg::{AmgHierarchy, AmgHierarchyF32, AmgOptions};
 use crate::cancel::CancelToken;
 use crate::solver::{
-    bicgstab_with_guess_ws, cg_with_amg_ws, cg_with_guess_ws, validate_finite, BiCgStabOptions,
-    CgOptions, Preconditioner, SolveWorkspace, Solved,
+    bicgstab_with_guess_ws, cg_with_amg_f32_ws, cg_with_amg_ws, cg_with_guess_ws, validate_finite,
+    BiCgStabOptions, CgOptions, Preconditioner, SolveWorkspace, Solved,
 };
+use crate::stencil::{LinearOperator, StencilOperator};
 use crate::{CsrMatrix, SolveError, TripletMatrix};
 
 /// Solver method identifiers for [`SolveReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveMethod {
+    /// Mixed-precision conjugate gradient: f64 outer iteration
+    /// preconditioned by a single-precision AMG V-cycle
+    /// ([`crate::amg::AmgHierarchyF32`]).
+    CgAmgMixed,
     /// Conjugate gradient preconditioned by an aggregation-based algebraic
     /// multigrid V-cycle (see [`crate::amg`]).
     CgAmg,
@@ -59,6 +70,7 @@ pub enum SolveMethod {
 impl core::fmt::Display for SolveMethod {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let name = match self {
+            SolveMethod::CgAmgMixed => "cg+amgf32",
             SolveMethod::CgAmg => "cg+amg",
             SolveMethod::CgIncompleteCholesky => "cg+ic0",
             SolveMethod::CgJacobi => "cg+jacobi",
@@ -98,6 +110,14 @@ pub struct SolveReport {
     pub relative_residual: f64,
     /// Diagonal (Tikhonov) shift applied, `0.0` unless the last rung ran.
     pub diagonal_shift: f64,
+    /// Fine-grid operator the accepted rung iterated with: `"stencil"`
+    /// when the matrix-free [`StencilOperator`] drove the SpMVs, `"csr"`
+    /// otherwise (including every pure-f64 fallback rung).
+    pub operator: &'static str,
+    /// Arithmetic of the accepted rung's preconditioner: `"mixed"` for
+    /// the f32 V-cycle refinement rung, `"f64"` everywhere else. The
+    /// solution always meets the f64 tolerance either way.
+    pub precision: &'static str,
     /// Wall-clock microseconds the accepted rung spent on preconditioner
     /// setup (AMG hierarchy build, IC(0) factorization, …); 0 when a
     /// cached hierarchy was reused. Excluded from equality.
@@ -114,6 +134,8 @@ impl PartialEq for SolveReport {
             && self.iterations == other.iterations
             && self.relative_residual == other.relative_residual
             && self.diagonal_shift == other.diagonal_shift
+            && self.operator == other.operator
+            && self.precision == other.precision
     }
 }
 
@@ -175,6 +197,14 @@ pub struct RobustOptions {
     /// when the hierarchy is cached across re-solves, so callers (e.g.
     /// `vstack-pdn` above its node-count threshold) opt in explicitly.
     pub start_with_amg: bool,
+    /// Whether the ladder tries the mixed-precision rung (f64 outer CG +
+    /// f32 AMG V-cycle) before everything else. Off by default for the
+    /// same reason as [`RobustOptions::start_with_amg`]: the hierarchy
+    /// build and f32 conversion only pay for themselves on large systems
+    /// or with caching. When the refinement breaks down or stagnates the
+    /// ladder falls back to the pure-f64 rungs below, so enabling this is
+    /// never a correctness risk.
+    pub start_with_mixed: bool,
     /// Build options for the AMG rung's hierarchy.
     pub amg: AmgOptions,
     /// Cooperative cancellation handle, polled between ladder rungs. The
@@ -195,6 +225,7 @@ impl Default for RobustOptions {
             shift_acceptance: 100.0,
             start_with_ic: true,
             start_with_amg: false,
+            start_with_mixed: false,
             amg: AmgOptions::default(),
             cancel: CancelToken::never(),
         }
@@ -325,6 +356,73 @@ pub fn solve_robust_cached_ws(
     ws: &mut SolveWorkspace,
     amg_cache: &mut Option<AmgHierarchy>,
 ) -> Result<RobustSolved, SolveError> {
+    solve_robust_operator_ws(a, None, b, guess, options, ws, amg_cache, &mut None)
+}
+
+/// Builds the f64 hierarchy into the cache slot if absent, returning the
+/// build time in microseconds (0 on a cache hit). A failed build is
+/// remembered in `prior_err` so a later rung sharing the slot reports the
+/// same error without paying for a second doomed build.
+fn ensure_hierarchy(
+    a: &CsrMatrix,
+    options: &RobustOptions,
+    ws: &mut SolveWorkspace,
+    amg_cache: &mut Option<AmgHierarchy>,
+    prior_err: &mut Option<SolveError>,
+) -> Result<u64, SolveError> {
+    if amg_cache.is_some() {
+        return Ok(0);
+    }
+    if let Some(e) = prior_err.clone() {
+        return Err(e);
+    }
+    let timer = Instant::now();
+    match AmgHierarchy::build_ws(a, &options.amg, ws) {
+        Ok(h) => {
+            let us = timer.elapsed().as_micros() as u64;
+            *amg_cache = Some(h);
+            Ok(us)
+        }
+        Err(e) => {
+            *prior_err = Some(e.clone());
+            Err(e)
+        }
+    }
+}
+
+/// The full ladder: [`solve_robust_cached_ws`] plus two opt-in hot-path
+/// ingredients.
+///
+/// * `stencil` — a matrix-free [`StencilOperator`] extracted from `a`.
+///   When present, the mixed-precision rung drives its outer CG SpMVs
+///   through it instead of the CSR (bit-identical by the stencil's
+///   extraction contract, just faster); every pure-f64 fallback rung
+///   deliberately stays on the CSR so a stencil-side surprise can never
+///   take down the whole ladder. The accepted rung's choice is recorded
+///   in [`SolveReport::operator`].
+/// * `amg_f32_cache` — a caller-owned slot for the f32 mirror of the
+///   cached f64 hierarchy, filled on first use by the mixed rung (see
+///   [`RobustOptions::start_with_mixed`]) and cleared by the caller
+///   whenever the f64 slot is. [`SolveReport::precision`] records whether
+///   the accepted rung used it.
+///
+/// `vstack-pdn` routes every scenario solve through here with both caches
+/// held in its `SolveScratch`.
+///
+/// # Errors
+///
+/// Same as [`solve_robust`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_robust_operator_ws(
+    a: &CsrMatrix,
+    stencil: Option<&StencilOperator>,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &RobustOptions,
+    ws: &mut SolveWorkspace,
+    amg_cache: &mut Option<AmgHierarchy>,
+    amg_f32_cache: &mut Option<AmgHierarchyF32>,
+) -> Result<RobustSolved, SolveError> {
     if a.cols() != a.rows() {
         return Err(SolveError::NotSquare {
             rows: a.rows(),
@@ -344,7 +442,11 @@ pub fn solve_robust_cached_ws(
     check_cancelled(&options.cancel)?;
     let mut fallbacks = Vec::new();
 
-    let accept = |method: SolveMethod, solved: Solved, fallbacks: &mut Vec<FallbackStep>| {
+    let accept = |method: SolveMethod,
+                  operator: &'static str,
+                  precision: &'static str,
+                  solved: Solved,
+                  fallbacks: &mut Vec<FallbackStep>| {
         if !fallbacks.is_empty() {
             vstack_obs::metrics::global().ladder_rescued.inc();
         }
@@ -356,43 +458,97 @@ pub fn solve_robust_cached_ws(
                 iterations: solved.iterations,
                 relative_residual: solved.relative_residual,
                 diagonal_shift: 0.0,
+                operator,
+                precision,
                 setup_us: solved.setup_us,
                 solve_us: solved.solve_us,
             },
         }
     };
 
-    // Rung 0: CG + AMG (opt-in). Build into the caller's cache slot when
-    // empty; any numerical failure — degenerate coarsening included —
-    // drops to the single-level rungs below.
-    if options.start_with_amg {
-        let mut build_us = 0u64;
-        if amg_cache.is_none() {
-            let timer = Instant::now();
-            match AmgHierarchy::build(a, &options.amg) {
-                Ok(h) => {
-                    build_us = timer.elapsed().as_micros() as u64;
-                    *amg_cache = Some(h);
+    // A failed f64 hierarchy build is shared between the mixed and the
+    // pure-f64 AMG rungs; each still records its own fallback step.
+    let mut amg_build_err: Option<SolveError> = None;
+
+    // Rung −1: mixed-precision CG + f32 AMG (opt-in). The f64 hierarchy
+    // is built (or reused) from the shared cache slot, mirrored into f32
+    // once per pattern, and the outer CG runs through the stencil
+    // operator when one was provided.
+    if options.start_with_mixed {
+        match ensure_hierarchy(a, options, ws, amg_cache, &mut amg_build_err) {
+            Err(e) if is_structural(&e) => return Err(e),
+            Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmgMixed, e),
+            Ok(mut build_us) => {
+                if amg_f32_cache.is_none() {
+                    let timer = Instant::now();
+                    let h = amg_cache.as_ref().expect("hierarchy just ensured");
+                    *amg_f32_cache = Some(AmgHierarchyF32::from_hierarchy(h));
+                    build_us += timer.elapsed().as_micros() as u64;
                 }
-                Err(e) if is_structural(&e) => return Err(e),
-                Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
+                let h32 = amg_f32_cache.as_ref().expect("f32 mirror just ensured");
+                let op: &dyn LinearOperator = match stencil {
+                    Some(s) => s,
+                    None => a,
+                };
+                match cg_with_amg_f32_ws(
+                    op,
+                    b,
+                    guess,
+                    &cg_options(options, Preconditioner::Amg),
+                    h32,
+                    ws,
+                ) {
+                    Ok(mut solved) => {
+                        solved.setup_us += build_us;
+                        let operator = if stencil.is_some() { "stencil" } else { "csr" };
+                        return Ok(accept(
+                            SolveMethod::CgAmgMixed,
+                            operator,
+                            "mixed",
+                            solved,
+                            &mut fallbacks,
+                        ));
+                    }
+                    Err(e) if is_structural(&e) => return Err(e),
+                    Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmgMixed, e),
+                }
             }
         }
-        if let Some(h) = amg_cache.as_ref() {
-            match cg_with_amg_ws(
-                a,
-                b,
-                guess,
-                &cg_options(options, Preconditioner::Amg),
-                h,
-                ws,
-            ) {
-                Ok(mut solved) => {
-                    solved.setup_us += build_us;
-                    return Ok(accept(SolveMethod::CgAmg, solved, &mut fallbacks));
+    }
+
+    // Rung 0: CG + AMG (opt-in). Build into the caller's cache slot when
+    // empty; any numerical failure — degenerate coarsening included —
+    // drops to the single-level rungs below. Deliberately pure f64 and
+    // pure CSR: this is the fallback target when the mixed rung above
+    // stagnates or breaks down.
+    if options.start_with_amg {
+        check_cancelled(&options.cancel)?;
+        match ensure_hierarchy(a, options, ws, amg_cache, &mut amg_build_err) {
+            Err(e) if is_structural(&e) => return Err(e),
+            Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
+            Ok(build_us) => {
+                let h = amg_cache.as_ref().expect("hierarchy just ensured");
+                match cg_with_amg_ws(
+                    a,
+                    b,
+                    guess,
+                    &cg_options(options, Preconditioner::Amg),
+                    h,
+                    ws,
+                ) {
+                    Ok(mut solved) => {
+                        solved.setup_us += build_us;
+                        return Ok(accept(
+                            SolveMethod::CgAmg,
+                            "csr",
+                            "f64",
+                            solved,
+                            &mut fallbacks,
+                        ));
+                    }
+                    Err(e) if is_structural(&e) => return Err(e),
+                    Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
                 }
-                Err(e) if is_structural(&e) => return Err(e),
-                Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgAmg, e),
             }
         }
     }
@@ -410,6 +566,8 @@ pub fn solve_robust_cached_ws(
             Ok(solved) => {
                 return Ok(accept(
                     SolveMethod::CgIncompleteCholesky,
+                    "csr",
+                    "f64",
                     solved,
                     &mut fallbacks,
                 ))
@@ -428,7 +586,15 @@ pub fn solve_robust_cached_ws(
         &cg_options(options, Preconditioner::Jacobi),
         ws,
     ) {
-        Ok(solved) => return Ok(accept(SolveMethod::CgJacobi, solved, &mut fallbacks)),
+        Ok(solved) => {
+            return Ok(accept(
+                SolveMethod::CgJacobi,
+                "csr",
+                "f64",
+                solved,
+                &mut fallbacks,
+            ))
+        }
         Err(e) if is_structural(&e) => return Err(e),
         Err(e) => note_fallback(&mut fallbacks, SolveMethod::CgJacobi, e),
     }
@@ -451,7 +617,15 @@ pub fn solve_robust_cached_ws(
         preconditioner: bicg_pre,
     };
     match bicgstab_with_guess_ws(a, b, guess, &bicg_opts, ws) {
-        Ok(solved) => return Ok(accept(SolveMethod::BiCgStab, solved, &mut fallbacks)),
+        Ok(solved) => {
+            return Ok(accept(
+                SolveMethod::BiCgStab,
+                "csr",
+                "f64",
+                solved,
+                &mut fallbacks,
+            ))
+        }
         Err(e) if is_structural(&e) => return Err(e),
         Err(e) => note_fallback(&mut fallbacks, SolveMethod::BiCgStab, e),
     }
@@ -487,6 +661,8 @@ pub fn solve_robust_cached_ws(
                             iterations: solved.iterations,
                             relative_residual: true_res,
                             diagonal_shift: lambda,
+                            operator: "csr",
+                            precision: "f64",
                             setup_us: solved.setup_us,
                             solve_us: solved.solve_us,
                         },

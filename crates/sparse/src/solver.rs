@@ -13,8 +13,9 @@
 
 use std::time::Instant;
 
-use crate::amg::{AmgHierarchy, AmgOptions};
+use crate::amg::{AmgHierarchy, AmgHierarchyF32, AmgOptions};
 use crate::ichol::IncompleteCholesky;
+use crate::stencil::LinearOperator;
 use crate::vecops::{axpy, dot, norm2, xpby};
 use crate::{CsrMatrix, SolveError};
 
@@ -157,6 +158,10 @@ pub struct SolveWorkspace {
     s: Vec<f64>,
     shat: Vec<f64>,
     t: Vec<f64>,
+    /// Preconditioner-setup scratch (AMG strength/aggregation buffers,
+    /// IC(0) level-schedule temps), so cached-pattern re-setup is
+    /// allocation-free once grown.
+    pub(crate) setup: SetupScratch,
 }
 
 impl SolveWorkspace {
@@ -178,6 +183,52 @@ impl SolveWorkspace {
             + self.s.capacity()
             + self.shat.capacity()
             + self.t.capacity()
+    }
+
+    /// How many times a preconditioner-setup scratch buffer had to grow its
+    /// allocation. Steady once the workspace has seen its largest system:
+    /// tests assert this stays flat across repeated AMG/IC(0) setups on a
+    /// cached pattern.
+    pub fn setup_regrowths(&self) -> u64 {
+        self.setup.growths
+    }
+}
+
+/// Scratch buffers for preconditioner *setup* (as opposed to the per-
+/// iteration vectors above): AMG diagonal/aggregation/prolongator-triplet
+/// temporaries and IC(0) level-schedule temporaries. Every buffer is
+/// `clear()`-ed and re-filled on use, so reuse across setups — including
+/// setups of different sizes — is bit-identical to the allocate-fresh path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SetupScratch {
+    /// Level diagonal (AMG strength graph / smoother setup).
+    pub(crate) diag: Vec<f64>,
+    /// Aggregate ids per node (AMG).
+    pub(crate) agg: Vec<usize>,
+    /// Pass-1 aggregate snapshot (AMG) / misc index temp.
+    pub(crate) pass: Vec<usize>,
+    /// Prolongator assembly triplets (AMG).
+    pub(crate) trip: Vec<(usize, usize, f64)>,
+    /// Index temp A (IC(0) column counts).
+    pub(crate) idx_a: Vec<usize>,
+    /// Index temp B (IC(0) column cursors).
+    pub(crate) idx_b: Vec<usize>,
+    /// Index temp C (IC(0) level numbers).
+    pub(crate) idx_c: Vec<usize>,
+    /// Number of buffer regrowths since creation (see
+    /// [`SolveWorkspace::setup_regrowths`]).
+    pub(crate) growths: u64,
+}
+
+impl SetupScratch {
+    /// Resets `v` to `n` copies of `fill`, reusing its allocation when
+    /// large enough and counting a regrowth when not.
+    pub(crate) fn prep<T: Clone>(growths: &mut u64, v: &mut Vec<T>, n: usize, fill: T) {
+        if v.capacity() < n {
+            *growths += 1;
+        }
+        v.clear();
+        v.resize(n, fill);
     }
 }
 
@@ -219,27 +270,38 @@ fn record_bicgstab(solved: Solved) -> Solved {
     solved
 }
 
-/// Materialized preconditioner state. `AmgRef` borrows a hierarchy a
-/// caller built (and caches) elsewhere; the other variants are owned.
+/// Materialized preconditioner state. `AmgRef`/`AmgF32Ref` borrow a
+/// hierarchy a caller built (and caches) elsewhere; the other variants are
+/// owned.
 enum Precond<'a> {
     None,
     Jacobi(Vec<f64>),
     Ic(Box<IncompleteCholesky>),
     Amg(Box<AmgHierarchy>),
     AmgRef(&'a AmgHierarchy),
+    /// Mixed-precision V-cycle: the f32 hierarchy applied with
+    /// scale-to-unit iterative-refinement framing (see
+    /// [`AmgHierarchyF32::apply`]). The outer CG stays entirely in f64.
+    AmgF32Ref(&'a AmgHierarchyF32),
 }
 
 impl Precond<'_> {
-    fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolveError> {
+    fn build(
+        kind: Preconditioner,
+        a: &CsrMatrix,
+        scratch: &mut SetupScratch,
+    ) -> Result<Self, SolveError> {
         Ok(match kind {
             Preconditioner::None => Precond::None,
             Preconditioner::Jacobi => Precond::Jacobi(inverse_diagonal(a)?),
             Preconditioner::IncompleteCholesky => {
-                Precond::Ic(Box::new(IncompleteCholesky::factor(a)?))
+                Precond::Ic(Box::new(IncompleteCholesky::factor_scratch(a, scratch)?))
             }
-            Preconditioner::Amg => {
-                Precond::Amg(Box::new(AmgHierarchy::build(a, &AmgOptions::default())?))
-            }
+            Preconditioner::Amg => Precond::Amg(Box::new(AmgHierarchy::build_scratch(
+                a,
+                &AmgOptions::default(),
+                scratch,
+            )?)),
         })
     }
 
@@ -253,6 +315,7 @@ impl Precond<'_> {
             Precond::Ic(ic) => ic.apply(r, z),
             Precond::Amg(h) => h.apply(r, z),
             Precond::AmgRef(h) => h.apply(r, z),
+            Precond::AmgF32Ref(h) => h.apply(r, z),
             Precond::None => z.copy_from_slice(r),
         }
     }
@@ -386,7 +449,7 @@ pub fn cg_with_guess_ws(
     let setup_timer = Instant::now();
     let pre = {
         let _span = vstack_obs::span!("cg_setup");
-        Precond::build(options.preconditioner, a)?
+        Precond::build(options.preconditioner, a, &mut ws.setup)?
     };
     let setup_us = setup_timer.elapsed().as_micros() as u64;
     cg_core(a, b, guess, options, &pre, setup_us, ws)
@@ -442,10 +505,114 @@ pub fn cg_with_amg_ws(
     cg_core(a, b, guess, options, &Precond::AmgRef(amg), 0, ws)
 }
 
+/// Rejects NaN/Inf in the right-hand side and warm-start guess (operator
+/// entry points cannot cheaply enumerate matrix entries, so only the
+/// vectors are screened; a non-finite operator value surfaces as a
+/// [`SolveError::Breakdown`] instead, which the escalation ladder treats
+/// as numerical and falls back from).
+fn validate_finite_vecs(b: &[f64], guess: Option<&[f64]>) -> Result<(), SolveError> {
+    if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+        return Err(SolveError::NonFinite { what: "rhs", index });
+    }
+    if let Some(g) = guess {
+        if let Some(index) = g.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFinite {
+                what: "guess",
+                index,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shape screening shared by the operator entry points.
+fn validate_operator(op: &dyn LinearOperator, b: &[f64]) -> Result<usize, SolveError> {
+    let n = op.rows();
+    if op.cols() != n {
+        return Err(SolveError::NotSquare {
+            rows: op.rows(),
+            cols: op.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    Ok(n)
+}
+
+/// Like [`cg_with_amg_ws`], but drives the outer iteration through any
+/// [`LinearOperator`] — e.g. a [`crate::StencilOperator`] whose apply is
+/// bit-identical to the CSR it was extracted from, making this a pure
+/// speedup over [`cg_with_amg_ws`] on regular grids.
+///
+/// # Errors
+///
+/// Same as [`cg_with_amg_ws`].
+pub fn cg_with_amg_op_ws(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+    amg: &AmgHierarchy,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let n = validate_operator(op, b)?;
+    if amg.dim() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: amg.dim(),
+        });
+    }
+    validate_finite_vecs(b, guess)?;
+    if norm2(b) == 0.0 {
+        return Ok(Solved::zeros(n));
+    }
+    cg_core(op, b, guess, options, &Precond::AmgRef(amg), 0, ws)
+}
+
+/// Mixed-precision solve: f64 outer CG over `op`, preconditioned by a
+/// prebuilt **f32** AMG hierarchy applied as one V-cycle of iterative
+/// refinement per iteration (see [`AmgHierarchyF32`]). The solution meets
+/// the same f64 tolerance as the all-f64 path — precision of the
+/// preconditioner only affects the iteration count — and the f32 V-cycle
+/// is fully serial, so results are deterministic across thread counts.
+///
+/// # Errors
+///
+/// Same as [`cg_with_amg_ws`]. An overflowing f32 conversion (matrix
+/// values beyond ~3.4e38) produces non-finite V-cycle output and surfaces
+/// as [`SolveError::Breakdown`], which the escalation ladder treats as a
+/// cue to fall back to the pure-f64 path.
+pub fn cg_with_amg_f32_ws(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &CgOptions,
+    amg: &AmgHierarchyF32,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let n = validate_operator(op, b)?;
+    if amg.dim() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: amg.dim(),
+        });
+    }
+    validate_finite_vecs(b, guess)?;
+    if norm2(b) == 0.0 {
+        return Ok(Solved::zeros(n));
+    }
+    cg_core(op, b, guess, options, &Precond::AmgF32Ref(amg), 0, ws)
+}
+
 /// The shared CG iteration, parameterized over a materialized
-/// preconditioner. Inputs are already validated and `b` is non-zero.
+/// preconditioner and a generic fine-grid operator. Inputs are already
+/// validated and `b` is non-zero.
 fn cg_core(
-    a: &CsrMatrix,
+    a: &dyn LinearOperator,
     b: &[f64],
     guess: Option<&[f64]>,
     options: &CgOptions,
@@ -454,7 +621,10 @@ fn cg_core(
     ws: &mut SolveWorkspace,
 ) -> Result<Solved, SolveError> {
     let _span = vstack_obs::span!("cg_solve");
-    let amg_preconditioned = matches!(pre, Precond::Amg(_) | Precond::AmgRef(_));
+    let amg_preconditioned = matches!(
+        pre,
+        Precond::Amg(_) | Precond::AmgRef(_) | Precond::AmgF32Ref(_)
+    );
     let n = a.rows();
     let b_norm = norm2(b);
     let solve_timer = Instant::now();
@@ -612,7 +782,6 @@ pub fn bicgstab_with_guess_ws(
     options: &BiCgStabOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<Solved, SolveError> {
-    let _span = vstack_obs::span!("bicgstab_solve");
     let n = a.rows();
     if a.cols() != n {
         return Err(SolveError::NotSquare {
@@ -627,14 +796,56 @@ pub fn bicgstab_with_guess_ws(
         });
     }
     validate_finite(a, b, guess)?;
-    let b_norm = norm2(b);
-    if b_norm == 0.0 {
+    if norm2(b) == 0.0 {
         return Ok(Solved::zeros(n));
     }
 
     let setup_timer = Instant::now();
-    let pre = Precond::build(options.preconditioner, a)?;
+    let pre = Precond::build(options.preconditioner, a, &mut ws.setup)?;
     let setup_us = setup_timer.elapsed().as_micros() as u64;
+    bicgstab_core(a, b, guess, options, &pre, setup_us, ws)
+}
+
+/// Like [`bicgstab_with_guess_ws`], but drives every matrix–vector product
+/// through any [`LinearOperator`]. Runs **unpreconditioned**
+/// (`options.preconditioner` is ignored): the single-level preconditioners
+/// need explicit matrix entries, which a matrix-free operator does not
+/// expose. Intended for operators whose apply is bit-identical to an
+/// assembled matrix (e.g. [`crate::StencilOperator`]).
+///
+/// # Errors
+///
+/// Same as [`bicgstab`].
+pub fn bicgstab_with_operator_ws(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &BiCgStabOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let n = validate_operator(op, b)?;
+    validate_finite_vecs(b, guess)?;
+    if norm2(b) == 0.0 {
+        return Ok(Solved::zeros(n));
+    }
+    bicgstab_core(op, b, guess, options, &Precond::None, 0, ws)
+}
+
+/// The shared BiCGSTAB iteration, parameterized over a materialized
+/// preconditioner and a generic operator. Inputs are already validated and
+/// `b` is non-zero.
+fn bicgstab_core(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    guess: Option<&[f64]>,
+    options: &BiCgStabOptions,
+    pre: &Precond<'_>,
+    setup_us: u64,
+    ws: &mut SolveWorkspace,
+) -> Result<Solved, SolveError> {
+    let _span = vstack_obs::span!("bicgstab_solve");
+    let n = a.rows();
+    let b_norm = norm2(b);
     let solve_timer = Instant::now();
 
     let mut x = match guess {
