@@ -35,7 +35,7 @@
 //! current is layer-independent and its converters re-route mismatch, so
 //! the same fault fraction costs far less headroom.
 
-use vstack_em::black::BlackModel;
+use vstack_em::black::{BlackModel, DEFAULT_JUNCTION_K};
 use vstack_pdn::{FaultSet, FaultedSolution, PdnError, SolveScratch, TsvTopology};
 use vstack_sparse::{pool, SolveError};
 
@@ -62,6 +62,12 @@ pub struct WearoutConfig {
     /// Terminal IR-drop fraction: the chip is considered dead once the
     /// worst drop exceeds this share of Vdd.
     pub drop_limit_frac: f64,
+    /// Junction temperature the Black's-equation TTFs are evaluated at,
+    /// kelvin. Defaults to [`DEFAULT_JUNCTION_K`] (the uncoupled 80 °C
+    /// baseline); the thermal–EM–IR coupling loop overrides it with the
+    /// solved stack temperature so both paths share one temperature
+    /// source of truth.
+    pub junction_temp_k: f64,
 }
 
 impl Default for WearoutConfig {
@@ -71,6 +77,7 @@ impl Default for WearoutConfig {
             kill_fraction_per_round: 0.05,
             max_rounds: 24,
             drop_limit_frac: 0.25,
+            junction_temp_k: DEFAULT_JUNCTION_K,
         }
     }
 }
@@ -179,8 +186,8 @@ fn run_loop(
         config.kill_fraction_per_round > 0.0 && config.kill_fraction_per_round < 1.0,
         "kill fraction must be in (0,1)"
     );
-    let c4_model = BlackModel::paper_c4();
-    let tsv_model = BlackModel::paper_tsv();
+    let c4_model = BlackModel::paper_c4().at_temperature(config.junction_temp_k);
+    let tsv_model = BlackModel::paper_tsv().at_temperature(config.junction_temp_k);
     let n_kill = ((total_pads as f64 * config.kill_fraction_per_round).round() as usize).max(1);
 
     let mut faults = FaultSet::new();
@@ -386,7 +393,7 @@ mod tests {
             fidelity: Fidelity::Quick,
             kill_fraction_per_round: 0.10,
             max_rounds: 6,
-            drop_limit_frac: 0.25,
+            ..WearoutConfig::default()
         }
     }
 
@@ -431,6 +438,23 @@ mod tests {
             wearout_comparison(&cfg, &[2]).unwrap()
         });
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn junction_override_shifts_every_ttf() {
+        let base = regular_wearout(&quick(), 2).unwrap();
+        let hot = regular_wearout(
+            &WearoutConfig {
+                junction_temp_k: 393.15,
+                ..quick()
+            },
+            2,
+        )
+        .unwrap();
+        assert!(
+            hot.points[0].earliest_pad_ttf_hours < base.points[0].earliest_pad_ttf_hours,
+            "a 120 °C junction must wear out faster than the 80 °C default"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coupled;
 pub mod em_study;
 pub mod experiments;
 pub mod scenario;

@@ -3,6 +3,12 @@
 /// Boltzmann constant in eV/K.
 pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
 
+/// Default junction temperature in kelvin (80 °C steady state) — the
+/// uncoupled baseline every stock [`BlackModel`] evaluates at. The
+/// thermal–EM coupling loop replaces it per layer via
+/// [`BlackModel::at_temperature`].
+pub const DEFAULT_JUNCTION_K: f64 = 353.15;
+
 /// Black's-equation parameters for one conductor technology.
 ///
 /// `MTTF_median = A · J⁻ⁿ · exp(Eₐ / (k·T))` with `J = I / area`.
@@ -30,7 +36,7 @@ impl BlackModel {
             prefactor: 5.0e12,
             current_exponent: 2.0,
             activation_energy_ev: 0.8,
-            temperature_k: 353.15, // 80 °C steady-state junction
+            temperature_k: DEFAULT_JUNCTION_K,
             area_cm2: std::f64::consts::PI * (50e-4f64).powi(2),
             sigma: 0.3,
         }
@@ -42,7 +48,7 @@ impl BlackModel {
             prefactor: 5.0e12,
             current_exponent: 2.0,
             activation_energy_ev: 0.8,
-            temperature_k: 353.15,
+            temperature_k: DEFAULT_JUNCTION_K,
             area_cm2: std::f64::consts::PI * (2.5e-4f64).powi(2),
             sigma: 0.3,
         }

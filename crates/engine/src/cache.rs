@@ -315,6 +315,9 @@ mod tests {
                 solver_setup_us: 0,
                 solver_trail: "cg+ic0".to_string(),
                 solver_path: "csr+f64".to_string(),
+                coupling_iterations: 0,
+                coupling_converged: true,
+                peak_temperature_c: 0.0,
             },
             request: req,
             voltages: None,

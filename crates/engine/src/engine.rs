@@ -26,6 +26,7 @@ use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use vstack::coupled::{solve_coupled, CoupledConfig, CoupledLoad};
 use vstack_pdn::{PdnError, SolveScratch};
 use vstack_sparse::{pool, CancelToken, SolveError};
 
@@ -494,12 +495,20 @@ impl Engine {
                 && donor.tsv == request.tsv
                 && donor.fidelity == request.fidelity
                 && donor.converters == request.converters
-                && donor.closed_loop == request.closed_loop;
+                && donor.closed_loop == request.closed_loop
+                // Thermal coupling warps the grid resistances the donor's
+                // voltages were solved under, so a coupled scenario only
+                // borrows from scenarios on the same thermal axis.
+                && donor.thermal_coupling == request.thermal_coupling
+                && donor.hotspot_layer == request.hotspot_layer;
             if !compatible {
                 continue;
             }
             let distance = (donor.imbalance - request.imbalance).abs()
-                + (donor.power_c4 - request.power_c4).abs();
+                + (donor.power_c4 - request.power_c4).abs()
+                + (donor.ambient_c - request.ambient_c).abs() / 100.0
+                + (donor.sink_k_per_w - request.sink_k_per_w).abs()
+                + (donor.hotspot_w - request.hotspot_w).abs() / 100.0;
             let better = match &best {
                 None => true,
                 Some((d, f, _)) => distance < *d || (distance == *d && fp < *f),
@@ -542,15 +551,31 @@ pub fn solve_scenario_cancellable(
     let scenario = request.to_scenario();
     let mut scratch = SolveScratch::new();
     scratch.set_cancel(cancel.clone());
+    let map_err = |e: PdnError| match e {
+        PdnError::Solve(SolveError::Cancelled) => EngineError::Cancelled,
+        other => EngineError::Solve(other.to_string()),
+    };
+    if request.thermal_coupling {
+        let mut config = CoupledConfig::paper_air_cooled()
+            .ambient_c(request.ambient_c)
+            .sink_resistance(request.sink_k_per_w);
+        if let Some(layer) = request.hotspot_layer {
+            config = config.hotspot(layer, request.hotspot_w);
+        }
+        let load = match request.kind {
+            SolveKind::Regular => CoupledLoad::RegularPeak,
+            SolveKind::VoltageStacked => CoupledLoad::VoltageStacked(request.imbalance),
+        };
+        let out = solve_coupled(&scenario, load, &config, guess, &mut scratch).map_err(map_err)?;
+        let voltages = out.solved.voltages.clone();
+        return Ok((SolveSummary::from_coupled(&out), voltages));
+    }
     let solved = match request.kind {
         SolveKind::Regular => scenario.solve_regular_peak_warm(guess, &mut scratch),
         SolveKind::VoltageStacked => {
             scenario.solve_voltage_stacked_warm(request.imbalance, guess, &mut scratch)
         }
     }
-    .map_err(|e| match e {
-        PdnError::Solve(SolveError::Cancelled) => EngineError::Cancelled,
-        other => EngineError::Solve(other.to_string()),
-    })?;
+    .map_err(map_err)?;
     Ok((SolveSummary::from_faulted(&solved), solved.voltages))
 }

@@ -40,9 +40,9 @@
 #![warn(missing_docs)]
 
 /// Version stamp of every persisted or wire-visible artifact (request
-/// encoding, fingerprint domain, summary layout, disk-cache files). Bump
-/// on any incompatible change; older disk entries are then rejected —
-/// never misread — and re-solved.
+/// encoding, summary layout, disk-cache files). Bump on any incompatible
+/// change; older disk entries are then rejected — never misread — and
+/// re-solved.
 ///
 /// Version 3 added the top-level `schema_version` field to the `stats`
 /// response object (the metrics/observability release).
@@ -52,7 +52,15 @@
 /// corrupted writes are detected and quarantined instead of trusted), and
 /// the wire protocol gained `deadline_ms` on requests plus
 /// `retry_after_ms` on overload rejections.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// Version 5 is the thermal-coupling release: requests gained the
+/// optional thermal axis (`thermal_coupling`, `ambient_c`,
+/// `sink_k_per_w`, `hotspot_layer`, `hotspot_w`) and summaries the
+/// additive coupling fields. The **fingerprint domain did not move**: it
+/// stays pinned at [`request::FINGERPRINT_DOMAIN`] so every pre-thermal
+/// request keeps its byte-identical fingerprint (thermal fields hash
+/// only when coupling is enabled).
+pub const SCHEMA_VERSION: u32 = 5;
 
 pub mod cache;
 pub mod engine;

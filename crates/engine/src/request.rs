@@ -13,7 +13,6 @@
 //! same bits; `-0.0` is normalized to `+0.0` before hashing).
 
 use crate::json::Json;
-use crate::SCHEMA_VERSION;
 use vstack::experiments::Fidelity;
 use vstack::pdn::TsvTopology;
 use vstack::sc::compact::ScConverter;
@@ -104,6 +103,19 @@ pub struct ScenarioRequest {
     pub closed_loop: bool,
     /// Grid fidelity: `Paper` (refinement 3) or `Quick` (coarse grid).
     pub fidelity: Fidelity,
+    /// Run the thermal–EM–IR coupled fixed point instead of the
+    /// uncoupled solve. Off by default; when off, the remaining thermal
+    /// knobs are canonicalized away and the fingerprint is byte-identical
+    /// to the pre-thermal schema.
+    pub thermal_coupling: bool,
+    /// Ambient (case inlet) temperature, °C (coupling only).
+    pub ambient_c: f64,
+    /// TIM + spreader + heatsink resistance, K/W (coupling only).
+    pub sink_k_per_w: f64,
+    /// Optional hotspot injection layer (coupling only).
+    pub hotspot_layer: Option<usize>,
+    /// Hotspot power in watts, spread over the layer (coupling only).
+    pub hotspot_w: f64,
 }
 
 /// Baseline values for fields a request leaves unspecified — the paper's
@@ -111,6 +123,18 @@ pub struct ScenarioRequest {
 /// fields of a regular request to).
 const DEFAULT_CONVERTERS: usize = 4;
 const DEFAULT_POWER_C4: f64 = 0.25;
+const DEFAULT_AMBIENT_C: f64 = 45.0;
+const DEFAULT_SINK_K_PER_W: f64 = 0.30;
+
+/// The FNV-1a fingerprint domain. Deliberately **decoupled from
+/// [`crate::SCHEMA_VERSION`]** and pinned at the value that was current
+/// when the fingerprint encoding stabilized: the schema version moves
+/// with envelope/summary layout changes, but moving the fingerprint
+/// domain would silently re-key every cached scenario. Thermal-axis
+/// fields extend the encoding with *conditional* tagged fields (9+)
+/// hashed only when coupling is enabled, so every legacy request keeps
+/// its byte-identical fingerprint (pinned by regression test below).
+pub const FINGERPRINT_DOMAIN: u32 = 4;
 
 /// Largest accepted layer count; above this the dense stamping cost stops
 /// being a "query" and the batch path would starve its peers.
@@ -129,6 +153,11 @@ impl ScenarioRequest {
             imbalance: 0.0,
             closed_loop: false,
             fidelity: Fidelity::Paper,
+            thermal_coupling: false,
+            ambient_c: DEFAULT_AMBIENT_C,
+            sink_k_per_w: DEFAULT_SINK_K_PER_W,
+            hotspot_layer: None,
+            hotspot_w: 0.0,
         }
     }
 
@@ -171,6 +200,32 @@ impl ScenarioRequest {
         self
     }
 
+    /// Enables the thermal–EM–IR coupled solve.
+    pub fn thermal_coupling(mut self, on: bool) -> Self {
+        self.thermal_coupling = on;
+        self
+    }
+
+    /// Sets the ambient temperature (meaningful with coupling on).
+    pub fn ambient_c(mut self, t: f64) -> Self {
+        self.ambient_c = t;
+        self
+    }
+
+    /// Sets the heatsink resistance (meaningful with coupling on).
+    pub fn sink_k_per_w(mut self, r: f64) -> Self {
+        self.sink_k_per_w = r;
+        self
+    }
+
+    /// Injects a hotspot of `watts` on `layer` (meaningful with coupling
+    /// on).
+    pub fn hotspot(mut self, layer: usize, watts: f64) -> Self {
+        self.hotspot_layer = Some(layer);
+        self.hotspot_w = watts;
+        self
+    }
+
     /// Checks every field is in its physical range and finite.
     ///
     /// # Errors
@@ -201,6 +256,32 @@ impl ScenarioRequest {
                 self.imbalance
             ));
         }
+        if !self.ambient_c.is_finite() || !(-55.0..=150.0).contains(&self.ambient_c) {
+            return Err(format!(
+                "ambient_c must be finite in [-55, 150], got {}",
+                self.ambient_c
+            ));
+        }
+        if !self.sink_k_per_w.is_finite() || self.sink_k_per_w <= 0.0 || self.sink_k_per_w > 100.0 {
+            return Err(format!(
+                "sink_k_per_w must be finite in (0, 100], got {}",
+                self.sink_k_per_w
+            ));
+        }
+        if let Some(layer) = self.hotspot_layer {
+            if layer >= self.layers {
+                return Err(format!(
+                    "hotspot_layer must be below layers ({}), got {layer}",
+                    self.layers
+                ));
+            }
+        }
+        if !self.hotspot_w.is_finite() || !(0.0..=1000.0).contains(&self.hotspot_w) {
+            return Err(format!(
+                "hotspot_w must be finite in [0, 1000], got {}",
+                self.hotspot_w
+            ));
+        }
         Ok(())
     }
 
@@ -214,21 +295,41 @@ impl ScenarioRequest {
         let mut c = self.clone();
         c.power_c4 += 0.0;
         c.imbalance += 0.0;
+        c.ambient_c += 0.0;
+        c.sink_k_per_w += 0.0;
+        c.hotspot_w += 0.0;
         if c.kind == SolveKind::Regular {
             c.imbalance = 0.0;
             c.converters = DEFAULT_CONVERTERS;
             c.closed_loop = false;
         }
+        if !c.thermal_coupling {
+            // Thermal knobs cannot affect an uncoupled solve.
+            c.ambient_c = DEFAULT_AMBIENT_C;
+            c.sink_k_per_w = DEFAULT_SINK_K_PER_W;
+            c.hotspot_layer = None;
+            c.hotspot_w = 0.0;
+        }
+        // A zero-watt hotspot is no hotspot and vice versa.
+        if c.hotspot_w == 0.0 {
+            c.hotspot_layer = None;
+        }
+        if c.hotspot_layer.is_none() {
+            c.hotspot_w = 0.0;
+        }
         c
     }
 
-    /// The content-address of this request: 64-bit FNV-1a over the schema
-    /// version and a fixed tag/value byte encoding of the canonical form.
-    /// Deterministic across runs, platforms and JSON spellings.
+    /// The content-address of this request: 64-bit FNV-1a over the
+    /// [`FINGERPRINT_DOMAIN`] and a fixed tag/value byte encoding of the
+    /// canonical form. Deterministic across runs, platforms and JSON
+    /// spellings. The thermal fields (tags 9–13) are hashed **only when
+    /// coupling is enabled**, so requests predating the thermal axis keep
+    /// their exact fingerprints.
     pub fn fingerprint(&self) -> u64 {
         let c = self.canonical();
         let mut h = Fnv::new();
-        h.write(&SCHEMA_VERSION.to_le_bytes());
+        h.write(&FINGERPRINT_DOMAIN.to_le_bytes());
         h.field(1, &[c.kind as u8]);
         h.field(2, &(c.layers as u64).to_le_bytes());
         h.field(3, &[tsv_tag(c.tsv)]);
@@ -237,6 +338,15 @@ impl ScenarioRequest {
         h.field(6, &c.imbalance.to_bits().to_le_bytes());
         h.field(7, &[u8::from(c.closed_loop)]);
         h.field(8, &[c.fidelity as u8]);
+        if c.thermal_coupling {
+            h.field(9, &[1]);
+            h.field(10, &c.ambient_c.to_bits().to_le_bytes());
+            h.field(11, &c.sink_k_per_w.to_bits().to_le_bytes());
+            // Tag 12 encodes presence + layer in one field (0 = none).
+            let hotspot = c.hotspot_layer.map_or(0, |l| l as u64 + 1);
+            h.field(12, &hotspot.to_le_bytes());
+            h.field(13, &c.hotspot_w.to_bits().to_le_bytes());
+        }
         h.finish()
     }
 
@@ -256,12 +366,15 @@ impl ScenarioRequest {
         s
     }
 
-    /// Serializes the canonical form. Every field is emitted, so a
-    /// document can be archived and re-parsed without depending on
-    /// defaults of a future schema.
+    /// Serializes the canonical form. Every pre-thermal field is emitted,
+    /// so a document can be archived and re-parsed without depending on
+    /// defaults of a future schema; the thermal block is emitted only
+    /// when coupling is on (its canonical uncoupled form *is* the
+    /// absence of the fields, keeping uncoupled documents byte-identical
+    /// to the pre-thermal schema).
     pub fn to_json(&self) -> Json {
         let c = self.canonical();
-        Json::obj(vec![
+        let mut fields = vec![
             ("solve", Json::Str(c.kind.name().to_string())),
             ("layers", Json::Num(c.layers as f64)),
             ("tsv", Json::Str(tsv_name(c.tsv).to_string())),
@@ -270,7 +383,17 @@ impl ScenarioRequest {
             ("imbalance", Json::Num(c.imbalance)),
             ("closed_loop", Json::Bool(c.closed_loop)),
             ("fidelity", Json::Str(fidelity_name(c.fidelity).to_string())),
-        ])
+        ];
+        if c.thermal_coupling {
+            fields.push(("thermal_coupling", Json::Bool(true)));
+            fields.push(("ambient_c", Json::Num(c.ambient_c)));
+            fields.push(("sink_k_per_w", Json::Num(c.sink_k_per_w)));
+            if let Some(layer) = c.hotspot_layer {
+                fields.push(("hotspot_layer", Json::Num(layer as f64)));
+                fields.push(("hotspot_w", Json::Num(c.hotspot_w)));
+            }
+        }
+        Json::obj(fields)
     }
 
     /// Parses a request object. Only `solve` is required; every other
@@ -296,6 +419,11 @@ impl ScenarioRequest {
                     | "imbalance"
                     | "closed_loop"
                     | "fidelity"
+                    | "thermal_coupling"
+                    | "ambient_c"
+                    | "sink_k_per_w"
+                    | "hotspot_layer"
+                    | "hotspot_w"
             ) {
                 return Err(format!("unknown scenario field \"{key}\""));
             }
@@ -338,6 +466,24 @@ impl ScenarioRequest {
             let name = v.as_str().ok_or("fidelity must be a string")?;
             req.fidelity = fidelity_from_name(name)
                 .ok_or_else(|| format!("fidelity must be paper|quick, got \"{name}\""))?;
+        }
+        if let Some(v) = value.get("thermal_coupling") {
+            req.thermal_coupling = v.as_bool().ok_or("thermal_coupling must be a boolean")?;
+        }
+        if let Some(v) = value.get("ambient_c") {
+            req.ambient_c = v.as_f64().ok_or("ambient_c must be a number")?;
+        }
+        if let Some(v) = value.get("sink_k_per_w") {
+            req.sink_k_per_w = v.as_f64().ok_or("sink_k_per_w must be a number")?;
+        }
+        if let Some(v) = value.get("hotspot_layer") {
+            req.hotspot_layer = Some(
+                v.as_usize()
+                    .ok_or("hotspot_layer must be a non-negative integer")?,
+            );
+        }
+        if let Some(v) = value.get("hotspot_w") {
+            req.hotspot_w = v.as_f64().ok_or("hotspot_w must be a number")?;
         }
         req.validate()?;
         Ok(req)
@@ -470,6 +616,115 @@ mod tests {
             r#"{"solve":"vs","imbalance":-0.1}"#,
             r#"{"solve":"vs","converters":0}"#,
             r#"{"solve":"neither"}"#,
+        ] {
+            let v = Json::parse(doc).unwrap();
+            assert!(ScenarioRequest::from_json(&v).is_err(), "{doc} should fail");
+        }
+    }
+
+    #[test]
+    fn legacy_fingerprints_are_pinned() {
+        // Captured on the pre-thermal schema (FINGERPRINT_DOMAIN 4).
+        // These must never change: the disk cache and every warm-start
+        // donor are keyed by them. If this test fails, the fingerprint
+        // domain moved — that is a cache-invalidation event, not a
+        // test-update event.
+        let cases = [
+            (ScenarioRequest::regular(8), "08e699bfbd25863e"),
+            (ScenarioRequest::regular(2).quick(), "dccce5194d60f22f"),
+            (
+                ScenarioRequest::voltage_stacked(8, 0.30),
+                "7a859369d1533fc5",
+            ),
+            (
+                ScenarioRequest::voltage_stacked(4, 0.10)
+                    .quick()
+                    .closed_loop(true),
+                "224f41a3fea807e8",
+            ),
+        ];
+        for (req, expect) in cases {
+            assert_eq!(
+                ScenarioRequest::format_fingerprint(req.fingerprint()),
+                expect,
+                "pre-thermal fingerprint moved for {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thermal_knobs_hash_only_when_coupling_is_on() {
+        // Off: ambient/sink/hotspot are inert and must not perturb the
+        // legacy fingerprint.
+        let plain = ScenarioRequest::regular(8);
+        let decorated = ScenarioRequest::regular(8)
+            .ambient_c(70.0)
+            .sink_k_per_w(0.9)
+            .hotspot(3, 5.0);
+        assert_eq!(plain.fingerprint(), decorated.fingerprint());
+
+        // On: the axis is live — enabling coupling and each knob under it
+        // produces a distinct scenario.
+        let coupled = ScenarioRequest::regular(8).thermal_coupling(true);
+        assert_ne!(coupled.fingerprint(), plain.fingerprint());
+        let variants = [
+            coupled.clone().ambient_c(70.0),
+            coupled.clone().sink_k_per_w(0.9),
+            coupled.clone().hotspot(3, 5.0),
+            coupled.clone().hotspot(2, 5.0),
+            coupled.clone().hotspot(3, 7.0),
+        ];
+        let fp = coupled.fingerprint();
+        for v in &variants {
+            assert_ne!(v.fingerprint(), fp, "{v:?} should differ from coupled base");
+        }
+    }
+
+    #[test]
+    fn zero_watt_hotspot_is_canonical_none() {
+        let a = ScenarioRequest::regular(8)
+            .thermal_coupling(true)
+            .hotspot(3, 0.0);
+        let b = ScenarioRequest::regular(8).thermal_coupling(true);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn thermal_json_round_trip_and_legacy_doc_shape() {
+        let req = ScenarioRequest::voltage_stacked(8, 0.3)
+            .thermal_coupling(true)
+            .ambient_c(55.0)
+            .sink_k_per_w(0.45)
+            .hotspot(2, 3.0);
+        let back = ScenarioRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back.fingerprint(), req.fingerprint());
+        assert!(back.thermal_coupling);
+        assert_eq!(back.hotspot_layer, Some(2));
+
+        // An uncoupled request serializes without any thermal key — the
+        // document is byte-compatible with the pre-thermal schema.
+        let legacy = ScenarioRequest::regular(8).ambient_c(70.0).to_json();
+        for key in [
+            "thermal_coupling",
+            "ambient_c",
+            "sink_k_per_w",
+            "hotspot_layer",
+            "hotspot_w",
+        ] {
+            assert!(legacy.get(key).is_none(), "{key} leaked into legacy doc");
+        }
+    }
+
+    #[test]
+    fn out_of_range_thermal_fields_are_rejected() {
+        for doc in [
+            r#"{"solve":"regular","thermal_coupling":true,"ambient_c":200}"#,
+            r#"{"solve":"regular","thermal_coupling":true,"ambient_c":-100}"#,
+            r#"{"solve":"regular","thermal_coupling":true,"sink_k_per_w":0}"#,
+            r#"{"solve":"regular","thermal_coupling":true,"sink_k_per_w":150}"#,
+            r#"{"solve":"regular","layers":4,"thermal_coupling":true,"hotspot_layer":4}"#,
+            r#"{"solve":"regular","thermal_coupling":true,"hotspot_layer":0,"hotspot_w":-1}"#,
+            r#"{"solve":"regular","thermal_coupling":true,"hotspot_layer":0,"hotspot_w":5000}"#,
         ] {
             let v = Json::parse(doc).unwrap();
             assert!(ScenarioRequest::from_json(&v).is_err(), "{doc} should fail");

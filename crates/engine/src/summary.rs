@@ -8,6 +8,7 @@
 //! in-memory cache tier, where they seed warm starts.
 
 use crate::json::Json;
+use vstack::coupled::CoupledSolution;
 use vstack::em_study::paper_em_lifetimes;
 use vstack::pdn::FaultedSolution;
 
@@ -43,6 +44,18 @@ pub struct SolveSummary {
     /// wire: summaries cached before this field existed parse as
     /// `"csr+f64"`, keeping the schema version unchanged.
     pub solver_path: String,
+    /// Thermal–EM–IR fixed-point iterations behind this result; 0 for a
+    /// plain uncoupled solve. Optional-additive on the wire (absent ⇒ 0),
+    /// and the coupling block is emitted only when nonzero, so uncoupled
+    /// summaries keep their pre-thermal byte layout.
+    pub coupling_iterations: usize,
+    /// Whether the coupling loop reached its fixed point. `true` for
+    /// uncoupled solves (nothing to converge); `false` means the summary
+    /// carries the graceful uncoupled fallback.
+    pub coupling_converged: bool,
+    /// Hotspot cell temperature at the coupled fixed point, °C.
+    /// Meaningful only when `coupling_iterations > 0`; 0.0 otherwise.
+    pub peak_temperature_c: f64,
 }
 
 impl SolveSummary {
@@ -61,12 +74,29 @@ impl SolveSummary {
             solver_setup_us: solved.report.setup_us,
             solver_trail: solved.report.trail(),
             solver_path: format!("{}+{}", solved.report.operator, solved.report.precision),
+            coupling_iterations: 0,
+            coupling_converged: true,
+            peak_temperature_c: 0.0,
         }
+    }
+
+    /// Extracts the summary from a thermally coupled solve: the electrical
+    /// metrics come from the fixed-point solution, while the EM lifetimes
+    /// are the temperature-scaled coupled values (not the fixed-80 °C
+    /// baseline [`SolveSummary::from_faulted`] reports).
+    pub fn from_coupled(out: &CoupledSolution) -> Self {
+        let mut s = Self::from_faulted(&out.solved);
+        s.em_c4_hours = out.report.em.c4_hours;
+        s.em_tsv_hours = out.report.em.tsv_hours;
+        s.coupling_iterations = out.report.iterations;
+        s.coupling_converged = out.report.converged;
+        s.peak_temperature_c = out.report.peak_temperature_c;
+        s
     }
 
     /// Serializes for the wire and the disk cache.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("max_ir_drop_frac", Json::Num(self.max_ir_drop_frac)),
             ("mean_ir_drop_frac", Json::Num(self.mean_ir_drop_frac)),
             ("worst_layer", Json::Num(self.worst_layer as f64)),
@@ -84,7 +114,16 @@ impl SolveSummary {
             ("solver_setup_us", Json::Num(self.solver_setup_us as f64)),
             ("solver_trail", Json::Str(self.solver_trail.clone())),
             ("solver_path", Json::Str(self.solver_path.clone())),
-        ])
+        ];
+        if self.coupling_iterations > 0 {
+            fields.push((
+                "coupling_iterations",
+                Json::Num(self.coupling_iterations as f64),
+            ));
+            fields.push(("coupling_converged", Json::Bool(self.coupling_converged)));
+            fields.push(("peak_temperature_c", Json::Num(self.peak_temperature_c)));
+        }
+        Json::obj(fields)
     }
 
     /// Parses a summary back from its JSON form.
@@ -127,6 +166,21 @@ impl SolveSummary {
                 .and_then(Json::as_str)
                 .unwrap_or("csr+f64")
                 .to_string(),
+            // Additive coupling block: absent for every uncoupled solve
+            // (and every pre-thermal cached summary) ⇒ the uncoupled
+            // identity values.
+            coupling_iterations: value
+                .get("coupling_iterations")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            coupling_converged: value
+                .get("coupling_converged")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            peak_temperature_c: value
+                .get("peak_temperature_c")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -148,7 +202,33 @@ mod tests {
             solver_setup_us: 842,
             solver_trail: "cg+ic0".to_string(),
             solver_path: "csr+f64".to_string(),
+            coupling_iterations: 0,
+            coupling_converged: true,
+            peak_temperature_c: 0.0,
         }
+    }
+
+    #[test]
+    fn coupling_block_defaults_for_uncoupled_and_old_summaries() {
+        // An uncoupled summary must not emit the coupling keys at all.
+        let doc = s_obj();
+        assert!(doc.iter().all(|(k, _)| !k.starts_with("coupling")));
+        // ... and parsing a document without them yields the identities.
+        let s = SolveSummary::from_json(&Json::Obj(doc)).unwrap();
+        assert_eq!(s.coupling_iterations, 0);
+        assert!(s.coupling_converged);
+    }
+
+    #[test]
+    fn coupled_summary_round_trips() {
+        let s = SolveSummary {
+            coupling_iterations: 9,
+            coupling_converged: true,
+            peak_temperature_c: 91.25,
+            ..sample()
+        };
+        let back = SolveSummary::from_json(&Json::parse(&s.to_json().emit()).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

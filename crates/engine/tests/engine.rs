@@ -269,6 +269,60 @@ fn corrupt_disk_entries_are_rejected() {
 }
 
 #[test]
+fn thermal_axis_serves_caches_and_differs_from_uncoupled() {
+    let mut engine = Engine::new(EngineConfig::default()).unwrap();
+    let plain = ScenarioRequest::regular(2).quick();
+    let coupled = plain.clone().thermal_coupling(true);
+
+    let base = engine.query(&plain).unwrap();
+    assert_eq!(base.outcome, Outcome::Cold);
+    assert_eq!(base.summary.coupling_iterations, 0);
+
+    // A coupled request is a distinct scenario, solved via the fixed
+    // point: it reports its iterations and a physical peak temperature,
+    // and its EM lifetime moves off the fixed-80 °C baseline.
+    let cold = engine.query(&coupled).unwrap();
+    assert!(matches!(cold.outcome, Outcome::Cold | Outcome::Warm));
+    assert_ne!(cold.fingerprint, base.fingerprint);
+    assert!(cold.summary.coupling_iterations >= 2);
+    assert!(cold.summary.coupling_converged);
+    assert!(cold.summary.peak_temperature_c > 30.0);
+    assert_ne!(cold.summary.em_c4_hours, base.summary.em_c4_hours);
+
+    // ... and it is cacheable like any other scenario.
+    let hit = engine.query(&coupled).unwrap();
+    assert_eq!(hit.outcome, Outcome::HitMemory);
+    assert_eq!(hit.summary, cold.summary);
+
+    // Ambient temperature is part of the key: hotter ambient, new solve,
+    // hotter stack.
+    let hotter = engine.query(&coupled.clone().ambient_c(75.0)).unwrap();
+    assert_ne!(hotter.outcome, Outcome::HitMemory);
+    assert!(hotter.summary.peak_temperature_c > hit.summary.peak_temperature_c);
+}
+
+#[test]
+fn thermal_summary_survives_the_disk_tier() {
+    let dir = scratch_dir("thermal");
+    let req = ScenarioRequest::regular(2).quick().thermal_coupling(true);
+    let config = EngineConfig {
+        lru_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        warm_start: true,
+    };
+    let mut first = Engine::new(config.clone()).unwrap();
+    let cold = first.query(&req).unwrap();
+    first.flush().unwrap();
+
+    let mut second = Engine::new(config).unwrap();
+    let hit = second.query(&req).unwrap();
+    assert_eq!(hit.outcome, Outcome::HitDisk);
+    assert_eq!(hit.summary, cold.summary);
+    assert!(hit.summary.coupling_iterations >= 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn regular_and_vs_requests_both_serve() {
     let mut engine = Engine::new(EngineConfig::default()).unwrap();
     let reg = engine.query(&ScenarioRequest::regular(2).quick()).unwrap();

@@ -117,6 +117,80 @@ fn serve_session_dedups_reports_errors_and_exits_cleanly() {
 }
 
 #[test]
+fn serve_round_trips_a_thermal_scenario() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vstack-serve"))
+        .args(["--lru", "16"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn vstack-serve");
+
+    let plain = r#"{"solve":"regular","layers":2,"fidelity":"quick"}"#;
+    let thermal = r#"{"solve":"regular","layers":2,"fidelity":"quick","thermal_coupling":true,"ambient_c":55}"#;
+    let input = [
+        format!(r#"{{"op":"solve","id":1,"scenario":{plain}}}"#),
+        format!(r#"{{"op":"solve","id":2,"scenario":{thermal}}}"#),
+        format!(r#"{{"op":"solve","id":3,"scenario":{thermal}}}"#),
+        r#"{"op":"shutdown","id":4}"#.to_string(),
+    ]
+    .join("\n")
+        + "\n";
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+
+    let output = child.wait_with_output().expect("serve must exit");
+    assert!(
+        output.status.success(),
+        "serve exited {:?}; stderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    let lines: Vec<Json> = stdout
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is JSON"))
+        .collect();
+    assert_eq!(lines.len(), 4, "stdout was: {stdout}");
+
+    let field = |v: &Json, k: &str| v.get(k).cloned().unwrap_or(Json::Null);
+    // The uncoupled summary carries no coupling block on the wire.
+    let plain_summary = lines[0].get("summary").expect("summary");
+    assert!(plain_summary.get("coupling_iterations").is_none());
+    // The thermal scenario keys separately, solves cold, and its summary
+    // reports the fixed point it reached.
+    assert_ne!(
+        field(&lines[1], "fingerprint"),
+        field(&lines[0], "fingerprint")
+    );
+    assert_eq!(field(&lines[1], "outcome"), Json::Str("cold".to_string()));
+    let summary = lines[1].get("summary").expect("summary");
+    let iters = summary
+        .get("coupling_iterations")
+        .and_then(Json::as_usize)
+        .expect("coupling_iterations on the wire");
+    assert!(iters >= 2, "iterations {iters}");
+    assert_eq!(summary.get("coupling_converged"), Some(&Json::Bool(true)));
+    assert!(
+        summary
+            .get("peak_temperature_c")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 30.0
+    );
+    // Repeat of the same thermal scenario is a cache hit.
+    assert_eq!(field(&lines[2], "outcome"), Json::Str("hit".to_string()));
+    assert_eq!(
+        field(&lines[2], "fingerprint"),
+        field(&lines[1], "fingerprint")
+    );
+}
+
+#[test]
 fn serve_flushes_disk_cache_across_sessions() {
     let dir = std::env::temp_dir().join(format!("vstack-serve-{}-flush", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -62,6 +62,9 @@ pub const ITERATION_EDGES: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 
 pub const US_EDGES: &[u64] = &[10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 /// Bucket edges for batch/queue sizes.
 pub const SIZE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Bucket edges for per-iteration temperature deltas in milli-kelvin
+/// (1 mK … 100 K), the convergence trajectory of the coupling loop.
+pub const DELTA_T_MK_EDGES: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000];
 
 /// Fixed-bucket histogram. Bucket `i` counts observations `v` with
 /// `edges[i-1] < v <= edges[i]` (bucket 0: `v <= edges[0]`); the final
@@ -203,6 +206,15 @@ pub struct Metrics {
     /// Disk-cache entries rejected as corrupt.
     pub engine_corrupt_rejects: Counter,
 
+    // -- thermal–EM–IR coupling --------------------------------------------
+    /// Coupled fixed-point runs started.
+    pub coupling_runs: Counter,
+    /// Total thermal–IR fixed-point iterations across all runs.
+    pub coupling_iterations: Counter,
+    /// Runs that hit the iteration cap and fell back to the uncoupled
+    /// result.
+    pub coupling_nonconverged: Counter,
+
     // -- serving daemon ----------------------------------------------------
     /// Connections accepted by the serving daemon.
     pub serve_connections: Counter,
@@ -242,6 +254,9 @@ pub struct Metrics {
     /// End-to-end request latency inside the daemon (µs), admission to
     /// response.
     pub serve_request_us: Histogram,
+    /// Max per-layer temperature change per coupling iteration, in
+    /// milli-kelvin (deterministic for a deterministic workload).
+    pub coupling_delta_t_mk: Histogram,
 }
 
 impl Metrics {
@@ -279,6 +294,9 @@ impl Metrics {
             engine_cold_solves: Counter::new(),
             engine_schema_rejects: Counter::new(),
             engine_corrupt_rejects: Counter::new(),
+            coupling_runs: Counter::new(),
+            coupling_iterations: Counter::new(),
+            coupling_nonconverged: Counter::new(),
             serve_connections: Counter::new(),
             serve_accepted: Counter::new(),
             serve_shed: Counter::new(),
@@ -296,6 +314,7 @@ impl Metrics {
             engine_batch_us: Histogram::new(US_EDGES),
             serve_queue_depth: Histogram::new(SIZE_EDGES),
             serve_request_us: Histogram::new(US_EDGES),
+            coupling_delta_t_mk: Histogram::new(DELTA_T_MK_EDGES),
         }
     }
 
@@ -334,6 +353,9 @@ impl Metrics {
             ("engine_cold_solves", &self.engine_cold_solves),
             ("engine_schema_rejects", &self.engine_schema_rejects),
             ("engine_corrupt_rejects", &self.engine_corrupt_rejects),
+            ("coupling_runs", &self.coupling_runs),
+            ("coupling_iterations", &self.coupling_iterations),
+            ("coupling_nonconverged", &self.coupling_nonconverged),
             ("serve_connections", &self.serve_connections),
             ("serve_accepted", &self.serve_accepted),
             ("serve_shed", &self.serve_shed),
@@ -357,6 +379,7 @@ impl Metrics {
             ("engine_batch_us", &self.engine_batch_us),
             ("serve_queue_depth", &self.serve_queue_depth),
             ("serve_request_us", &self.serve_request_us),
+            ("coupling_delta_t_mk", &self.coupling_delta_t_mk),
         ]
     }
 

@@ -85,6 +85,13 @@ pub struct PdnParams {
     pub core_cols: usize,
     /// Core grid rows on a layer.
     pub core_rows: usize,
+    /// Per-layer multiplier on the on-chip grid segment resistance
+    /// (temperature-dependent copper resistivity, EM drift). Empty means
+    /// every layer at 1.0; layers beyond the vector's length also scale
+    /// by 1.0. Only the on-chip grid is scaled — C4/TSV/package
+    /// conductances keep their nominal values so the EM current
+    /// extraction stays consistent with the stamped conductances.
+    pub layer_r_scale: Vec<f64>,
 }
 
 impl PdnParams {
@@ -109,6 +116,7 @@ impl PdnParams {
             core: CoreModel::arm_cortex_a9(),
             core_cols: 4,
             core_rows: 4,
+            layer_r_scale: Vec::new(),
         }
     }
 
@@ -128,6 +136,23 @@ impl PdnParams {
     pub fn grid_segment_resistance_ohm(&self) -> f64 {
         let model_pitch = self.grid_pitch_um / self.grid_refinement as f64;
         RHO_COPPER_OHM_UM * model_pitch / (self.grid_width_um * self.grid_thickness_um)
+    }
+
+    /// Resistance multiplier for one layer's on-chip grid (1.0 when no
+    /// drift has been set for that layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured scale is non-finite or non-positive — a
+    /// zero or negative segment resistance would make the Laplacian
+    /// indefinite.
+    pub fn layer_resistance_scale(&self, layer: usize) -> f64 {
+        let s = self.layer_r_scale.get(layer).copied().unwrap_or(1.0);
+        assert!(
+            s.is_finite() && s > 0.0,
+            "layer {layer} resistance scale must be finite positive, got {s}"
+        );
+        s
     }
 
     /// Modeling-grid pitch in mm.

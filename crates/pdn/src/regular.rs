@@ -222,10 +222,14 @@ impl RegularPdn {
         let mut nb = NetworkBuilder::new(n_unknowns);
         let seg_r = self.params.grid_segment_resistance_ohm();
 
-        // On-chip grids for every net on every layer.
+        // On-chip grids for every net on every layer, with any per-layer
+        // resistance drift (thermal resistivity / EM) applied. Scaling
+        // values only — the sparsity pattern is layer-independent, so
+        // SolveScratch re-stamps stay valid across drift updates.
         for layer in 0..self.n_layers {
+            let layer_r = seg_r * self.params.layer_resistance_scale(layer);
             for net in 0..2 {
-                nb.grid_laplacian(&self.grid, self.node(layer, net, 0), seg_r);
+                nb.grid_laplacian(&self.grid, self.node(layer, net, 0), layer_r);
             }
         }
 

@@ -580,10 +580,13 @@ impl VstackPdn {
         });
         let v_supply = n as f64 * self.params.vdd;
 
-        // On-chip grids.
+        // On-chip grids, with any per-layer resistance drift (thermal
+        // resistivity / EM) applied. Values-only scaling: the pattern is
+        // layer-independent, so SolveScratch re-stamps stay valid.
         for layer in 0..n {
+            let layer_r = seg_r * self.params.layer_resistance_scale(layer);
             for net in 0..2 {
-                nb.grid_laplacian(&self.grid, self.node(layer, net, 0), seg_r);
+                nb.grid_laplacian(&self.grid, self.node(layer, net, 0), layer_r);
             }
         }
 

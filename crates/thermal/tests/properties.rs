@@ -69,6 +69,51 @@ proptest! {
         }
     }
 
+    /// Energy conservation: every injected watt leaves through the sink,
+    /// so the mean top-layer rise equals total power × (sink resistance +
+    /// the top half-die's vertical spreading resistance). This pins the
+    /// boundary condition itself, not just orderings.
+    #[test]
+    fn sink_carries_all_injected_power(power in power_map(3), sink in 0.1..1.0f64) {
+        let mut params = ThermalParams::paper_air_cooled();
+        params.sink_resistance_k_per_w = sink;
+        let m = StackThermalModel::new(params, 3, 4, 4);
+        let sol = m.solve(&power).expect("solve");
+        let total_w: f64 = power.iter().flatten().sum();
+        let die_area = params.die_width_m * params.die_height_m;
+        let r_half_die = (params.si_thickness_m / 2.0) / (params.si_conductivity * die_area);
+        let expected_rise = total_w * (sink + r_half_die);
+        let mean_top_rise = sol.layer_mean_c(2) - params.ambient_c;
+        prop_assert!(
+            (mean_top_rise - expected_rise).abs() <= 1e-6 * expected_rise.max(1e-12),
+            "mean top rise {mean_top_rise}, expected {expected_rise}"
+        );
+    }
+
+    /// `max_feasible_layers` is consistent with direct solves: the
+    /// returned depth stays under the limit and one more layer breaks it.
+    #[test]
+    fn max_feasible_layers_matches_direct_solves(
+        per_cell_w in 0.05..0.5f64,
+        limit_rise in 10.0..60.0f64,
+    ) {
+        let params = ThermalParams::paper_air_cooled();
+        let limit_c = params.ambient_c + limit_rise;
+        let max_probe = 6;
+        let f = StackThermalModel::max_feasible_layers(params, 4, 4, per_cell_w, limit_c, max_probe)
+            .expect("probe");
+        let peak = |n: usize| {
+            let m = StackThermalModel::new(params, n, 4, 4);
+            m.solve(&vec![vec![per_cell_w; 16]; n]).expect("solve").max_temperature_c()
+        };
+        if f > 0 {
+            prop_assert!(peak(f) < limit_c, "returned depth {f} must be feasible");
+        }
+        if f < max_probe {
+            prop_assert!(peak(f + 1) >= limit_c, "depth {} must break the limit", f + 1);
+        }
+    }
+
     /// Adding power anywhere can only heat every cell (monotonicity of
     /// the resistive heat network).
     #[test]

@@ -97,7 +97,7 @@ fn wearout_loop_terminates_cleanly_on_both_topologies() {
         fidelity: Fidelity::Quick,
         kill_fraction_per_round: 0.10,
         max_rounds: 6,
-        drop_limit_frac: 0.25,
+        ..WearoutConfig::default()
     };
     let reg = regular_wearout(&cfg, 4).expect("regular curve");
     let vs = vs_wearout(&cfg, 4).expect("v-s curve");
