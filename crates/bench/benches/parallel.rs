@@ -28,6 +28,11 @@
 //!   pattern-cached hierarchy (as `SolveScratch` reuse does), with the
 //!   one-time f64 build cost reported as its own
 //!   `cg_scaling/amg_setup/g{N}` entry.
+//! * `fault_sketch/{build,query,exact}/g96` — the rank-k SMW fault
+//!   sketch at the g96 acceptance point: one-time sketch construction
+//!   (baseline + candidate-column solves), the warm rank-2 what-if query,
+//!   and the exact CG+AMG re-solve of the same downdated system. CI
+//!   gates `query` at ≥ 20× faster than `exact`.
 //! * `fig6_sweep` — the end-to-end Fig 6 IR-drop study, whose series fan
 //!   out over the pool.
 //! * `obs_overhead/{disabled,enabled,span_disabled}` — the tracing
@@ -62,12 +67,14 @@ use vstack::sparse::solver::{
     Preconditioner, SolveWorkspace,
 };
 use vstack::sparse::{
-    AmgHierarchy, AmgHierarchyF32, AmgOptions, CsrMatrix, StencilDescriptor, StencilOperator,
-    TripletMatrix,
+    AmgHierarchy, AmgHierarchyF32, AmgOptions, CsrMatrix, SmwSketch, SmwUpdate, StencilDescriptor,
+    StencilOperator, TripletMatrix,
 };
 
-/// 2-D grid Laplacian with Dirichlet corners, sized like one PDN net.
-fn grid_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
+/// 2-D grid Laplacian with Dirichlet stamps on `rails`, sized like one
+/// PDN net. The fault-sketch groups pass corner subsets to stamp the
+/// downdated (rail-opened) system exactly.
+fn grid_laplacian_with_rails(n: usize, rails: &[usize]) -> (CsrMatrix, Vec<f64>) {
     let mut t = TripletMatrix::new(n * n, n * n);
     for j in 0..n {
         for i in 0..n {
@@ -80,12 +87,17 @@ fn grid_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
             }
         }
     }
-    for corner in [0, n - 1, n * (n - 1), n * n - 1] {
-        t.push(corner, corner, 100.0);
+    for &rail in rails {
+        t.push(rail, rail, 100.0);
     }
     let a = t.to_csr();
     let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64 - 3.0) * 1e-3).collect();
     (a, b)
+}
+
+/// The four-corner Dirichlet grid every kernel group uses.
+fn grid_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
+    grid_laplacian_with_rails(n, &[0, n - 1, n * (n - 1), n * n - 1])
 }
 
 struct Sizes {
@@ -466,6 +478,131 @@ fn bench_scaling(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
     }
 }
 
+/// Fault-sketch groups at the g96 acceptance point (9 216 unknowns),
+/// benched at this fixed size in quick and full runs alike:
+///
+/// * `fault_sketch/build/g96` — one-time sketch construction: the
+///   tight-tolerance baseline solve plus one solve-vector per candidate
+///   fault column (the four Dirichlet "rails" of the grid Laplacian).
+/// * `fault_sketch/query/g96` — the warm rank-2 SMW what-if answer
+///   (opening two rails): `2k` axpys plus `O(k³)` dense work, no solve.
+/// * `fault_sketch/exact/g96` — the exact CG+AMG re-solve of the same
+///   downdated system the query replaces, timed against a pre-built
+///   hierarchy (generous to the exact path — production would also pay
+///   the re-stamp). CI gates `query` ≥ 20× faster than `exact`.
+fn bench_fault_sketch(c: &mut Criterion, s: &Sizes, meta: &mut Meta) {
+    let grid = 96usize;
+    let (a, b) = grid_laplacian(grid);
+    // The four Dirichlet corners are the grid's "pad rails": each is a
+    // rank-1 stamp g·e eᵀ whose removal the sketch answers via SMW.
+    let rails = [0, grid - 1, grid * (grid - 1), grid * grid - 1];
+    let rail_g = 100.0;
+    let opts = CgOptions {
+        tolerance: 1e-11,
+        preconditioner: Preconditioner::Amg,
+        ..CgOptions::default()
+    };
+    let pool = Arc::new(ThreadPool::new(1));
+    with_pool(&pool, || {
+        let amg = AmgHierarchy::build(&a, &AmgOptions::default()).expect("grid laplacian coarsens");
+        let solve =
+            |rhs: &[f64], ws: &mut SolveWorkspace| cg_with_amg_ws(&a, rhs, None, &opts, &amg, ws);
+        let build_sketch = |ws: &mut SolveWorkspace| -> SmwSketch {
+            let x0 = solve(&b, ws).expect("baseline solve").x;
+            let mut sk = SmwSketch::new(x0, b.clone(), 1e-9);
+            for &rail in &rails {
+                let col = sk.add_column(vec![(rail, 1.0)]);
+                sk.ensure_column(col, |u| solve(u, ws).map(|s| s.x))
+                    .expect("column solve");
+            }
+            sk
+        };
+
+        let iterations = probe_iterations(&a, &b, &opts, Some(&amg));
+        meta.insert(
+            "fault_sketch/build/g96".to_string(),
+            Extra {
+                preconditioner: "amg",
+                operator: "csr",
+                precision: "f64",
+                iterations,
+            },
+        );
+        let mut g = c.benchmark_group("fault_sketch");
+        g.sample_size(s.scaling_samples);
+        g.bench_function("build/g96", |bch| {
+            let mut ws = SolveWorkspace::new();
+            bch.iter(|| black_box(build_sketch(&mut ws).ready_count()))
+        });
+        g.finish();
+
+        let mut ws = SolveWorkspace::new();
+        let sk = build_sketch(&mut ws);
+        let updates: Vec<SmwUpdate> = (0..2)
+            .map(|c| SmwUpdate {
+                column: c,
+                scale: rail_g,
+                rhs_delta: 0.0,
+            })
+            .collect();
+        let answer = sk.query(&updates).expect("warm what-if query");
+        meta.insert(
+            "fault_sketch/query/g96".to_string(),
+            Extra {
+                preconditioner: "none",
+                operator: "smw",
+                precision: "f64",
+                iterations: 0,
+            },
+        );
+        let mut g = c.benchmark_group("fault_sketch");
+        g.sample_size(s.kernel_samples);
+        g.bench_function("query/g96", |bch| {
+            bch.iter(|| black_box(sk.query(&updates).expect("warm what-if query").x[0]))
+        });
+        g.finish();
+
+        // The exact re-solve of the identical downdated system: the same
+        // grid stamped with only the two surviving rails.
+        let (a_f, _) = grid_laplacian_with_rails(grid, &rails[2..]);
+        let amg_f =
+            AmgHierarchy::build(&a_f, &AmgOptions::default()).expect("faulted grid coarsens");
+        let exact = cg_with_amg_ws(&a_f, &b, None, &opts, &amg_f, &mut ws).expect("exact faulted");
+        let rel: f64 = answer
+            .x
+            .iter()
+            .zip(&exact.x)
+            .map(|(s, e)| (s - e) * (s - e))
+            .sum::<f64>()
+            .sqrt()
+            / exact.x.iter().map(|e| e * e).sum::<f64>().sqrt();
+        assert!(
+            rel <= 1e-8,
+            "SMW answer drifted from the exact faulted solve: rel = {rel:.3e}"
+        );
+        meta.insert(
+            "fault_sketch/exact/g96".to_string(),
+            Extra {
+                preconditioner: "amg",
+                operator: "csr",
+                precision: "f64",
+                iterations: exact.iterations,
+            },
+        );
+        let mut g = c.benchmark_group("fault_sketch");
+        g.sample_size(s.kernel_samples);
+        g.bench_function("exact/g96", |bch| {
+            let mut ws = SolveWorkspace::new();
+            bch.iter(|| {
+                black_box(
+                    cg_with_amg_ws(&a_f, &b, None, &opts, &amg_f, &mut ws).expect("exact faulted"),
+                )
+            })
+        });
+        g.finish();
+    });
+}
+
 fn bench_fig6(c: &mut Criterion, s: &Sizes) {
     // Determinism gate first: the pooled study must be bit-identical to
     // the serial one before its timing means anything. This deliberately
@@ -500,7 +637,7 @@ fn bench_fig6(c: &mut Criterion, s: &Sizes) {
 fn render_json(reports: &[BenchReport], meta: &Meta, quick: bool) -> String {
     let host = host_parallelism();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"vstack-bench-solver/3\",\n");
+    out.push_str("  \"schema\": \"vstack-bench-solver/4\",\n");
     out.push_str(&format!("  \"host_parallelism\": {host},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -538,6 +675,7 @@ fn main() {
     bench_kernels(&mut c, &s, &mut meta);
     bench_obs_overhead(&mut c, &s);
     bench_scaling(&mut c, &s, &mut meta);
+    bench_fault_sketch(&mut c, &s, &mut meta);
     bench_fig6(&mut c, &s);
 
     let json = render_json(c.reports(), &meta, quick);

@@ -10,9 +10,12 @@
 //!
 //! The loop is fully deterministic (no RNG):
 //!
-//! 1. Solve the faulted network (warm-started from the previous round's
-//!    node voltages) through the [`vstack_sparse::solve_robust`]
-//!    escalation ladder.
+//! 1. Solve the faulted network through the rank-k SMW fault sketch
+//!    (`solve_faulted_sketched`): each round's fault set is a superset of
+//!    the last, so warm rounds are answered by a Woodbury update against
+//!    the cached baseline in microseconds, and the sketch rebases (one
+//!    exact [`vstack_sparse::solve_robust`] ladder solve) only when the
+//!    accumulated rank outgrows its budget.
 //! 2. Convert every surviving pad current and per-TSV bundle current into
 //!    a Black's-equation median time-to-failure.
 //! 3. Kill the earliest-failure quantile: the
@@ -170,10 +173,10 @@ impl WearoutCurve {
 /// The per-round solve interface the loop drives: both topologies expose
 /// the same fault-aware entry point, so the loop is written once.
 /// `FnMut` so the closures can carry a [`SolveScratch`] across rounds —
-/// every round solves the same topology, so the sparsity pattern and the
-/// Krylov workspace are reused for the whole run.
-type FaultedSolver<'a> =
-    dyn FnMut(&FaultSet, Option<&[f64]>) -> Result<FaultedSolution, PdnError> + 'a;
+/// the scratch holds the fault sketch (and the sparsity pattern and
+/// Krylov workspace for its exact-solve paths), so successive rounds of
+/// the same topology are SMW updates, not fresh ladder solves.
+type FaultedSolver<'a> = dyn FnMut(&FaultSet) -> Result<FaultedSolution, PdnError> + 'a;
 
 fn run_loop(
     label: &'static str,
@@ -191,13 +194,12 @@ fn run_loop(
     let n_kill = ((total_pads as f64 * config.kill_fraction_per_round).round() as usize).max(1);
 
     let mut faults = FaultSet::new();
-    let mut warm: Option<Vec<f64>> = None;
     let mut points = Vec::new();
     let mut fallback_trails = Vec::new();
     let mut failed_tsvs = 0usize;
 
     for round in 0..=config.max_rounds {
-        let solved = match solve(&faults, warm.as_deref()) {
+        let solved = match solve(&faults) {
             Ok(s) => s,
             Err(PdnError::Disconnected { floating_nodes, .. }) => {
                 return Ok(WearoutCurve {
@@ -289,7 +291,6 @@ fn run_loop(
                 failed_tsvs += kill;
             }
         }
-        warm = Some(solved.voltages);
     }
 
     Ok(WearoutCurve {
@@ -327,8 +328,8 @@ pub fn regular_wearout(
     let loads = s.peak_loads();
     let total_pads = pdn.c4().vdd_count() + pdn.c4().gnd_count();
     let mut scratch = SolveScratch::new();
-    run_loop("regular", n_layers, total_pads, config, &mut |f, g| {
-        pdn.solve_faulted_scratch(&loads, f, g, &mut scratch)
+    run_loop("regular", n_layers, total_pads, config, &mut |f| {
+        pdn.solve_faulted_sketched(&loads, f, &mut scratch)
     })
 }
 
@@ -344,13 +345,9 @@ pub fn vs_wearout(config: &WearoutConfig, n_layers: usize) -> Result<WearoutCurv
     let loads = s.peak_loads();
     let total_pads = pdn.c4().vdd_count() + pdn.c4().gnd_count();
     let mut scratch = SolveScratch::new();
-    run_loop(
-        "voltage-stacked",
-        n_layers,
-        total_pads,
-        config,
-        &mut |f, g| pdn.solve_faulted_scratch(&loads, f, g, &mut scratch),
-    )
+    run_loop("voltage-stacked", n_layers, total_pads, config, &mut |f| {
+        pdn.solve_faulted_sketched(&loads, f, &mut scratch)
+    })
 }
 
 /// The full study: both topologies at every requested layer count, in

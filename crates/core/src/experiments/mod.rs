@@ -13,17 +13,19 @@
 //! | [`fig8`] | Fig 8 — system power efficiency vs imbalance |
 //! | [`tables`] | Tables 1 & 2 — model parameters and TSV configs |
 //!
-//! Six extension studies go beyond the paper: [`ext_closed_loop`]
+//! Seven extension studies go beyond the paper: [`ext_closed_loop`]
 //! (frequency-modulated converters at system level — the paper's deferred
 //! future work), [`ext_transient`] (di/dt load-step response),
 //! [`ext_trace`] (trace-driven noise replay with phase-correlated
 //! workloads), [`ext_sensitivity`] (parameter tornado analysis),
 //! [`ext_wearout`] (fault-injection EM wearout: progressive pad/TSV
-//! kill-off with resilient re-solves, degradation curves per topology)
-//! and [`ext_thermal_em`] (V-S vs regular lifetime under the
-//! [`crate::coupled`] thermal–EM–IR fixed point).
+//! kill-off with resilient re-solves, degradation curves per topology),
+//! [`ext_faultmap`] (exhaustive what-if fault maps answered through the
+//! rank-k SMW fault sketch) and [`ext_thermal_em`] (V-S vs regular
+//! lifetime under the [`crate::coupled`] thermal–EM–IR fixed point).
 
 pub mod ext_closed_loop;
+pub mod ext_faultmap;
 pub mod ext_sensitivity;
 pub mod ext_thermal_em;
 pub mod ext_trace;

@@ -248,6 +248,52 @@ impl DesignScenario {
             .solve_warm(&self.interleaved_loads(imbalance), guess, scratch)
     }
 
+    /// Sketched fault-query variant of
+    /// [`DesignScenario::solve_regular_peak_reported`]: answers through
+    /// the rank-k Sherman–Morrison–Woodbury fault sketch cached in
+    /// `scratch`, so a warm sweep costs microseconds per fault set instead
+    /// of a full ladder solve. The first call (or any query the sketch
+    /// refuses — structural disconnection, over-budget rank) transparently
+    /// runs the exact path. Fault-map studies and the engine's fault axis
+    /// drive this entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DesignScenario::solve_regular_peak_reported`].
+    pub fn solve_regular_peak_sketched(
+        &self,
+        faults: &FaultSet,
+        scratch: &mut vstack_pdn::SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        let _span = vstack_obs::span!("scenario_solve");
+        self.regular_pdn()
+            .solve_faulted_sketched(&self.peak_loads(), faults, scratch)
+    }
+
+    /// Sketched fault-query variant of
+    /// [`DesignScenario::solve_voltage_stacked_reported`] (see
+    /// [`DesignScenario::solve_regular_peak_sketched`]). Closed-loop
+    /// converter scenarios always take the exact Picard path — the
+    /// regulation loop re-stamps the matrix, which a value-bound sketch
+    /// cannot follow.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DesignScenario::solve_voltage_stacked_reported`].
+    pub fn solve_voltage_stacked_sketched(
+        &self,
+        imbalance: f64,
+        faults: &FaultSet,
+        scratch: &mut vstack_pdn::SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        let _span = vstack_obs::span!("scenario_solve");
+        self.voltage_stacked_pdn().solve_faulted_sketched(
+            &self.interleaved_loads(imbalance),
+            faults,
+            scratch,
+        )
+    }
+
     /// Total silicon-area overhead fraction of this scenario's V-S PDN on
     /// one core: TSV keep-out zones plus converter area (with high-density
     /// capacitors). The paper's equal-area argument: V-S with Few TSVs and

@@ -484,6 +484,12 @@ impl Engine {
     /// as the deterministic tie-break. Structure must match exactly so the
     /// donor's voltage vector has the node count of the new system.
     fn nearest_donor(&self, request: &ScenarioRequest) -> Option<Vec<f64>> {
+        // Faulted requests go through the SMW fault sketch, which manages
+        // its own baseline warm start — an external guess is unused there
+        // and would only mislabel the outcome as Warm.
+        if request.has_faults() {
+            return None;
+        }
         let mut best: Option<(f64, u64, &Vec<f64>)> = None;
         for (fp, entry) in self.lru.iter() {
             let Some(voltages) = &entry.voltages else {
@@ -500,7 +506,10 @@ impl Engine {
                 // voltages were solved under, so a coupled scenario only
                 // borrows from scenarios on the same thermal axis.
                 && donor.thermal_coupling == request.thermal_coupling
-                && donor.hotspot_layer == request.hotspot_layer;
+                && donor.hotspot_layer == request.hotspot_layer
+                // A faulted donor's voltages carry the open-circuit dip;
+                // only intact solutions seed intact solves.
+                && !donor.has_faults();
             if !compatible {
                 continue;
             }
@@ -569,6 +578,21 @@ pub fn solve_scenario_cancellable(
         let out = solve_coupled(&scenario, load, &config, guess, &mut scratch).map_err(map_err)?;
         let voltages = out.solved.voltages.clone();
         return Ok((SolveSummary::from_coupled(&out), voltages));
+    }
+    if request.has_faults() {
+        // What-if solves route through the rank-k SMW fault sketch; the
+        // sketch owns the baseline warm start, so no external guess is
+        // threaded. Near-singular or over-budget fault sets fall back to
+        // the exact ladder inside the sketched path.
+        let faults = request.fault_set();
+        let solved = match request.kind {
+            SolveKind::Regular => scenario.solve_regular_peak_sketched(&faults, &mut scratch),
+            SolveKind::VoltageStacked => {
+                scenario.solve_voltage_stacked_sketched(request.imbalance, &faults, &mut scratch)
+            }
+        }
+        .map_err(map_err)?;
+        return Ok((SolveSummary::from_faulted(&solved), solved.voltages));
     }
     let solved = match request.kind {
         SolveKind::Regular => scenario.solve_regular_peak_warm(guess, &mut scratch),

@@ -60,7 +60,14 @@
 /// stays pinned at [`request::FINGERPRINT_DOMAIN`] so every pre-thermal
 /// request keeps its byte-identical fingerprint (thermal fields hash
 /// only when coupling is enabled).
-pub const SCHEMA_VERSION: u32 = 5;
+///
+/// Version 6 is the fault-axis release: requests gained the optional
+/// what-if fault fields (`failed_vdd_pads`, `failed_gnd_pads`,
+/// `failed_tsvs`), answered through the rank-k Sherman–Morrison–Woodbury
+/// fault sketch. As with the thermal axis the fingerprint domain stays
+/// pinned: fault fields hash only when a fault is present, so every
+/// unfaulted request keeps its byte-identical fingerprint.
+pub const SCHEMA_VERSION: u32 = 6;
 
 pub mod cache;
 pub mod engine;

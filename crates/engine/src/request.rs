@@ -14,7 +14,7 @@
 
 use crate::json::Json;
 use vstack::experiments::Fidelity;
-use vstack::pdn::TsvTopology;
+use vstack::pdn::{FaultSet, TsvTopology};
 use vstack::sc::compact::ScConverter;
 use vstack::scenario::DesignScenario;
 
@@ -116,6 +116,18 @@ pub struct ScenarioRequest {
     pub hotspot_layer: Option<usize>,
     /// Hotspot power in watts, spread over the layer (coupling only).
     pub hotspot_w: f64,
+    /// Supply pads to open-circuit, by ordinal among Vdd power pads.
+    /// Canonicalized sorted and deduplicated; an ordinal beyond the
+    /// scenario's pad array is a stamping no-op, never an error.
+    pub failed_vdd_pads: Vec<usize>,
+    /// Return pads to open-circuit, by ordinal among Gnd power pads.
+    pub failed_gnd_pads: Vec<usize>,
+    /// TSV faults as `(interface, core, count)` triples — `count` TSVs of
+    /// the bundle joining layers `interface` and `interface + 1` under
+    /// `core` are opened. Canonicalized sorted by `(interface, core)`
+    /// with duplicate keys merged (counts accumulate, matching
+    /// [`FaultSet::fail_tsvs`]) and zero-count entries dropped.
+    pub failed_tsvs: Vec<(usize, usize, usize)>,
 }
 
 /// Baseline values for fields a request leaves unspecified — the paper's
@@ -126,14 +138,27 @@ const DEFAULT_POWER_C4: f64 = 0.25;
 const DEFAULT_AMBIENT_C: f64 = 45.0;
 const DEFAULT_SINK_K_PER_W: f64 = 0.30;
 
+/// Most fault elements (pads + TSV bundles) one request may name. Matches
+/// the regime the rank-k SMW sketch is built for; what-if sweeps needing
+/// more go through the study binaries, not the serving path.
+const MAX_FAULT_ELEMENTS: usize = 16;
+/// Generous ceiling on pad ordinals and TSV cores — far above any real
+/// array, it only rejects garbage (ordinals beyond the actual array are
+/// otherwise legal stamping no-ops).
+const MAX_FAULT_ORDINAL: usize = 65_536;
+/// Ceiling on a single bundle's failed-TSV count (solve paths clamp at
+/// zero survivors anyway).
+const MAX_TSVS_PER_FAULT: usize = 4096;
+
 /// The FNV-1a fingerprint domain. Deliberately **decoupled from
 /// [`crate::SCHEMA_VERSION`]** and pinned at the value that was current
 /// when the fingerprint encoding stabilized: the schema version moves
 /// with envelope/summary layout changes, but moving the fingerprint
-/// domain would silently re-key every cached scenario. Thermal-axis
-/// fields extend the encoding with *conditional* tagged fields (9+)
-/// hashed only when coupling is enabled, so every legacy request keeps
-/// its byte-identical fingerprint (pinned by regression test below).
+/// domain would silently re-key every cached scenario. The thermal axis
+/// (tags 9–13, hashed only when coupling is enabled) and the fault axis
+/// (tags 14–16, hashed only when a fault is present) extend the encoding
+/// with *conditional* tagged fields, so every legacy request keeps its
+/// byte-identical fingerprint (pinned by regression test below).
 pub const FINGERPRINT_DOMAIN: u32 = 4;
 
 /// Largest accepted layer count; above this the dense stamping cost stops
@@ -158,6 +183,9 @@ impl ScenarioRequest {
             sink_k_per_w: DEFAULT_SINK_K_PER_W,
             hotspot_layer: None,
             hotspot_w: 0.0,
+            failed_vdd_pads: Vec::new(),
+            failed_gnd_pads: Vec::new(),
+            failed_tsvs: Vec::new(),
         }
     }
 
@@ -226,6 +254,49 @@ impl ScenarioRequest {
         self
     }
 
+    /// Open-circuits supply pad `ordinal` in the what-if solve.
+    pub fn fail_vdd_pad(mut self, ordinal: usize) -> Self {
+        self.failed_vdd_pads.push(ordinal);
+        self
+    }
+
+    /// Open-circuits return pad `ordinal` in the what-if solve.
+    pub fn fail_gnd_pad(mut self, ordinal: usize) -> Self {
+        self.failed_gnd_pads.push(ordinal);
+        self
+    }
+
+    /// Opens `count` TSVs of the `(interface, core)` bundle in the
+    /// what-if solve.
+    pub fn fail_tsvs(mut self, interface: usize, core: usize, count: usize) -> Self {
+        self.failed_tsvs.push((interface, core, count));
+        self
+    }
+
+    /// Whether this request names any open-circuit fault (zero-count TSV
+    /// entries do not count — they canonicalize away).
+    pub fn has_faults(&self) -> bool {
+        !self.failed_vdd_pads.is_empty()
+            || !self.failed_gnd_pads.is_empty()
+            || self.failed_tsvs.iter().any(|&(_, _, n)| n > 0)
+    }
+
+    /// The [`FaultSet`] this request's fault axis denotes. Empty when the
+    /// request names no fault.
+    pub fn fault_set(&self) -> FaultSet {
+        let mut f = FaultSet::new();
+        for &o in &self.failed_vdd_pads {
+            f.fail_vdd_pad(o);
+        }
+        for &o in &self.failed_gnd_pads {
+            f.fail_gnd_pad(o);
+        }
+        for &(interface, core, count) in &self.failed_tsvs {
+            f.fail_tsvs(interface, core, count);
+        }
+        f
+    }
+
     /// Checks every field is in its physical range and finite.
     ///
     /// # Errors
@@ -282,6 +353,43 @@ impl ScenarioRequest {
                 self.hotspot_w
             ));
         }
+        if self.has_faults() && self.thermal_coupling {
+            return Err("fault injection cannot combine with thermal_coupling; \
+                 the coupled fixed point solves the intact network"
+                .to_string());
+        }
+        let elements =
+            self.failed_vdd_pads.len() + self.failed_gnd_pads.len() + self.failed_tsvs.len();
+        if elements > MAX_FAULT_ELEMENTS {
+            return Err(format!(
+                "at most {MAX_FAULT_ELEMENTS} fault elements per request, got {elements}"
+            ));
+        }
+        for &o in self.failed_vdd_pads.iter().chain(&self.failed_gnd_pads) {
+            if o > MAX_FAULT_ORDINAL {
+                return Err(format!(
+                    "pad ordinal must be <= {MAX_FAULT_ORDINAL}, got {o}"
+                ));
+            }
+        }
+        for &(interface, core, count) in &self.failed_tsvs {
+            if self.layers < 2 || interface >= self.layers - 1 {
+                return Err(format!(
+                    "tsv interface must be below layers - 1 ({}), got {interface}",
+                    self.layers.saturating_sub(1)
+                ));
+            }
+            if core > MAX_FAULT_ORDINAL {
+                return Err(format!(
+                    "tsv core must be <= {MAX_FAULT_ORDINAL}, got {core}"
+                ));
+            }
+            if count > MAX_TSVS_PER_FAULT {
+                return Err(format!(
+                    "tsv fault count must be <= {MAX_TSVS_PER_FAULT}, got {count}"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -317,6 +425,24 @@ impl ScenarioRequest {
         if c.hotspot_layer.is_none() {
             c.hotspot_w = 0.0;
         }
+        // The fault axis canonicalizes to the [`FaultSet`] it denotes:
+        // pads sorted and deduplicated, TSV triples merged per
+        // (interface, core) with counts accumulated (the `fail_tsvs`
+        // semantics) and zero-count entries dropped. Every spelling of
+        // the same fault set shares one fingerprint and cache slot.
+        if c.has_faults() {
+            let f = c.fault_set();
+            c.failed_vdd_pads = f.vdd_pad_ordinals().collect();
+            c.failed_gnd_pads = f.gnd_pad_ordinals().collect();
+            c.failed_tsvs = f
+                .tsv_bundles()
+                .map(|((interface, core), count)| (interface, core, count))
+                .collect();
+        } else {
+            c.failed_vdd_pads = Vec::new();
+            c.failed_gnd_pads = Vec::new();
+            c.failed_tsvs = Vec::new();
+        }
         c
     }
 
@@ -324,7 +450,8 @@ impl ScenarioRequest {
     /// [`FINGERPRINT_DOMAIN`] and a fixed tag/value byte encoding of the
     /// canonical form. Deterministic across runs, platforms and JSON
     /// spellings. The thermal fields (tags 9–13) are hashed **only when
-    /// coupling is enabled**, so requests predating the thermal axis keep
+    /// coupling is enabled** and the fault fields (tags 14–16) **only
+    /// when a fault is present**, so requests predating either axis keep
     /// their exact fingerprints.
     pub fn fingerprint(&self) -> u64 {
         let c = self.canonical();
@@ -346,6 +473,30 @@ impl ScenarioRequest {
             let hotspot = c.hotspot_layer.map_or(0, |l| l as u64 + 1);
             h.field(12, &hotspot.to_le_bytes());
             h.field(13, &c.hotspot_w.to_bits().to_le_bytes());
+        }
+        // Fault-axis fields (tags 14–16) hash only when a fault is
+        // present, mirroring the thermal convention: every unfaulted
+        // request keeps its pre-fault fingerprint. The canonical lists
+        // are sorted/merged, so equivalent fault sets hash identically
+        // regardless of injection order or duplicate entries.
+        if c.has_faults() {
+            let mut vdd = Vec::with_capacity(c.failed_vdd_pads.len() * 8);
+            for &o in &c.failed_vdd_pads {
+                vdd.extend_from_slice(&(o as u64).to_le_bytes());
+            }
+            h.field(14, &vdd);
+            let mut gnd = Vec::with_capacity(c.failed_gnd_pads.len() * 8);
+            for &o in &c.failed_gnd_pads {
+                gnd.extend_from_slice(&(o as u64).to_le_bytes());
+            }
+            h.field(15, &gnd);
+            let mut tsvs = Vec::with_capacity(c.failed_tsvs.len() * 24);
+            for &(interface, core, count) in &c.failed_tsvs {
+                tsvs.extend_from_slice(&(interface as u64).to_le_bytes());
+                tsvs.extend_from_slice(&(core as u64).to_le_bytes());
+                tsvs.extend_from_slice(&(count as u64).to_le_bytes());
+            }
+            h.field(16, &tsvs);
         }
         h.finish()
     }
@@ -393,6 +544,26 @@ impl ScenarioRequest {
                 fields.push(("hotspot_w", Json::Num(c.hotspot_w)));
             }
         }
+        // Fault block, like the thermal block, appears only when live —
+        // unfaulted documents keep the pre-fault byte layout.
+        let ints = |xs: &[usize]| Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect());
+        if !c.failed_vdd_pads.is_empty() {
+            fields.push(("failed_vdd_pads", ints(&c.failed_vdd_pads)));
+        }
+        if !c.failed_gnd_pads.is_empty() {
+            fields.push(("failed_gnd_pads", ints(&c.failed_gnd_pads)));
+        }
+        if !c.failed_tsvs.is_empty() {
+            fields.push((
+                "failed_tsvs",
+                Json::Arr(
+                    c.failed_tsvs
+                        .iter()
+                        .map(|&(i, core, n)| ints(&[i, core, n]))
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(fields)
     }
 
@@ -424,6 +595,9 @@ impl ScenarioRequest {
                     | "sink_k_per_w"
                     | "hotspot_layer"
                     | "hotspot_w"
+                    | "failed_vdd_pads"
+                    | "failed_gnd_pads"
+                    | "failed_tsvs"
             ) {
                 return Err(format!("unknown scenario field \"{key}\""));
             }
@@ -484,6 +658,40 @@ impl ScenarioRequest {
         }
         if let Some(v) = value.get("hotspot_w") {
             req.hotspot_w = v.as_f64().ok_or("hotspot_w must be a number")?;
+        }
+        let pad_list = |v: &Json, key: &str| -> Result<Vec<usize>, String> {
+            v.as_arr()
+                .ok_or(format!("{key} must be an array of integers"))?
+                .iter()
+                .map(|x| {
+                    x.as_usize()
+                        .ok_or(format!("{key} entries must be non-negative integers"))
+                })
+                .collect()
+        };
+        if let Some(v) = value.get("failed_vdd_pads") {
+            req.failed_vdd_pads = pad_list(v, "failed_vdd_pads")?;
+        }
+        if let Some(v) = value.get("failed_gnd_pads") {
+            req.failed_gnd_pads = pad_list(v, "failed_gnd_pads")?;
+        }
+        if let Some(v) = value.get("failed_tsvs") {
+            let arr = v
+                .as_arr()
+                .ok_or("failed_tsvs must be an array of [interface, core, count] triples")?;
+            req.failed_tsvs = arr
+                .iter()
+                .map(|t| {
+                    let triple = pad_list(t, "failed_tsvs")?;
+                    match triple[..] {
+                        [interface, core, count] => Ok((interface, core, count)),
+                        _ => Err(
+                            "failed_tsvs entries must be [interface, core, count] triples"
+                                .to_string(),
+                        ),
+                    }
+                })
+                .collect::<Result<_, String>>()?;
         }
         req.validate()?;
         Ok(req)
@@ -729,6 +937,116 @@ mod tests {
             let v = Json::parse(doc).unwrap();
             assert!(ScenarioRequest::from_json(&v).is_err(), "{doc} should fail");
         }
+    }
+
+    #[test]
+    fn equivalent_fault_sets_share_one_fingerprint() {
+        // Injection order, duplicate pad entries and split TSV counts are
+        // all spellings of the same physical fault set — one fingerprint,
+        // one cache slot, one engine solve.
+        let a = ScenarioRequest::regular(8)
+            .fail_vdd_pad(7)
+            .fail_vdd_pad(2)
+            .fail_gnd_pad(5)
+            .fail_tsvs(1, 3, 2)
+            .fail_tsvs(0, 1, 4);
+        let b = ScenarioRequest::regular(8)
+            .fail_tsvs(0, 1, 1)
+            .fail_gnd_pad(5)
+            .fail_vdd_pad(2)
+            .fail_tsvs(1, 3, 2)
+            .fail_vdd_pad(7)
+            .fail_vdd_pad(2) // duplicate: pad opens are idempotent
+            .fail_tsvs(0, 1, 3); // split: TSV counts accumulate
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical(), b.canonical());
+
+        // ... and the same holds for wire spellings.
+        let c = ScenarioRequest::from_json(
+            &Json::parse(r#"{"solve":"regular","failed_vdd_pads":[7,2,2]}"#).unwrap(),
+        )
+        .unwrap();
+        let d = ScenarioRequest::from_json(
+            &Json::parse(r#"{"solve":"regular","failed_vdd_pads":[2,7]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fault_fields_hash_only_when_present() {
+        // Empty fault arrays (and zero-count TSV entries) are the absence
+        // of the axis: the pre-fault fingerprint must not move.
+        let plain = ScenarioRequest::regular(8);
+        assert_eq!(
+            ScenarioRequest::format_fingerprint(plain.fingerprint()),
+            "08e699bfbd25863e"
+        );
+        let inert = ScenarioRequest::regular(8).fail_tsvs(0, 0, 0);
+        assert!(!inert.has_faults());
+        assert_eq!(inert.fingerprint(), plain.fingerprint());
+        let wire = ScenarioRequest::from_json(
+            &Json::parse(r#"{"solve":"regular","failed_vdd_pads":[],"failed_tsvs":[]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(wire.fingerprint(), plain.fingerprint());
+
+        // A live fault is a distinct scenario, and each element matters.
+        let base = ScenarioRequest::regular(8).fail_vdd_pad(3);
+        assert_ne!(base.fingerprint(), plain.fingerprint());
+        let variants = [
+            ScenarioRequest::regular(8).fail_vdd_pad(4),
+            ScenarioRequest::regular(8).fail_gnd_pad(3),
+            ScenarioRequest::regular(8).fail_tsvs(2, 3, 1),
+            base.clone().fail_tsvs(2, 3, 1),
+            base.clone().fail_tsvs(2, 3, 2),
+            base.clone().fail_vdd_pad(5),
+        ];
+        let fp = base.fingerprint();
+        for v in &variants {
+            assert_ne!(v.fingerprint(), fp, "{v:?} should differ from base");
+        }
+    }
+
+    #[test]
+    fn fault_json_round_trip_and_unfaulted_doc_shape() {
+        let req = ScenarioRequest::voltage_stacked(8, 0.3)
+            .fail_vdd_pad(9)
+            .fail_gnd_pad(1)
+            .fail_tsvs(4, 11, 3);
+        let back = ScenarioRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back.fingerprint(), req.fingerprint());
+        assert_eq!(back.failed_tsvs, vec![(4, 11, 3)]);
+
+        let legacy = ScenarioRequest::regular(8).to_json();
+        for key in ["failed_vdd_pads", "failed_gnd_pads", "failed_tsvs"] {
+            assert!(legacy.get(key).is_none(), "{key} leaked into legacy doc");
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_fields_are_rejected() {
+        for doc in [
+            // The coupled fixed point solves the intact network.
+            r#"{"solve":"regular","thermal_coupling":true,"failed_vdd_pads":[0]}"#,
+            // Interface beyond the stack.
+            r#"{"solve":"regular","layers":4,"failed_tsvs":[[3,0,1]]}"#,
+            // Malformed triple.
+            r#"{"solve":"regular","failed_tsvs":[[1,0]]}"#,
+            r#"{"solve":"regular","failed_tsvs":[5]}"#,
+            // Garbage ordinal.
+            r#"{"solve":"regular","failed_vdd_pads":[1e9]}"#,
+            r#"{"solve":"regular","failed_gnd_pads":[-1]}"#,
+        ] {
+            let v = Json::parse(doc).unwrap();
+            assert!(ScenarioRequest::from_json(&v).is_err(), "{doc} should fail");
+        }
+        // Element-count ceiling.
+        let mut big = ScenarioRequest::regular(8);
+        for o in 0..17 {
+            big = big.fail_vdd_pad(o);
+        }
+        assert!(big.validate().is_err());
     }
 
     #[test]

@@ -323,6 +323,59 @@ fn thermal_summary_survives_the_disk_tier() {
 }
 
 #[test]
+fn fault_axis_serves_through_the_sketch_and_caches_by_fault_set() {
+    let mut engine = Engine::new(EngineConfig::default()).unwrap();
+    let intact = ScenarioRequest::regular(2).quick();
+    let faulted = intact.clone().fail_vdd_pad(0).fail_vdd_pad(3);
+
+    let base = engine.query(&intact).unwrap();
+    let cold = engine.query(&faulted).unwrap();
+    assert_ne!(cold.fingerprint, base.fingerprint);
+    // A one-shot faulted query becomes the sketch's baseline build — an
+    // exact solve at cost parity (SMW updates pay off on the persistent
+    // scratches of the study sweeps). The sketch owns its own warm start,
+    // so the engine never labels a faulted solve Warm.
+    assert_eq!(cold.outcome, Outcome::Cold);
+    // Opening supply pads can only worsen the worst-case drop.
+    assert!(cold.summary.max_ir_drop_frac >= base.summary.max_ir_drop_frac);
+
+    // Any spelling of the same fault set shares the cache slot.
+    let respelled = intact
+        .clone()
+        .fail_vdd_pad(3)
+        .fail_vdd_pad(0)
+        .fail_vdd_pad(3);
+    let hit = engine.query(&respelled).unwrap();
+    assert_eq!(hit.outcome, Outcome::HitMemory);
+    assert_eq!(hit.summary, cold.summary);
+
+    // A different fault set is a different scenario.
+    let other = engine.query(&intact.clone().fail_gnd_pad(0)).unwrap();
+    assert_ne!(other.fingerprint, cold.fingerprint);
+    assert_ne!(other.outcome, Outcome::HitMemory);
+}
+
+#[test]
+fn faulted_summary_survives_the_disk_tier() {
+    let dir = scratch_dir("faulted");
+    let req = ScenarioRequest::regular(2).quick().fail_tsvs(0, 1, 2);
+    let config = EngineConfig {
+        lru_capacity: 8,
+        cache_dir: Some(dir.clone()),
+        warm_start: true,
+    };
+    let mut first = Engine::new(config.clone()).unwrap();
+    let cold = first.query(&req).unwrap();
+    first.flush().unwrap();
+
+    let mut second = Engine::new(config).unwrap();
+    let hit = second.query(&req).unwrap();
+    assert_eq!(hit.outcome, Outcome::HitDisk);
+    assert_eq!(hit.summary, cold.summary);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn regular_and_vs_requests_both_serve() {
     let mut engine = Engine::new(EngineConfig::default()).unwrap();
     let reg = engine.query(&ScenarioRequest::regular(2).quick()).unwrap();

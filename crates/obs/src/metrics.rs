@@ -185,6 +185,12 @@ pub struct Metrics {
     pub amg_cache_misses: Counter,
     /// Accumulated conductance-stamping wall-time (µs).
     pub pdn_stamp_us: Counter,
+    /// Fault-sketch baseline builds (initial builds and rebases).
+    pub fault_sketch_builds: Counter,
+    /// Fault queries answered from the sketch (SMW update or baseline).
+    pub fault_sketch_hits: Counter,
+    /// Fault queries that fell back to the exact ladder solve.
+    pub fault_sketch_fallbacks: Counter,
 
     // -- engine ------------------------------------------------------------
     /// Requests received by `query_batch`.
@@ -257,6 +263,9 @@ pub struct Metrics {
     /// Max per-layer temperature change per coupling iteration, in
     /// milli-kelvin (deterministic for a deterministic workload).
     pub coupling_delta_t_mk: Histogram,
+    /// Wall-clock microseconds per sketch-answered fault query (the SMW
+    /// update against a warm sketch, excluding lazy column solves).
+    pub fault_query_us: Histogram,
 }
 
 impl Metrics {
@@ -285,6 +294,9 @@ impl Metrics {
             amg_cache_hits: Counter::new(),
             amg_cache_misses: Counter::new(),
             pdn_stamp_us: Counter::new(),
+            fault_sketch_builds: Counter::new(),
+            fault_sketch_hits: Counter::new(),
+            fault_sketch_fallbacks: Counter::new(),
             engine_requests: Counter::new(),
             engine_invalid: Counter::new(),
             engine_memory_hits: Counter::new(),
@@ -315,6 +327,7 @@ impl Metrics {
             serve_queue_depth: Histogram::new(SIZE_EDGES),
             serve_request_us: Histogram::new(US_EDGES),
             coupling_delta_t_mk: Histogram::new(DELTA_T_MK_EDGES),
+            fault_query_us: Histogram::new(US_EDGES),
         }
     }
 
@@ -344,6 +357,9 @@ impl Metrics {
             ("amg_cache_hits", &self.amg_cache_hits),
             ("amg_cache_misses", &self.amg_cache_misses),
             ("pdn_stamp_us", &self.pdn_stamp_us),
+            ("fault_sketch_builds", &self.fault_sketch_builds),
+            ("fault_sketch_hits", &self.fault_sketch_hits),
+            ("fault_sketch_fallbacks", &self.fault_sketch_fallbacks),
             ("engine_requests", &self.engine_requests),
             ("engine_invalid", &self.engine_invalid),
             ("engine_memory_hits", &self.engine_memory_hits),
@@ -380,6 +396,7 @@ impl Metrics {
             ("serve_queue_depth", &self.serve_queue_depth),
             ("serve_request_us", &self.serve_request_us),
             ("coupling_delta_t_mk", &self.coupling_delta_t_mk),
+            ("fault_query_us", &self.fault_query_us),
         ]
     }
 

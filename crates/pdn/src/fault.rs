@@ -103,6 +103,39 @@ impl FaultSet {
     pub fn failed_tsv_total(&self) -> usize {
         self.failed_tsvs.values().sum()
     }
+
+    /// Failed supply-pad ordinals in ascending order. The ordering is a
+    /// guarantee: callers hash and diff fault sets by iterating these
+    /// accessors, so two sets built in different orders compare — and
+    /// fingerprint — identically.
+    pub fn vdd_pad_ordinals(&self) -> impl Iterator<Item = usize> + '_ {
+        self.failed_vdd_pads.iter().copied()
+    }
+
+    /// Failed return-pad ordinals in ascending order (see
+    /// [`FaultSet::vdd_pad_ordinals`] for the ordering guarantee).
+    pub fn gnd_pad_ordinals(&self) -> impl Iterator<Item = usize> + '_ {
+        self.failed_gnd_pads.iter().copied()
+    }
+
+    /// Failed-TSV bundles as `((interface, core), count)` in ascending
+    /// key order, zero-count entries never included.
+    pub fn tsv_bundles(&self) -> impl Iterator<Item = ((usize, usize), usize)> + '_ {
+        self.failed_tsvs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether every fault in `self` is also present in `other` (pads a
+    /// subset, each TSV bundle count `≤` the other's). The sketch rebase
+    /// planner uses this to decide whether a query is reachable from a
+    /// cached baseline by *removing more* conductors.
+    pub fn is_subset_of(&self, other: &FaultSet) -> bool {
+        self.failed_vdd_pads.is_subset(&other.failed_vdd_pads)
+            && self.failed_gnd_pads.is_subset(&other.failed_gnd_pads)
+            && self
+                .failed_tsvs
+                .iter()
+                .all(|(k, &count)| other.failed_tsv_count(k.0, k.1) >= count)
+    }
 }
 
 /// Per-conductor current of one surviving TSV bundle, with its identity —

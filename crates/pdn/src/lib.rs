@@ -47,6 +47,7 @@ pub mod fault;
 pub mod network;
 pub mod params;
 pub mod regular;
+pub mod sketch;
 pub mod solution;
 pub mod stack;
 pub mod transient;
@@ -58,6 +59,7 @@ pub use fault::{FaultSet, FaultedSolution, TsvGroupCurrent};
 pub use network::SolveScratch;
 pub use params::PdnParams;
 pub use regular::RegularPdn;
+pub use sketch::FaultSketch;
 pub use solution::{ConductorCurrents, PdnSolution};
 pub use stack::StackLoads;
 pub use transient::{PdnTransientConfig, StepResponse};

@@ -118,6 +118,14 @@ pub struct SolveScratch {
     /// [`CancelToken::never`]; serving tiers install a per-request token
     /// (deadline + shutdown flag) with [`SolveScratch::set_cancel`].
     cancel: CancelToken,
+    /// Lazily-built Sherman–Morrison–Woodbury fault sketch
+    /// ([`crate::sketch::FaultSketch`]) answering small-k [`crate::FaultSet`]
+    /// queries without a fresh ladder solve. Owned here so wearout loops and
+    /// the serving tier inherit it with the rest of the cross-solve state;
+    /// it carries its own value fingerprint (validity is *not* tied to
+    /// [`SolveScratch::pattern`], which holds the last — possibly faulted —
+    /// stamping) and is dropped on structural pattern changes.
+    sketch: Option<crate::sketch::FaultSketch>,
 }
 
 impl SolveScratch {
@@ -131,6 +139,31 @@ impl SolveScratch {
     /// rungs of subsequent solves (see [`vstack_sparse::CancelToken`]).
     pub fn set_cancel(&mut self, cancel: CancelToken) {
         self.cancel = cancel;
+    }
+
+    /// Moves the fault sketch out of the scratch. The sketched solve paths
+    /// *take* the sketch before running (so a fallback exact solve — which
+    /// may rebuild the pattern and clear this slot — cannot wipe it) and
+    /// put it back when done.
+    pub(crate) fn take_sketch(&mut self) -> Option<crate::sketch::FaultSketch> {
+        self.sketch.take()
+    }
+
+    /// Returns the fault sketch to the scratch (see
+    /// [`SolveScratch::take_sketch`]).
+    pub(crate) fn put_sketch(&mut self, sketch: crate::sketch::FaultSketch) {
+        self.sketch = Some(sketch);
+    }
+
+    /// The reusable Krylov workspace, for solves the sketch runs itself
+    /// (baseline and column solves against its own cached matrix).
+    pub(crate) fn workspace_mut(&mut self) -> &mut SolveWorkspace {
+        &mut self.workspace
+    }
+
+    /// The installed cancellation token (cloned into sketch-run solves).
+    pub(crate) fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 }
 
@@ -411,6 +444,10 @@ impl NetworkBuilder {
             scratch.amg = None;
             scratch.amg_f32 = None;
             scratch.stencil = None;
+            // A structural change also invalidates the fault sketch (its
+            // columns are tied to the old node numbering). Value-only
+            // re-stamps keep it: the sketch checks its own fingerprint.
+            scratch.sketch = None;
         }
         // Keep the matrix-free operator in sync with the fresh stamping:
         // refresh values in place on a pattern hit, re-extract otherwise.
@@ -511,7 +548,7 @@ impl NetworkBuilder {
     /// `None` if every node reaches a rail. Runs a BFS over the structural
     /// nonzeros of `a`, which is symmetric for every stamp kind this
     /// builder produces (conductances and rank-1 converter outer products).
-    fn floating_nodes(&self, a: &CsrMatrix) -> Option<(usize, usize)> {
+    pub(crate) fn floating_nodes(&self, a: &CsrMatrix) -> Option<(usize, usize)> {
         let n = self.rhs.len();
         let mut reached = vec![false; n];
         let mut queue: Vec<usize> = Vec::new();

@@ -173,7 +173,153 @@ impl RegularPdn {
     ) -> Result<FaultedSolution, PdnError> {
         let asm = self.assemble(loads, faults);
         let (v, report) = asm.nb.solve_scratch(guess, scratch)?;
-        Ok(self.extract(loads, v, &asm, faults, report))
+        Ok(self.extract(
+            loads,
+            v,
+            &asm.vdd_pads,
+            &asm.gnd_pads,
+            asm.g_pad,
+            faults,
+            report,
+        ))
+    }
+
+    /// [`RegularPdn::solve_faulted_scratch`] accelerated by the rank-k
+    /// fault sketch ([`crate::sketch::FaultSketch`]).
+    ///
+    /// The first call (or the first after a parameter change — the sketch
+    /// is value-fingerprinted) pays one tightly-converged baseline solve;
+    /// subsequent queries whose faults extend the baseline by at most
+    /// [`crate::sketch::SKETCH_BUDGET`] rank-one removals are answered
+    /// through the Sherman–Morrison–Woodbury identity in microseconds.
+    /// Near-singular updates (structural disconnection), over-tolerance
+    /// residuals, and over-budget fault sets fall back to the exact
+    /// [`RegularPdn::solve_faulted_scratch`] path, so results are always
+    /// within the sketch tolerance (`1e-9` relative residual) of exact.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RegularPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted_sketched(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        let fp = self.sketch_fingerprint(loads);
+        let mut sketch = scratch.take_sketch().filter(|s| s.fingerprint() == fp);
+        let g_pad = 1.0 / (self.params.c4_resistance_ohm + self.params.package_r_per_pad_ohm);
+        let answered = crate::sketch::answer_with_sketch(
+            faults,
+            &mut sketch,
+            scratch,
+            |base, scr| self.build_sketch(loads, base.clone(), scr),
+            |sk, v, report| {
+                let (vdd_pads, gnd_pads) = sk.alive_pads(faults);
+                self.extract(loads, v, &vdd_pads, &gnd_pads, g_pad, faults, report)
+            },
+        );
+        let result = match answered {
+            Ok(Some(sol)) => Ok(sol),
+            Ok(None) => {
+                vstack_obs::metrics::global().fault_sketch_fallbacks.inc();
+                let guess = sketch.as_ref().map(|s| s.baseline_voltages());
+                self.solve_faulted_scratch(loads, faults, guess.as_deref(), scratch)
+            }
+            Err(e) => Err(e),
+        };
+        if let Some(s) = sketch {
+            scratch.put_sketch(s);
+        }
+        result
+    }
+
+    /// FNV-1a fingerprint of every value that shapes the stamped baseline
+    /// system: topology dimensions, conductances, supply voltage, and the
+    /// per-core load currents. Two calls with matching fingerprints stamp
+    /// bit-identical `(A₀, b₀)` at any given fault set.
+    fn sketch_fingerprint(&self, loads: &StackLoads) -> u64 {
+        use crate::params::LoadDistribution;
+        let mut h = crate::sketch::FingerprintHasher::new();
+        h.usize(1); // topology kind: regular
+        h.usize(self.n_layers);
+        h.usize(self.grid.nx);
+        h.usize(self.grid.ny);
+        h.usize(self.topology.vdd_tsvs_per_core());
+        h.usize(self.c4.vdd_count());
+        h.usize(self.c4.gnd_count());
+        h.f64(self.params.vdd);
+        h.f64(self.params.c4_resistance_ohm);
+        h.f64(self.params.package_r_per_pad_ohm);
+        h.f64(self.params.tsv_resistance_ohm);
+        h.f64(self.params.grid_segment_resistance_ohm());
+        for layer in 0..self.n_layers {
+            h.f64(self.params.layer_resistance_scale(layer));
+        }
+        h.usize(match self.params.load_distribution {
+            LoadDistribution::Uniform => 0,
+            LoadDistribution::PerBlock => 1,
+        });
+        for layer in 0..loads.n_layers() {
+            for core in 0..loads.cores_per_layer() {
+                h.f64(loads.core_current(layer, core));
+            }
+        }
+        h.finish()
+    }
+
+    /// Builds a fault sketch with `base` as its baseline fault set:
+    /// assembles and solves the baseline tightly, then registers every
+    /// surviving pad rail and TSV bundle as a candidate fault column.
+    fn build_sketch(
+        &self,
+        loads: &StackLoads,
+        base: FaultSet,
+        scratch: &mut SolveScratch,
+    ) -> Result<crate::sketch::FaultSketch, PdnError> {
+        let asm = self.assemble(loads, &base);
+        let mut sk = crate::sketch::FaultSketch::build(
+            self.sketch_fingerprint(loads),
+            base.clone(),
+            &asm.nb,
+            asm.vdd_pads.clone(),
+            asm.gnd_pads.clone(),
+            (self.c4.vdd_count(), self.c4.gnd_count()),
+            (self.n_layers.saturating_sub(1), self.core_nodes.len()),
+            scratch,
+        )?;
+        for &(ord, node) in &asm.vdd_pads {
+            sk.register_vdd_pad(ord, node, asm.g_pad, -asm.g_pad * self.params.vdd);
+        }
+        for &(ord, node) in &asm.gnd_pads {
+            sk.register_gnd_pad(ord, node, asm.g_pad);
+        }
+        let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
+        for layer in 0..self.n_layers.saturating_sub(1) {
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                if self.alive_vdd_tsvs(&base, layer, core) == 0.0 {
+                    continue; // dead at base: extra faults are no-ops
+                }
+                let mut edges = Vec::with_capacity(2 * nodes.len());
+                for net in 0..2 {
+                    for &n in nodes {
+                        edges.push((self.node(layer, net, n), self.node(layer + 1, net, n)));
+                    }
+                }
+                sk.register_tsv_bundle(
+                    layer,
+                    core,
+                    &edges,
+                    g_tsv / nodes.len() as f64,
+                    self.topology.vdd_tsvs_per_core(),
+                );
+            }
+        }
+        Ok(sk)
     }
 
     /// Warm-started fault-free solve: the entry point serving layers
@@ -307,16 +453,21 @@ impl RegularPdn {
         }
     }
 
-    /// Extracts the solution metrics from a solved voltage vector.
+    /// Extracts the solution metrics from a solved voltage vector. The
+    /// pad lists must be the pads *alive under `faults`* — the exact path
+    /// passes the assembly's lists, the sketch path filters its baseline
+    /// lists down ([`crate::sketch::FaultSketch::alive_pads`]).
+    #[allow(clippy::too_many_arguments)]
     fn extract(
         &self,
         loads: &StackLoads,
         v: Vec<f64>,
-        asm: &AssembledReg,
+        vdd_pads: &[(usize, usize)],
+        gnd_pads: &[(usize, usize)],
+        g_pad: f64,
         faults: &FaultSet,
         report: SolveReport,
     ) -> FaultedSolution {
-        let g_pad = asm.g_pad;
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
 
         // --- Metrics ---
@@ -349,17 +500,17 @@ impl RegularPdn {
         }
 
         let mut vdd_c4 = ConductorCurrents::new();
-        let mut vdd_pad_currents = Vec::with_capacity(asm.vdd_pads.len());
+        let mut vdd_pad_currents = Vec::with_capacity(vdd_pads.len());
         let mut p_input = 0.0;
-        for &(ord, node) in &asm.vdd_pads {
+        for &(ord, node) in vdd_pads {
             let i = g_pad * (vdd_nom - v[node]);
             vdd_c4.push(i, 1.0);
             vdd_pad_currents.push((ord, i));
             p_input += i * vdd_nom;
         }
         let mut gnd_c4 = ConductorCurrents::new();
-        let mut gnd_pad_currents = Vec::with_capacity(asm.gnd_pads.len());
-        for &(ord, node) in &asm.gnd_pads {
+        let mut gnd_pad_currents = Vec::with_capacity(gnd_pads.len());
+        for &(ord, node) in gnd_pads {
             let i = g_pad * v[node];
             gnd_c4.push(i, 1.0);
             gnd_pad_currents.push((ord, i));

@@ -277,6 +277,189 @@ impl VstackPdn {
         self.solve_faulted_scratch(loads, &FaultSet::new(), guess, scratch)
     }
 
+    /// [`VstackPdn::solve_faulted_scratch`] accelerated by the rank-k
+    /// fault sketch ([`crate::sketch::FaultSketch`]).
+    ///
+    /// Open-loop stacks answer fault what-ifs through the
+    /// Sherman–Morrison–Woodbury identity against a cached, tightly-solved
+    /// baseline: a failed supply pad removes its through-via-stack rail
+    /// conductance, a failed interface TSV scales the bundle's series edge
+    /// columns. Closed-loop stacks always take the exact Picard path (the
+    /// matrix changes every fixed-point iteration, so no single baseline
+    /// factorization applies) and count as sketch fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VstackPdn::solve_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match this PDN's layer/core counts.
+    pub fn solve_faulted_sketched(
+        &self,
+        loads: &StackLoads,
+        faults: &FaultSet,
+        scratch: &mut SolveScratch,
+    ) -> Result<FaultedSolution, PdnError> {
+        if matches!(
+            self.converter.control,
+            vstack_sc::ControlPolicy::ClosedLoop { .. }
+        ) {
+            vstack_obs::metrics::global().fault_sketch_fallbacks.inc();
+            return Ok(self
+                .solve_closed_loop_faulted_scratch(loads, faults, None, scratch)?
+                .0);
+        }
+        let fp = self.sketch_fingerprint(loads);
+        let mut sketch = scratch.take_sketch().filter(|s| s.fingerprint() == fp);
+        let sites = self.converter_sites();
+        let conv_g = vec![1.0 / self.converter.r_series(self.converter.f_nom); sites.len()];
+        let conv_f = vec![self.converter.f_nom; sites.len()];
+        let n = self.n_layers;
+        let g_gnd_pad = 1.0 / (self.params.c4_resistance_ohm + self.params.package_r_per_pad_ohm);
+        let g_via_stack = 1.0
+            / (self.params.c4_resistance_ohm
+                + self.params.package_r_per_pad_ohm
+                + n as f64 * self.params.tsv_resistance_ohm);
+        let v_supply = n as f64 * self.params.vdd;
+        let answered = crate::sketch::answer_with_sketch(
+            faults,
+            &mut sketch,
+            scratch,
+            |base, scr| self.build_sketch(loads, base.clone(), &sites, &conv_g, scr),
+            |sk, v, report| {
+                let (vdd_pads, gnd_pads) = sk.alive_pads(faults);
+                self.extract(
+                    loads,
+                    v,
+                    &vdd_pads,
+                    &gnd_pads,
+                    g_via_stack,
+                    g_gnd_pad,
+                    v_supply,
+                    &sites,
+                    &conv_g,
+                    &conv_f,
+                    faults,
+                    report,
+                )
+            },
+        );
+        let result = match answered {
+            Ok(Some(sol)) => Ok(sol),
+            Ok(None) => {
+                vstack_obs::metrics::global().fault_sketch_fallbacks.inc();
+                let guess = sketch.as_ref().map(|s| s.baseline_voltages());
+                self.solve_with_conductances(
+                    loads,
+                    &sites,
+                    &conv_g,
+                    &conv_f,
+                    faults,
+                    guess.as_deref(),
+                    scratch,
+                )
+            }
+            Err(e) => Err(e),
+        };
+        if let Some(s) = sketch {
+            scratch.put_sketch(s);
+        }
+        result
+    }
+
+    /// FNV-1a fingerprint of every value that shapes the stamped baseline
+    /// system (open-loop): topology dimensions, conductances, converter
+    /// design, supply voltage, and the per-core load currents.
+    fn sketch_fingerprint(&self, loads: &StackLoads) -> u64 {
+        use crate::params::LoadDistribution;
+        let mut h = crate::sketch::FingerprintHasher::new();
+        h.usize(2); // topology kind: voltage-stacked
+        h.usize(self.n_layers);
+        h.usize(self.grid.nx);
+        h.usize(self.grid.ny);
+        h.usize(self.topology.tsvs_per_core());
+        h.usize(self.c4.vdd_count());
+        h.usize(self.c4.gnd_count());
+        h.usize(self.converters_per_core);
+        h.usize(match self.reference {
+            ConverterReference::BoundaryLadder => 0,
+            ConverterReference::AdjacentRails => 1,
+        });
+        h.f64(self.converter.f_nom);
+        h.f64(self.converter.r_series(self.converter.f_nom));
+        h.f64(self.params.vdd);
+        h.f64(self.params.c4_resistance_ohm);
+        h.f64(self.params.package_r_per_pad_ohm);
+        h.f64(self.params.tsv_resistance_ohm);
+        h.f64(self.params.grid_segment_resistance_ohm());
+        for layer in 0..self.n_layers {
+            h.f64(self.params.layer_resistance_scale(layer));
+        }
+        h.usize(match self.params.load_distribution {
+            LoadDistribution::Uniform => 0,
+            LoadDistribution::PerBlock => 1,
+        });
+        for layer in 0..loads.n_layers() {
+            for core in 0..loads.cores_per_layer() {
+                h.f64(loads.core_current(layer, core));
+            }
+        }
+        h.finish()
+    }
+
+    /// Builds a fault sketch with `base` as its baseline fault set:
+    /// assembles and solves the open-loop baseline tightly, then registers
+    /// every surviving through-via-stack rail, ground pad rail, and
+    /// interface-TSV bundle as a candidate fault column.
+    fn build_sketch(
+        &self,
+        loads: &StackLoads,
+        base: FaultSet,
+        sites: &[(usize, usize, usize, f64)],
+        conv_g: &[f64],
+        scratch: &mut SolveScratch,
+    ) -> Result<crate::sketch::FaultSketch, PdnError> {
+        let asm = self.assemble_with_conductances(loads, sites, conv_g, &base);
+        let n = self.n_layers;
+        let mut sk = crate::sketch::FaultSketch::build(
+            self.sketch_fingerprint(loads),
+            base.clone(),
+            &asm.nb,
+            asm.vdd_pads.clone(),
+            asm.gnd_pads.clone(),
+            (self.c4.vdd_count(), self.c4.gnd_count()),
+            (n - 1, self.core_nodes.len()),
+            scratch,
+        )?;
+        for &(ord, node) in &asm.vdd_pads {
+            sk.register_vdd_pad(ord, node, asm.g_via_stack, -asm.g_via_stack * asm.v_supply);
+        }
+        for &(ord, node) in &asm.gnd_pads {
+            sk.register_gnd_pad(ord, node, asm.g_gnd_pad);
+        }
+        let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
+        for layer in 0..n - 1 {
+            for (core, nodes) in self.core_nodes.iter().enumerate() {
+                if self.alive_tsvs(&base, layer, core) == 0.0 {
+                    continue; // dead at base: extra faults are no-ops
+                }
+                let edges: Vec<(usize, usize)> = nodes
+                    .iter()
+                    .map(|&gn| (self.node(layer, 1, gn), self.node(layer + 1, 0, gn)))
+                    .collect();
+                sk.register_tsv_bundle(
+                    layer,
+                    core,
+                    &edges,
+                    g_tsv / nodes.len() as f64,
+                    self.topology.tsvs_per_core(),
+                );
+            }
+        }
+        Ok(sk)
+    }
+
     /// Solves a closed-loop-controlled stack by damped Picard iteration:
     /// each converter's switching frequency (hence `R_SERIES` and
     /// parasitic power) follows its own output current from the previous
@@ -690,16 +873,44 @@ impl VstackPdn {
         assert_eq!(sites.len(), conv_f.len(), "frequency count mismatch");
         let asm = self.assemble_with_conductances(loads, sites, conv_g, faults);
         let (v, report) = asm.nb.solve_scratch(guess, scratch)?;
+        Ok(self.extract(
+            loads,
+            v,
+            &asm.vdd_pads,
+            &asm.gnd_pads,
+            asm.g_via_stack,
+            asm.g_gnd_pad,
+            asm.v_supply,
+            sites,
+            conv_g,
+            conv_f,
+            faults,
+            report,
+        ))
+    }
+
+    /// Extracts the solution metrics from a solved voltage vector. The pad
+    /// lists must be the pads *alive under `faults`* — the exact path
+    /// passes the assembly's lists, the sketch path filters its baseline
+    /// lists down ([`crate::sketch::FaultSketch::alive_pads`]).
+    #[allow(clippy::too_many_arguments)]
+    fn extract(
+        &self,
+        loads: &StackLoads,
+        v: Vec<f64>,
+        vdd_pads: &[(usize, usize)],
+        gnd_pads: &[(usize, usize)],
+        g_via_stack: f64,
+        g_gnd_pad: f64,
+        v_supply: f64,
+        sites: &[(usize, usize, usize, f64)],
+        conv_g: &[f64],
+        conv_f: &[f64],
+        faults: &FaultSet,
+        report: vstack_sparse::SolveReport,
+    ) -> FaultedSolution {
         let n = self.n_layers;
         let g_tsv = 1.0 / self.params.tsv_resistance_ohm;
-        let AssembledVs {
-            vdd_pads,
-            gnd_pads,
-            g_via_stack,
-            g_gnd_pad,
-            v_supply,
-            ..
-        } = asm;
 
         // --- Metrics ---
         let vdd_nom = self.params.vdd;
@@ -734,7 +945,7 @@ impl VstackPdn {
         let mut tsv = ConductorCurrents::new();
         let mut vdd_pad_currents = Vec::with_capacity(vdd_pads.len());
         let mut p_input = 0.0;
-        for &(ord, node) in &vdd_pads {
+        for &(ord, node) in vdd_pads {
             let i = g_via_stack * (v_supply - v[node]);
             vdd_c4.push(i, 1.0);
             vdd_pad_currents.push((ord, i));
@@ -746,7 +957,7 @@ impl VstackPdn {
         }
         let mut gnd_c4 = ConductorCurrents::new();
         let mut gnd_pad_currents = Vec::with_capacity(gnd_pads.len());
-        for &(ord, node) in &gnd_pads {
+        for &(ord, node) in gnd_pads {
             let i = g_gnd_pad * v[node];
             gnd_c4.push(i, 1.0);
             gnd_pad_currents.push((ord, i));
@@ -799,7 +1010,7 @@ impl VstackPdn {
             converter_currents.push(i_out);
         }
 
-        Ok(FaultedSolution {
+        FaultedSolution {
             solution: PdnSolution {
                 max_ir_drop_frac: max_drop,
                 mean_ir_drop_frac: drop_sum / drop_count as f64,
@@ -819,7 +1030,7 @@ impl VstackPdn {
             vdd_pad_currents,
             gnd_pad_currents,
             tsv_groups,
-        })
+        }
     }
 }
 

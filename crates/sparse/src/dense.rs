@@ -278,6 +278,48 @@ impl CholeskyFactors {
         self.n
     }
 
+    /// `(min, max)` of the factor's diagonal entries (the square roots of
+    /// the Cholesky pivots). Their ratio is a cheap conditioning probe:
+    /// `min/max ≈ 1/√κ(A)`, so a tiny ratio flags a factorization that
+    /// succeeded numerically but sits on the edge of singularity — the
+    /// SMW capacitance matrix of a structurally disconnecting fault set
+    /// looks exactly like this.
+    ///
+    /// Returns `(0.0, 0.0)` for an empty factorization.
+    pub fn diag_range(&self) -> (f64, f64) {
+        let mut min = f64::MAX;
+        let mut max = 0.0f64;
+        for r in 0..self.n {
+            let d = self.l[r * self.n + r];
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if self.n == 0 {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// The `r`-th diagonal entry of the factor — the square root of the
+    /// `r`-th Cholesky pivot, i.e. of the Schur-complement diagonal at
+    /// elimination step `r`. Comparing it against the *pre-elimination*
+    /// magnitude of row `r` exposes cancellation that the
+    /// [`diag_range`](Self::diag_range) ratio cannot see when every pivot
+    /// cancels uniformly (the `1×1` case being the extreme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.dim()`.
+    pub fn diag_entry(&self, r: usize) -> f64 {
+        assert!(
+            r < self.n,
+            "diagonal index {r} out of range for n={}",
+            self.n
+        );
+        self.l[r * self.n + r]
+    }
+
     /// Solves `A x = b` in place: `x` holds `b` on entry and the solution
     /// on exit. Allocation-free.
     ///

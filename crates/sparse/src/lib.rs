@@ -18,6 +18,9 @@
 //! * [`amg`] — an aggregation-based algebraic multigrid preconditioner
 //!   whose CG iteration counts stay nearly flat as grids grow; the
 //!   escalation ladder uses it as its top rung on large PDN systems.
+//! * [`smw`] — a Sherman–Morrison–Woodbury rank-k update sketch that
+//!   answers low-rank *downdates* of a cached baseline solve (PDN fault
+//!   what-ifs) with dense k×k work instead of a fresh Krylov solve.
 //! * [`dense`] — a small dense matrix with LU and Cholesky factorizations,
 //!   used for tiny systems (converter test benches), the AMG coarsest
 //!   level, and as a reference implementation in tests.
@@ -69,6 +72,7 @@ pub mod dense;
 pub mod ichol;
 pub mod pool;
 pub mod robust;
+pub mod smw;
 pub mod solver;
 pub mod stencil;
 pub mod vecops;
@@ -81,6 +85,7 @@ pub use robust::{
     solve_robust, solve_robust_cached_ws, solve_robust_operator_ws, solve_robust_ws, RobustOptions,
     RobustSolved, SolveMethod, SolveReport,
 };
+pub use smw::{SmwAnswer, SmwRejection, SmwSketch, SmwUpdate};
 pub use solver::SolveWorkspace;
 pub use stencil::{LinearOperator, StencilDescriptor, StencilOperator};
 pub use triplet::TripletMatrix;

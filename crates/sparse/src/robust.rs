@@ -65,6 +65,9 @@ pub enum SolveMethod {
     BiCgStab,
     /// Conjugate gradient on the Tikhonov-shifted system `A + λI`.
     CgShifted,
+    /// Sherman–Morrison–Woodbury rank-k update against a cached baseline
+    /// factorization (see [`crate::smw`]) — no Krylov iteration at all.
+    SmwSketch,
 }
 
 impl core::fmt::Display for SolveMethod {
@@ -76,6 +79,7 @@ impl core::fmt::Display for SolveMethod {
             SolveMethod::CgJacobi => "cg+jacobi",
             SolveMethod::BiCgStab => "bicgstab",
             SolveMethod::CgShifted => "cg+shift",
+            SolveMethod::SmwSketch => "smw-sketch",
         };
         f.write_str(name)
     }

@@ -1,0 +1,695 @@
+//! Sherman–Morrison–Woodbury rank-k update sketch.
+//!
+//! A [`SmwSketch`] caches one solved baseline system `A0 x0 = b0` together
+//! with lazily-solved *columns* `W_j = A0⁻¹ u_j` for a registry of sparse
+//! candidate vectors `u_j`. A query then answers the *downdated* system
+//!
+//! ```text
+//!     (A0 − U D Uᵀ) x = b0 + U r,      D = diag(s_j) ≻ 0
+//! ```
+//!
+//! for any small subset of registered columns without touching `A0` at all:
+//! by the Woodbury identity
+//!
+//! ```text
+//!     (A0 − U D Uᵀ)⁻¹ = A0⁻¹ + W C⁻¹ Wᵀ,   C = D⁻¹ − UᵀW  (k×k, SPD)
+//! ```
+//!
+//! so a query is two length-n axpy sweeps, a handful of sparse dot
+//! products, and one dense k×k Cholesky — no Krylov iteration, no SpMV.
+//!
+//! The intended consumer is the PDN fault path (`vstack-pdn`): `u_j` are
+//! the pad-rail and TSV-edge conductance columns, a fault *removes*
+//! conductance (hence the downdate sign), and `r` carries the matching
+//! right-hand-side correction for supply-rail columns.
+//!
+//! # Guards
+//!
+//! Downdates can destroy positive-definiteness (structurally: the fault
+//! set disconnects part of the network). The query refuses to answer —
+//! returning a typed [`SmwRejection`] so the caller can fall back to an
+//! exact solve — when any of these trip:
+//!
+//! 1. the k×k capacitance matrix `C` fails its Cholesky factorization
+//!    (`A_f` is not SPD: hard disconnection),
+//! 2. the Cholesky pivot ratio `min(L_ii)/max(L_ii)` falls below
+//!    [`PIVOT_RATIO_MIN`], or any single pivot `L_jj²` falls below
+//!    [`PIVOT_RATIO_MIN`]` · max(1/s_j, |G_jj|)` — cancellation-dominated
+//!    relative to its row's natural scale, which the ratio alone cannot
+//!    see when every pivot cancels uniformly (`A_f` is *nearly* singular:
+//!    the update is numerically untrustworthy even though the
+//!    factorization survived),
+//! 3. the relative subspace residual `‖b_f − A_f x‖ / ‖b_f‖` — computed
+//!    exactly in O(k²) without any SpMV, see [`SmwSketch::query`] —
+//!    exceeds the sketch tolerance, or any intermediate is non-finite.
+//!
+//! The residual guard measures the *update* error on top of the baseline:
+//! it is exactly zero (in exact arithmetic) when `C z = t` is solved
+//! exactly, so it catches ill-conditioned `C` solves, but it cannot see
+//! iterative error already present in `x0` or `W_j`. Callers should build
+//! the baseline and columns at a tolerance comfortably tighter than the
+//! accuracy they want from queries.
+
+use crate::dense::DenseMatrix;
+use crate::error::SolveError;
+use crate::vecops;
+
+/// Cholesky pivot-ratio floor: `min(L_ii)/max(L_ii)` below this rejects
+/// the query as near-singular (squared, this is a ~1e14 condition-number
+/// ceiling on the capacitance matrix — past the point where the dense
+/// solve retains the digits the residual guard needs).
+pub const PIVOT_RATIO_MIN: f64 = 1e-7;
+
+/// One registered candidate column: the sparse pattern `u_j` and, once
+/// solved, the dense solve-vector `w_j = A0⁻¹ u_j`.
+struct SmwColumn {
+    /// Sparse `(index, value)` pairs, sorted by index, duplicates merged.
+    pattern: Vec<(usize, f64)>,
+    /// `A0⁻¹ u_j`, present once [`SmwSketch::ensure_column`] has run and
+    /// until [`SmwSketch::clear_column`] evicts it.
+    w: Option<Vec<f64>>,
+}
+
+/// One rank-1 term of a query: subtract `scale · u_c u_cᵀ` from the
+/// baseline matrix and add `rhs_delta · u_c` to the baseline right-hand
+/// side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmwUpdate {
+    /// Index of a column previously registered with
+    /// [`SmwSketch::add_column`]. Repeating a column within one query is
+    /// legal and equivalent to a single update with the scales (and
+    /// `rhs_delta`s) summed.
+    pub column: usize,
+    /// Conductance removed along this column; must be finite and `> 0`.
+    pub scale: f64,
+    /// Right-hand-side correction coefficient `r_j` (e.g. `−scale·v_rail`
+    /// for a supply-pad column whose rail stamp disappears with it).
+    pub rhs_delta: f64,
+}
+
+/// A successful sketch answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmwAnswer {
+    /// Solution of the downdated system.
+    pub x: Vec<f64>,
+    /// Relative subspace residual `‖b_f − A_f x‖ / ‖b_f‖` of the update
+    /// (exact in the span of the update columns; does not include
+    /// iterative error already baked into the baseline).
+    pub rel_residual: f64,
+}
+
+/// Why a query refused to answer. Every variant means "fall back to the
+/// exact solve" — none is a caller bug except possibly
+/// [`SmwRejection::ColumnNotReady`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmwRejection {
+    /// A referenced column has no solve-vector; call
+    /// [`SmwSketch::ensure_column`] first (or it was evicted).
+    ColumnNotReady {
+        /// The column id missing its solve-vector.
+        column: usize,
+    },
+    /// The capacitance matrix is not (or barely) positive definite: the
+    /// downdated system is singular or near-singular, which for PDN
+    /// faults means the fault set structurally disconnects the network.
+    NearSingular,
+    /// The update solved, but its subspace residual exceeds the sketch
+    /// tolerance — the answer would be less accurate than promised.
+    ResidualTooLarge {
+        /// The offending relative residual.
+        rel_residual: f64,
+    },
+    /// A non-finite (or non-positive `scale`) input or intermediate was
+    /// encountered.
+    NonFinite,
+}
+
+impl std::fmt::Display for SmwRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmwRejection::ColumnNotReady { column } => {
+                write!(f, "sketch column {column} has no solve-vector")
+            }
+            SmwRejection::NearSingular => {
+                write!(f, "downdated system is singular or near-singular")
+            }
+            SmwRejection::ResidualTooLarge { rel_residual } => {
+                write!(
+                    f,
+                    "update residual {rel_residual:.3e} exceeds sketch tolerance"
+                )
+            }
+            SmwRejection::NonFinite => write!(f, "non-finite value in sketch update"),
+        }
+    }
+}
+
+/// A cached baseline solve plus lazily-materialized Woodbury columns.
+///
+/// See the [module docs](self) for the math. The sketch is *value-bound*:
+/// it answers downdates of exactly the `(A0, b0)` it was built from, so
+/// callers must discard it whenever the baseline matrix values change.
+pub struct SmwSketch {
+    n: usize,
+    x0: Vec<f64>,
+    b0: Vec<f64>,
+    b0_norm_sq: f64,
+    columns: Vec<SmwColumn>,
+    tolerance: f64,
+}
+
+impl SmwSketch {
+    /// Wrap a solved baseline: `x0` solves `A0 x0 = b0` (to a tolerance
+    /// tighter than `tolerance`, which bounds the accepted *update*
+    /// residual of each query).
+    ///
+    /// # Panics
+    /// If `x0` and `b0` differ in length or `tolerance` is not positive.
+    pub fn new(x0: Vec<f64>, b0: Vec<f64>, tolerance: f64) -> Self {
+        assert_eq!(x0.len(), b0.len(), "baseline solution/rhs length mismatch");
+        assert!(tolerance > 0.0, "sketch tolerance must be positive");
+        let b0_norm_sq = vecops::dot(&b0, &b0);
+        SmwSketch {
+            n: x0.len(),
+            x0,
+            b0,
+            b0_norm_sq,
+            columns: Vec::new(),
+            tolerance,
+        }
+    }
+
+    /// Number of unknowns in the baseline system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The query-residual acceptance tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The baseline solution `x0` (the answer to the empty fault set).
+    pub fn baseline(&self) -> &[f64] {
+        &self.x0
+    }
+
+    /// Number of registered columns (ready or not).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Register a candidate column `u` as sparse `(index, value)` pairs
+    /// and return its id. The pattern is sorted and duplicate indices are
+    /// merged; the solve-vector is *not* computed — see
+    /// [`SmwSketch::ensure_column`].
+    ///
+    /// # Panics
+    /// If any index is out of range or any value is non-finite.
+    pub fn add_column(&mut self, mut pattern: Vec<(usize, f64)>) -> usize {
+        pattern.sort_unstable_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(pattern.len());
+        for (i, v) in pattern {
+            assert!(i < self.n, "column index {i} out of range for n={}", self.n);
+            assert!(v.is_finite(), "non-finite column value at index {i}");
+            match merged.last_mut() {
+                Some((last, acc)) if *last == i => *acc += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        self.columns.push(SmwColumn {
+            pattern: merged,
+            w: None,
+        });
+        self.columns.len() - 1
+    }
+
+    /// Whether column `id` has a materialized solve-vector.
+    pub fn column_ready(&self, id: usize) -> bool {
+        self.columns.get(id).is_some_and(|c| c.w.is_some())
+    }
+
+    /// Number of columns whose solve-vector is currently materialized.
+    pub fn ready_count(&self) -> usize {
+        self.columns.iter().filter(|c| c.w.is_some()).count()
+    }
+
+    /// Drop column `id`'s solve-vector (memory eviction); the pattern
+    /// stays registered and the column can be re-solved later.
+    pub fn clear_column(&mut self, id: usize) {
+        if let Some(c) = self.columns.get_mut(id) {
+            c.w = None;
+        }
+    }
+
+    /// Materialize `w_id = A0⁻¹ u_id` if absent, using `solve` to run the
+    /// actual linear solve (the sketch does not hold `A0`). The callback
+    /// receives the dense right-hand side `u_id` and must return a
+    /// solution at a tolerance tighter than the sketch tolerance.
+    ///
+    /// # Panics
+    /// If `id` is not a registered column or the callback returns a
+    /// vector of the wrong length.
+    pub fn ensure_column<F>(&mut self, id: usize, solve: F) -> Result<(), SolveError>
+    where
+        F: FnOnce(&[f64]) -> Result<Vec<f64>, SolveError>,
+    {
+        let col = &self.columns[id];
+        if col.w.is_some() {
+            return Ok(());
+        }
+        let mut rhs = vec![0.0; self.n];
+        for &(i, v) in &col.pattern {
+            rhs[i] = v;
+        }
+        let w = solve(&rhs)?;
+        assert_eq!(
+            w.len(),
+            self.n,
+            "solve-vector length mismatch for column {id}"
+        );
+        self.columns[id].w = Some(w);
+        Ok(())
+    }
+
+    /// Sparse dot `u_idᵀ y` for a registered column against a dense vector.
+    fn pattern_dot(&self, id: usize, y: &[f64]) -> f64 {
+        self.columns[id]
+            .pattern
+            .iter()
+            .map(|&(i, v)| v * y[i])
+            .sum()
+    }
+
+    /// Sparse–sparse dot `u_aᵀ u_b` (both patterns sorted by index).
+    fn pattern_pattern_dot(&self, a: usize, b: usize) -> f64 {
+        let (pa, pb) = (&self.columns[a].pattern, &self.columns[b].pattern);
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while ia < pa.len() && ib < pb.len() {
+            match pa[ia].0.cmp(&pb[ib].0) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += pa[ia].1 * pb[ib].1;
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Answer the downdated system `(A0 − U D Uᵀ) x = b0 + U r` for the
+    /// given rank-1 updates. Cost: `2k` length-n axpys plus `O(k³)` dense
+    /// work — no matrix–vector product against `A0`.
+    ///
+    /// An empty update list returns the baseline solution with zero
+    /// residual. Every referenced column must be ready
+    /// ([`SmwSketch::ensure_column`]).
+    ///
+    /// The returned residual is computed *exactly* (up to rounding) from
+    /// the identity `b_f − A_f x = U·(D(t + Gz) − z)`, which only needs
+    /// the already-formed k×k Gram matrices — so accepting an answer
+    /// never costs an SpMV.
+    pub fn query(&self, updates: &[SmwUpdate]) -> Result<SmwAnswer, SmwRejection> {
+        if updates.is_empty() {
+            return Ok(SmwAnswer {
+                x: self.x0.clone(),
+                rel_residual: 0.0,
+            });
+        }
+        let k = updates.len();
+        for u in updates {
+            if !(u.scale.is_finite() && u.scale > 0.0 && u.rhs_delta.is_finite()) {
+                return Err(SmwRejection::NonFinite);
+            }
+            match self.columns.get(u.column) {
+                None => return Err(SmwRejection::ColumnNotReady { column: u.column }),
+                Some(c) if c.w.is_none() => {
+                    return Err(SmwRejection::ColumnNotReady { column: u.column })
+                }
+                Some(_) => {}
+            }
+        }
+
+        // y0 = A0⁻¹ b_f = x0 + Σ r_j w_j.
+        let mut y0 = self.x0.clone();
+        for u in updates {
+            if u.rhs_delta != 0.0 {
+                let w = self.columns[u.column].w.as_deref().expect("checked ready");
+                vecops::axpy(u.rhs_delta, w, &mut y0);
+            }
+        }
+
+        // t = Uᵀ y0 and the k×k Gram matrices G = UᵀW, P = UᵀU.
+        let mut t = vec![0.0; k];
+        let mut g = DenseMatrix::zeros(k, k);
+        let mut p = DenseMatrix::zeros(k, k);
+        for (row, ur) in updates.iter().enumerate() {
+            t[row] = self.pattern_dot(ur.column, &y0);
+            for (col, uc) in updates.iter().enumerate() {
+                let w = self.columns[uc.column].w.as_deref().expect("checked ready");
+                g[(row, col)] = self.pattern_dot(ur.column, w);
+                p[(row, col)] = self.pattern_pattern_dot(ur.column, uc.column);
+            }
+        }
+
+        // Capacitance matrix C = D⁻¹ − G; SPD iff the downdated system is.
+        let mut c = DenseMatrix::zeros(k, k);
+        for row in 0..k {
+            for col in 0..k {
+                c[(row, col)] = -g[(row, col)];
+            }
+            c[(row, row)] += 1.0 / updates[row].scale;
+        }
+        let chol = match c.cholesky() {
+            Ok(f) => f,
+            Err(_) => return Err(SmwRejection::NearSingular),
+        };
+        let (dmin, dmax) = chol.diag_range();
+        if !(dmin.is_finite() && dmax.is_finite()) || dmin < PIVOT_RATIO_MIN * dmax {
+            return Err(SmwRejection::NearSingular);
+        }
+        // The ratio alone cannot see *uniform* cancellation (for k = 1 it
+        // is trivially 1): each pivot must also survive cancellation
+        // against its row's pre-elimination scale `max(1/s_j, |G_jj|)`.
+        // A pivot seven digits below that scale means the downdate all
+        // but annihilated the row — a structural disconnection whose
+        // tiny-positive remainder is pure solve noise.
+        for (j, u) in updates.iter().enumerate() {
+            let pivot = chol.diag_entry(j);
+            let row_scale = (1.0 / u.scale).max(g[(j, j)].abs());
+            if pivot * pivot < PIVOT_RATIO_MIN * row_scale {
+                return Err(SmwRejection::NearSingular);
+            }
+        }
+
+        // z = C⁻¹ t, then x = y0 + Σ z_j w_j.
+        let mut z = t.clone();
+        chol.solve_into(&mut z);
+        let mut x = y0;
+        for (j, u) in updates.iter().enumerate() {
+            if z[j] != 0.0 {
+                let w = self.columns[u.column].w.as_deref().expect("checked ready");
+                vecops::axpy(z[j], w, &mut x);
+            }
+        }
+
+        // Subspace residual: b_f − A_f x = U s_hat with
+        // s_hat = D(t + Gz) − z, so ‖resid‖² = s_hatᵀ P s_hat.
+        let gz = g.mul_vec(&z);
+        let s_hat: Vec<f64> = updates
+            .iter()
+            .enumerate()
+            .map(|(j, u)| u.scale * (t[j] + gz[j]) - z[j])
+            .collect();
+        let ps = p.mul_vec(&s_hat);
+        let resid_sq: f64 = s_hat.iter().zip(&ps).map(|(a, b)| a * b).sum();
+
+        // ‖b_f‖² = ‖b0‖² + 2 Σ r_j u_jᵀb0 + rᵀ P r, same Gram trick.
+        let r: Vec<f64> = updates.iter().map(|u| u.rhs_delta).collect();
+        let mut bf_sq = self.b0_norm_sq;
+        for (j, u) in updates.iter().enumerate() {
+            if r[j] != 0.0 {
+                bf_sq += 2.0 * r[j] * self.pattern_dot(u.column, &self.b0);
+            }
+        }
+        let pr = p.mul_vec(&r);
+        bf_sq += r.iter().zip(&pr).map(|(a, b)| a * b).sum::<f64>();
+
+        if !(resid_sq.is_finite() && bf_sq.is_finite()) || bf_sq <= 0.0 {
+            return Err(SmwRejection::NonFinite);
+        }
+        let rel_residual = (resid_sq.max(0.0) / bf_sq).sqrt();
+        if !rel_residual.is_finite() {
+            return Err(SmwRejection::NonFinite);
+        }
+        if rel_residual > self.tolerance {
+            return Err(SmwRejection::ResidualTooLarge { rel_residual });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(SmwRejection::NonFinite);
+        }
+        Ok(SmwAnswer { x, rel_residual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D resistor ladder with `rails` grounding conductances: SPD, and
+    /// removing the only rail disconnects the chain.
+    fn ladder(n: usize, g_chain: f64, rails: &[(usize, f64)]) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n - 1 {
+            a[(i, i)] += g_chain;
+            a[(i + 1, i + 1)] += g_chain;
+            a[(i, i + 1)] -= g_chain;
+            a[(i + 1, i)] -= g_chain;
+        }
+        for &(i, g) in rails {
+            a[(i, i)] += g;
+        }
+        a
+    }
+
+    fn dense_solve(a: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+        a.solve(b).expect("reference dense solve")
+    }
+
+    fn rel_err(x: &[f64], y: &[f64]) -> f64 {
+        let num: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        num / den.max(1e-300)
+    }
+
+    fn build_sketch(a: &DenseMatrix, b: &[f64], tol: f64) -> SmwSketch {
+        let x0 = dense_solve(a, b);
+        SmwSketch::new(x0, b.to_vec(), tol)
+    }
+
+    #[test]
+    fn rank1_downdate_matches_dense_solve() {
+        let n = 12;
+        let rails = [(0, 2.0), (7, 1.5)];
+        let a0 = ladder(n, 3.0, &rails);
+        let b: Vec<f64> = (0..n).map(|i| 0.1 * (i as f64) - 0.4).collect();
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        // Remove the rail at node 7 (scale 1.5) and its rhs stamp 0.3.
+        let col = sk.add_column(vec![(7, 1.0)]);
+        sk.ensure_column(col, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        let ans = sk
+            .query(&[SmwUpdate {
+                column: col,
+                scale: 1.5,
+                rhs_delta: 0.3,
+            }])
+            .expect("rank-1 query");
+        // Exact: A_f = A0 − 1.5 e7e7ᵀ, b_f = b + 0.3 e7.
+        let mut af = a0.clone();
+        af[(7, 7)] -= 1.5;
+        let mut bf = b.clone();
+        bf[7] += 0.3;
+        let exact = dense_solve(&af, &bf);
+        assert!(
+            rel_err(&ans.x, &exact) < 1e-12,
+            "rel err {}",
+            rel_err(&ans.x, &exact)
+        );
+        assert!(ans.rel_residual <= 1e-9);
+    }
+
+    #[test]
+    fn rank2_downdate_with_sparse_multi_entry_columns() {
+        let n = 16;
+        let a0 = ladder(n, 2.0, &[(0, 1.0), (5, 0.8), (11, 0.6), (15, 1.2)]);
+        let b = vec![0.05; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        // A column spanning two nodes (like a TSV bundle edge pair).
+        let c1 = sk.add_column(vec![(5, 1.0)]);
+        let c2 = sk.add_column(vec![(11, 0.5), (15, 0.5)]);
+        sk.ensure_column(c1, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        sk.ensure_column(c2, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        let ups = [
+            SmwUpdate {
+                column: c1,
+                scale: 0.8,
+                rhs_delta: -0.2,
+            },
+            SmwUpdate {
+                column: c2,
+                scale: 0.4,
+                rhs_delta: 0.0,
+            },
+        ];
+        let ans = sk.query(&ups).expect("rank-2 query");
+        let mut af = a0.clone();
+        af[(5, 5)] -= 0.8;
+        for &(i, vi) in &[(11usize, 0.5), (15usize, 0.5)] {
+            for &(j, vj) in &[(11usize, 0.5), (15usize, 0.5)] {
+                af[(i, j)] -= 0.4 * vi * vj;
+            }
+        }
+        let mut bf = b.clone();
+        bf[5] -= 0.2;
+        let exact = dense_solve(&af, &bf);
+        assert!(
+            rel_err(&ans.x, &exact) < 1e-11,
+            "rel err {}",
+            rel_err(&ans.x, &exact)
+        );
+    }
+
+    #[test]
+    fn removing_the_only_rail_rejects_near_singular() {
+        let n = 8;
+        let a0 = ladder(n, 5.0, &[(3, 2.0)]);
+        let b = vec![0.1; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        let col = sk.add_column(vec![(3, 1.0)]);
+        sk.ensure_column(col, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        let err = sk
+            .query(&[SmwUpdate {
+                column: col,
+                scale: 2.0,
+                rhs_delta: -0.2,
+            }])
+            .expect_err("singular downdate must reject");
+        assert_eq!(err, SmwRejection::NearSingular);
+    }
+
+    #[test]
+    fn duplicate_column_sums_like_a_single_merged_update() {
+        let n = 8;
+        let a0 = ladder(n, 5.0, &[(0, 2.0), (7, 2.0)]);
+        let b = vec![0.1; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        let col = sk.add_column(vec![(0, 1.0)]);
+        sk.ensure_column(col, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        let split = sk
+            .query(&[
+                SmwUpdate {
+                    column: col,
+                    scale: 1.0,
+                    rhs_delta: -0.1,
+                },
+                SmwUpdate {
+                    column: col,
+                    scale: 1.0,
+                    rhs_delta: -0.1,
+                },
+            ])
+            .expect("duplicate-column query");
+        let merged = sk
+            .query(&[SmwUpdate {
+                column: col,
+                scale: 2.0,
+                rhs_delta: -0.2,
+            }])
+            .expect("merged query");
+        assert!(rel_err(&split.x, &merged.x) < 1e-12);
+    }
+
+    #[test]
+    fn unready_column_rejects_and_ensure_fixes_it() {
+        let n = 6;
+        let a0 = ladder(n, 1.0, &[(0, 1.0), (5, 1.0)]);
+        let b = vec![1.0; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        let col = sk.add_column(vec![(5, 1.0)]);
+        let up = [SmwUpdate {
+            column: col,
+            scale: 1.0,
+            rhs_delta: 0.0,
+        }];
+        assert_eq!(
+            sk.query(&up).expect_err("column not solved yet"),
+            SmwRejection::ColumnNotReady { column: col }
+        );
+        assert_eq!(sk.ready_count(), 0);
+        sk.ensure_column(col, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        assert_eq!(sk.ready_count(), 1);
+        assert!(sk.query(&up).is_ok());
+        // Eviction round-trips.
+        sk.clear_column(col);
+        assert!(!sk.column_ready(col));
+        assert_eq!(
+            sk.query(&up).expect_err("evicted column not ready"),
+            SmwRejection::ColumnNotReady { column: col }
+        );
+    }
+
+    #[test]
+    fn empty_update_list_returns_baseline() {
+        let n = 5;
+        let a0 = ladder(n, 1.0, &[(2, 1.0)]);
+        let b = vec![0.3; n];
+        let sk = build_sketch(&a0, &b, 1e-9);
+        let ans = sk.query(&[]).expect("empty query");
+        assert_eq!(ans.x, sk.baseline());
+        assert_eq!(ans.rel_residual, 0.0);
+    }
+
+    #[test]
+    fn nonpositive_scale_rejects_nonfinite() {
+        let n = 4;
+        let a0 = ladder(n, 1.0, &[(0, 1.0)]);
+        let b = vec![0.1; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        let col = sk.add_column(vec![(0, 1.0)]);
+        sk.ensure_column(col, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = sk
+                .query(&[SmwUpdate {
+                    column: col,
+                    scale: bad,
+                    rhs_delta: 0.0,
+                }])
+                .expect_err("invalid scale rejects");
+            assert_eq!(err, SmwRejection::NonFinite);
+        }
+    }
+
+    #[test]
+    fn add_column_merges_duplicate_indices() {
+        let n = 6;
+        let a0 = ladder(n, 1.0, &[(0, 1.0), (5, 1.0)]);
+        let b = vec![1.0; n];
+        let mut sk = build_sketch(&a0, &b, 1e-9);
+        let merged = sk.add_column(vec![(3, 0.25), (1, 1.0), (3, 0.75)]);
+        let plain = sk.add_column(vec![(1, 1.0), (3, 1.0)]);
+        sk.ensure_column(merged, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        sk.ensure_column(plain, |rhs| Ok(dense_solve(&a0, rhs)))
+            .unwrap();
+        let a = sk
+            .query(&[SmwUpdate {
+                column: merged,
+                scale: 0.05,
+                rhs_delta: 0.1,
+            }])
+            .unwrap();
+        let bq = sk
+            .query(&[SmwUpdate {
+                column: plain,
+                scale: 0.05,
+                rhs_delta: 0.1,
+            }])
+            .unwrap();
+        assert_eq!(a.x, bq.x);
+    }
+}
