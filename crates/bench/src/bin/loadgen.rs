@@ -4,14 +4,18 @@
 //! calibrates its single-shard service time, then drives an open-loop
 //! paced flood at `--overload` times the calibrated capacity with every
 //! request unique (no cache hits). Reports accepted-latency percentiles
-//! (p50/p99/p999), the shed rate, deadline misses and the post-flood
-//! recovery time into `BENCH_serve.json`.
+//! (p50/p99/p999), a per-phase breakdown (queue wait vs. solve, from the
+//! reply `telemetry` blocks), the shed rate, deadline misses and the
+//! post-flood recovery time into `BENCH_serve.json`
+//! (schema `vstack-bench-serve/2`).
 //!
 //! Invariants checked while measuring (the run fails on violation):
 //!
 //! * zero hangs — every request gets a structured answer within its
 //!   deadline plus a grace window;
-//! * every `overloaded` rejection carries `retry_after_ms`.
+//! * every `overloaded` rejection carries `retry_after_ms`;
+//! * every reply carries a `telemetry` block whose phase times sum to
+//!   no more than the client-observed wall time.
 //!
 //! ```text
 //! cargo run --release -p vstack-bench --bin loadgen -- --quick
@@ -69,6 +73,43 @@ enum Fate {
 struct Sample {
     fate: Fate,
     latency_us: u64,
+    /// Queue-wait phase from the reply `telemetry` block (0 if absent).
+    queue_wait_us: u64,
+    /// Solve phase from the reply `telemetry` block (0 if absent).
+    solve_us: u64,
+    /// Reply carried a well-formed `telemetry` block with a trace id.
+    telemetry_ok: bool,
+    /// `queue_wait_us + solve_us` exceeded the client-observed wall time.
+    phase_overrun: bool,
+}
+
+impl Sample {
+    /// Classifies one reply and pulls its phase breakdown out of the
+    /// server-side `telemetry` block. Hangs have no reply, so no block.
+    fn from_reply(fate: Fate, latency_us: u64, reply: Option<&Json>) -> Sample {
+        let telemetry = reply.and_then(|r| r.get("telemetry"));
+        let phase = |name: &str| {
+            telemetry
+                .and_then(|t| t.get(name))
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+        };
+        let queue_wait_us = phase("queue_wait_us").unwrap_or(0);
+        let solve_us = phase("solve_us").unwrap_or(0);
+        let telemetry_ok = fate == Fate::Hang
+            || telemetry
+                .and_then(|t| t.get("trace_id"))
+                .and_then(Json::as_str)
+                .is_some_and(|id| id.len() == 16 && id != "0000000000000000");
+        Sample {
+            fate,
+            latency_us,
+            queue_wait_us,
+            solve_us,
+            telemetry_ok,
+            phase_overrun: queue_wait_us + solve_us > latency_us,
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -88,9 +129,11 @@ fn main() -> ExitCode {
             lru_capacity: 64,
             cache_dir: None,
             warm_start: true,
+            ..ShardConfig::default()
         },
         default_deadline_ms: config.deadline_ms,
         max_deadline_ms: 300_000,
+        ..DaemonConfig::default()
     }) {
         Ok(d) => d,
         Err(e) => {
@@ -145,16 +188,16 @@ fn main() -> ExitCode {
                     let sent = Instant::now();
                     let response = roundtrip(&mut conn, &request_line(seq, deadline_ms));
                     let latency_us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    let fate = match response {
+                    let fate = match &response {
                         None => {
                             // Read timed out past deadline + grace: a hang.
                             // The connection is now desynchronized; reopen.
                             conn = connect(addr, deadline_ms);
                             Fate::Hang
                         }
-                        Some(r) => classify(&r),
+                        Some(r) => classify(r),
                     };
-                    samples.push(Sample { fate, latency_us });
+                    samples.push(Sample::from_reply(fate, latency_us, response.as_ref()));
                 }
                 samples
             })
@@ -192,18 +235,34 @@ fn main() -> ExitCode {
     let deadline_exceeded = count(Fate::DeadlineExceeded);
     let other = count(Fate::OtherError);
     let hangs = count(Fate::Hang);
-    let mut accepted_us: Vec<u64> = samples
-        .iter()
-        .filter(|s| s.fate == Fate::Ok)
-        .map(|s| s.latency_us)
-        .collect();
-    accepted_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if accepted_us.is_empty() {
+    let missing_telemetry = samples.iter().filter(|s| !s.telemetry_ok).count() as u64;
+    let phase_overruns = samples.iter().filter(|s| s.phase_overrun).count() as u64;
+    let accepted = |field: fn(&Sample) -> u64| -> Vec<u64> {
+        let mut values: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.fate == Fate::Ok)
+            .map(field)
+            .collect();
+        values.sort_unstable();
+        values
+    };
+    let accepted_us = accepted(|s| s.latency_us);
+    let queue_us = accepted(|s| s.queue_wait_us);
+    let solve_us = accepted(|s| s.solve_us);
+    let pct_of = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let idx = ((accepted_us.len() - 1) as f64 * p).round() as usize;
-        accepted_us[idx]
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let pct = |p: f64| pct_of(&accepted_us, p);
+    let phase_json = |sorted: &[u64]| {
+        Json::obj(vec![
+            ("p50_us", Json::Num(pct_of(sorted, 0.50) as f64)),
+            ("p99_us", Json::Num(pct_of(sorted, 0.99) as f64)),
+            ("p999_us", Json::Num(pct_of(sorted, 0.999) as f64)),
+        ])
     };
     let shed_rate = if total == 0 {
         0.0
@@ -212,7 +271,7 @@ fn main() -> ExitCode {
     };
 
     let report = Json::obj(vec![
-        ("schema", Json::Str("vstack-bench-serve/1".to_string())),
+        ("schema", Json::Str("vstack-bench-serve/2".to_string())),
         ("quick", Json::Bool(config.quick)),
         (
             "config",
@@ -247,6 +306,15 @@ fn main() -> ExitCode {
                 ("p50_us", Json::Num(pct(0.50) as f64)),
                 ("p99_us", Json::Num(pct(0.99) as f64)),
                 ("p999_us", Json::Num(pct(0.999) as f64)),
+                (
+                    "phases",
+                    Json::obj(vec![
+                        ("queue_wait", phase_json(&queue_us)),
+                        ("solve", phase_json(&solve_us)),
+                    ]),
+                ),
+                ("missing_telemetry", Json::Num(missing_telemetry as f64)),
+                ("phase_overruns", Json::Num(phase_overruns as f64)),
                 ("flood_ms", Json::Num(flood_ms as f64)),
                 (
                     "recovery_ms",
@@ -282,6 +350,17 @@ fn main() -> ExitCode {
     }
     if recovery_ms.is_none() {
         eprintln!("loadgen: FAIL — server did not accept again after the flood");
+        failed = true;
+    }
+    if missing_telemetry > 0 {
+        eprintln!("loadgen: FAIL — {missing_telemetry} reply(ies) lacked a telemetry block");
+        failed = true;
+    }
+    if phase_overruns > 0 {
+        eprintln!(
+            "loadgen: FAIL — {phase_overruns} reply(ies) reported phase times \
+             exceeding the observed wall time"
+        );
         failed = true;
     }
     if failed {

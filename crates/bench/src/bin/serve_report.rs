@@ -1,0 +1,428 @@
+//! `serve_report` — joins serving-daemon telemetry streams and
+//! flight-recorder dumps into one per-phase latency report.
+//!
+//! Inputs:
+//!
+//! * `--telemetry FILE` (repeatable) — an NDJSON stream written by
+//!   `vstack-serve --telemetry-out` (schema `vstack-telemetry/1`). The
+//!   last rollup line of each stream is taken (the rolling 60 s horizon
+//!   at shutdown) and its per-shard bucket counts are merged so the
+//!   report can re-derive p50/p99/p999 across shards and processes.
+//! * `--flight FILE` (repeatable) — a flight-recorder dump (schema
+//!   `vstack-flight/1`), as written on worker panic, deadline miss or
+//!   shed-rate spike, or on demand via the `flightdump` verb.
+//!
+//! Output: a per-phase latency table on stdout and, with `--out FILE`,
+//! a machine-readable `vstack-serve-report/1` JSON document.
+//!
+//! ```text
+//! cargo run -p vstack-bench --bin serve_report -- \
+//!     --telemetry telemetry.ndjson --flight flight-1234-0.ndjson
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vstack_engine::json::Json;
+use vstack_obs::metrics::bucket_quantile;
+
+const PHASES: [&str; 3] = ["total", "queue", "solve"];
+
+struct Config {
+    telemetry: Vec<PathBuf>,
+    flight: Vec<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+/// One phase's bucket counts merged across every shard of every stream.
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    sum_us: u64,
+    over_slo: u64,
+    edges: Vec<u64>,
+    buckets: Vec<u64>,
+}
+
+impl PhaseAgg {
+    fn merge(&mut self, rollup: &Json) -> Result<(), String> {
+        let num = |name: &str| -> Result<u64, String> {
+            rollup
+                .get(name)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("phase rollup missing \"{name}\""))
+        };
+        let ints = |name: &str| -> Result<Vec<u64>, String> {
+            rollup
+                .get(name)
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().map(|v| v.as_f64().unwrap_or(0.0) as u64).collect())
+                .ok_or_else(|| format!("phase rollup missing \"{name}\""))
+        };
+        let edges = ints("edges")?;
+        let buckets = ints("buckets")?;
+        if self.edges.is_empty() {
+            self.edges = edges;
+            self.buckets = vec![0; self.edges.len() + 1];
+        } else if self.edges != edges {
+            return Err("telemetry streams use different histogram edges".to_string());
+        }
+        if buckets.len() != self.buckets.len() {
+            return Err("bucket count does not match the edge count".to_string());
+        }
+        for (acc, b) in self.buckets.iter_mut().zip(&buckets) {
+            *acc += b;
+        }
+        self.count += num("count")?;
+        self.sum_us += num("sum_us")?;
+        self.over_slo += num("over_slo")?;
+        Ok(())
+    }
+
+    fn quantile(&self, q: f64) -> u64 {
+        bucket_quantile(&self.edges, &self.buckets, self.count, q)
+    }
+
+    fn burn_rate(&self, slo_target: f64) -> f64 {
+        if self.count == 0 || slo_target >= 1.0 {
+            return 0.0;
+        }
+        (self.over_slo as f64 / self.count as f64) / (1.0 - slo_target)
+    }
+}
+
+/// Everything pulled out of the flight dumps.
+#[derive(Default)]
+struct FlightAgg {
+    dumps: u64,
+    records: u64,
+    reasons: Vec<String>,
+    outcomes: BTreeMap<String, u64>,
+    tiers: BTreeMap<String, u64>,
+    /// Trace ids of panicked or deadline-missed requests.
+    offending_trace_ids: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(config: &Config) -> Result<(), String> {
+    let mut phases: BTreeMap<&str, PhaseAgg> = PHASES
+        .iter()
+        .map(|&name| (name, PhaseAgg::default()))
+        .collect();
+    let mut slo: Option<(u64, f64)> = None;
+    for path in &config.telemetry {
+        let rollup = last_rollup(path)?;
+        if slo.is_none() {
+            let doc = rollup.get("slo").ok_or("rollup missing \"slo\"")?;
+            slo = Some((
+                doc.get("threshold_us")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
+                doc.get("target").and_then(Json::as_f64).unwrap_or(0.0),
+            ));
+        }
+        let shards = rollup
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{}: rollup missing \"shards\"", path.display()))?;
+        for shard in shards {
+            for phase in PHASES {
+                let doc = shard
+                    .get(phase)
+                    .ok_or_else(|| format!("{}: shard missing \"{phase}\"", path.display()))?;
+                phases
+                    .get_mut(phase)
+                    .expect("phase preseeded")
+                    .merge(doc)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+        }
+    }
+
+    let mut flight = FlightAgg::default();
+    for path in &config.flight {
+        read_flight(path, &mut flight)?;
+    }
+
+    print_table(&phases, &flight, slo);
+    if let Some(out) = &config.out {
+        let report = report_json(&phases, &flight, slo, config);
+        std::fs::write(out, report.emit() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        eprintln!("serve_report: wrote {}", out.display());
+    }
+    Ok(())
+}
+
+/// The last parseable `vstack-telemetry/1` line of one NDJSON stream.
+fn last_rollup(path: &PathBuf) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    text.lines()
+        .rev()
+        .find_map(|line| {
+            Json::parse(line).ok().filter(|doc| {
+                doc.get("schema").and_then(Json::as_str) == Some("vstack-telemetry/1")
+            })
+        })
+        .ok_or_else(|| format!("{}: no vstack-telemetry/1 rollup line", path.display()))
+}
+
+fn read_flight(path: &PathBuf, agg: &mut FlightAgg) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty flight dump", path.display()))?;
+    let header = Json::parse(header)
+        .map_err(|e| format!("{}: header does not parse: {e:?}", path.display()))?;
+    if header.get("schema").and_then(Json::as_str) != Some("vstack-flight/1") {
+        return Err(format!("{}: not a vstack-flight/1 dump", path.display()));
+    }
+    agg.dumps += 1;
+    let reason = header
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    if !agg.reasons.contains(&reason) {
+        agg.reasons.push(reason);
+    }
+    for line in lines {
+        let record = Json::parse(line)
+            .map_err(|e| format!("{}: record does not parse: {e:?}", path.display()))?;
+        agg.records += 1;
+        let outcome = record
+            .get("outcome")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        if matches!(outcome.as_str(), "panic" | "deadline_miss") {
+            if let Some(id) = record.get("trace_id").and_then(Json::as_str) {
+                if !agg.offending_trace_ids.contains(&id.to_string()) {
+                    agg.offending_trace_ids.push(id.to_string());
+                }
+            }
+        }
+        *agg.outcomes.entry(outcome).or_insert(0) += 1;
+        let tier = record
+            .get("cache_tier")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        *agg.tiers.entry(tier).or_insert(0) += 1;
+    }
+    Ok(())
+}
+
+fn print_table(phases: &BTreeMap<&str, PhaseAgg>, flight: &FlightAgg, slo: Option<(u64, f64)>) {
+    if let Some((threshold_us, target)) = slo {
+        println!("slo: {threshold_us} us at target {target}");
+    }
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50_us", "p99_us", "p999_us", "burn_rate"
+    );
+    let target = slo.map_or(0.0, |(_, t)| t);
+    for phase in PHASES {
+        let agg = &phases[phase];
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10.3}",
+            phase,
+            agg.count,
+            agg.quantile(0.50),
+            agg.quantile(0.99),
+            agg.quantile(0.999),
+            agg.burn_rate(target),
+        );
+    }
+    if flight.dumps > 0 {
+        let outcomes: Vec<String> = flight
+            .outcomes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "flight: {} dump(s), {} record(s), reasons=[{}], outcomes=[{}], offending={}",
+            flight.dumps,
+            flight.records,
+            flight.reasons.join(","),
+            outcomes.join(","),
+            flight.offending_trace_ids.len(),
+        );
+    }
+}
+
+fn report_json(
+    phases: &BTreeMap<&str, PhaseAgg>,
+    flight: &FlightAgg,
+    slo: Option<(u64, f64)>,
+    config: &Config,
+) -> Json {
+    let target = slo.map_or(0.0, |(_, t)| t);
+    let phase_json = |agg: &PhaseAgg| {
+        Json::obj(vec![
+            ("count", Json::Num(agg.count as f64)),
+            ("sum_us", Json::Num(agg.sum_us as f64)),
+            ("over_slo", Json::Num(agg.over_slo as f64)),
+            ("p50_us", Json::Num(agg.quantile(0.50) as f64)),
+            ("p99_us", Json::Num(agg.quantile(0.99) as f64)),
+            ("p999_us", Json::Num(agg.quantile(0.999) as f64)),
+            ("burn_rate", Json::Num(agg.burn_rate(target))),
+        ])
+    };
+    let count_map = |m: &BTreeMap<String, u64>| {
+        Json::Obj(
+            m.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("schema", Json::Str("vstack-serve-report/1".to_string())),
+        (
+            "sources",
+            Json::obj(vec![
+                ("telemetry", Json::Num(config.telemetry.len() as f64)),
+                ("flight", Json::Num(config.flight.len() as f64)),
+            ]),
+        ),
+        (
+            "slo",
+            slo.map_or(Json::Null, |(threshold_us, target)| {
+                Json::obj(vec![
+                    ("threshold_us", Json::Num(threshold_us as f64)),
+                    ("target", Json::Num(target)),
+                ])
+            }),
+        ),
+        (
+            "phases",
+            Json::obj(vec![
+                ("total", phase_json(&phases["total"])),
+                ("queue_wait", phase_json(&phases["queue"])),
+                ("solve", phase_json(&phases["solve"])),
+            ]),
+        ),
+        (
+            "flight",
+            Json::obj(vec![
+                ("dumps", Json::Num(flight.dumps as f64)),
+                ("records", Json::Num(flight.records as f64)),
+                (
+                    "reasons",
+                    Json::Arr(
+                        flight
+                            .reasons
+                            .iter()
+                            .map(|r| Json::Str(r.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("outcomes", count_map(&flight.outcomes)),
+                ("cache_tiers", count_map(&flight.tiers)),
+                (
+                    "offending_trace_ids",
+                    Json::Arr(
+                        flight
+                            .offending_trace_ids
+                            .iter()
+                            .map(|id| Json::Str(id.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut config = Config {
+        telemetry: Vec::new(),
+        flight: Vec::new(),
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--telemetry" => config.telemetry.push(PathBuf::from(
+                args.next().ok_or("--telemetry needs a path")?,
+            )),
+            "--flight" => config
+                .flight
+                .push(PathBuf::from(args.next().ok_or("--flight needs a path")?)),
+            "--out" => config.out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve_report [--telemetry FILE]... [--flight FILE]... [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag \"{other}\"")),
+        }
+    }
+    if config.telemetry.is_empty() && config.flight.is_empty() {
+        return Err("need at least one --telemetry or --flight input".to_string());
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_two_shards_and_rederives_quantiles() {
+        let mut agg = PhaseAgg::default();
+        let shard = |buckets: [f64; 3]| {
+            Json::obj(vec![
+                ("count", Json::Num(buckets.iter().sum())),
+                ("sum_us", Json::Num(100.0)),
+                ("over_slo", Json::Num(1.0)),
+                ("edges", Json::Arr(vec![Json::Num(10.0), Json::Num(100.0)])),
+                ("buckets", Json::Arr(buckets.map(Json::Num).to_vec())),
+            ])
+        };
+        agg.merge(&shard([3.0, 1.0, 0.0])).unwrap();
+        agg.merge(&shard([1.0, 2.0, 1.0])).unwrap();
+        assert_eq!(agg.count, 8);
+        assert_eq!(agg.buckets, vec![4, 3, 1]);
+        assert_eq!(agg.quantile(0.50), 10);
+        assert_eq!(agg.quantile(0.99), 200); // overflow bucket: 2x last edge
+    }
+
+    #[test]
+    fn mismatched_edges_are_rejected() {
+        let mut agg = PhaseAgg::default();
+        let doc = |edge: f64| {
+            Json::obj(vec![
+                ("count", Json::Num(0.0)),
+                ("sum_us", Json::Num(0.0)),
+                ("over_slo", Json::Num(0.0)),
+                ("edges", Json::Arr(vec![Json::Num(edge)])),
+                ("buckets", Json::Arr(vec![Json::Num(0.0), Json::Num(0.0)])),
+            ])
+        };
+        agg.merge(&doc(10.0)).unwrap();
+        assert!(agg.merge(&doc(20.0)).is_err());
+    }
+}

@@ -14,6 +14,56 @@
 
 use std::path::PathBuf;
 
+use vstack_engine::json::Json;
+
+/// The canonical `trace_id` placeholder left by [`zero_wallclock`].
+pub const ZEROED_TRACE_ID: &str = "0000000000000000";
+
+/// Recursively zeroes every wall-clock-dependent field of a JSON
+/// document so two runs of a deterministic workload compare
+/// byte-identical:
+///
+/// * numeric fields whose name ends in `_us` or `_ms` (latencies,
+///   uptimes, backoff hints) become `0`;
+/// * object fields with those suffixes (or `_us_hist`) are treated as
+///   histograms: `sum` and `buckets` are zeroed, observation *counts*
+///   stay, since how many times a timer fired is deterministic;
+/// * `trace_id` strings become [`ZEROED_TRACE_ID`] (minted per process,
+///   so never reproducible).
+///
+/// Used by the `explore` snapshot test and the serving telemetry
+/// byte-identity test; keep the two in sync by keeping them here.
+pub fn zero_wallclock(doc: &mut Json) {
+    match doc {
+        Json::Obj(fields) => {
+            for (name, value) in fields {
+                let timed =
+                    name.ends_with("_us") || name.ends_with("_ms") || name.ends_with("_us_hist");
+                match (timed, &mut *value) {
+                    (true, Json::Num(n)) => *n = 0.0,
+                    (true, Json::Obj(hist_fields)) => {
+                        for (field, v) in hist_fields {
+                            match (field.as_str(), &mut *v) {
+                                ("sum", Json::Num(n)) => *n = 0.0,
+                                ("buckets", Json::Arr(buckets)) => {
+                                    buckets.fill(Json::Num(0.0));
+                                }
+                                _ => zero_wallclock(v),
+                            }
+                        }
+                    }
+                    (_, Json::Str(s)) if name == "trace_id" => {
+                        *s = ZEROED_TRACE_ID.to_string();
+                    }
+                    (_, v) => zero_wallclock(v),
+                }
+            }
+        }
+        Json::Arr(items) => items.iter_mut().for_each(zero_wallclock),
+        _ => {}
+    }
+}
+
 /// Deferred observability outputs for one binary run.
 ///
 /// Construction arms the tracer when a trace path was requested;

@@ -6,6 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use vstack_bench::obs::zero_wallclock;
 use vstack_engine::json::Json;
 
 fn run_explore(dir: &Path, tag: &str) -> (PathBuf, PathBuf) {
@@ -38,49 +39,6 @@ fn run_explore(dir: &Path, tag: &str) -> (PathBuf, PathBuf) {
     (trace, metrics)
 }
 
-/// Zeroes every wall-clock-dependent field (names carrying a `_us`
-/// marker): counter values, and histogram buckets + sums — observation
-/// *counts* stay, since how many times a timer fired is deterministic.
-fn canonicalize(metrics: &mut Json) {
-    let timed = |name: &str| name.ends_with("_us") || name.ends_with("_us_hist");
-    let Json::Obj(fields) = metrics else {
-        panic!("snapshot must be an object")
-    };
-    for (key, value) in fields {
-        match (key.as_str(), value) {
-            ("counters", Json::Obj(counters)) => {
-                for (name, v) in counters {
-                    if timed(name) {
-                        *v = Json::Num(0.0);
-                    }
-                }
-            }
-            ("histograms", Json::Obj(histograms)) => {
-                for (name, hist) in histograms {
-                    if !timed(name) {
-                        continue;
-                    }
-                    let Json::Obj(hist_fields) = hist else {
-                        panic!("histogram must be an object")
-                    };
-                    for (field, v) in hist_fields {
-                        match field.as_str() {
-                            "sum" => *v = Json::Num(0.0),
-                            "buckets" => {
-                                if let Json::Arr(buckets) = v {
-                                    buckets.fill(Json::Num(0.0));
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
 #[test]
 fn repeated_sweeps_yield_identical_canonical_snapshots() {
     let dir = std::env::temp_dir().join(format!("vstack-explore-obs-{}", std::process::id()));
@@ -99,7 +57,7 @@ fn repeated_sweeps_yield_identical_canonical_snapshots() {
             snapshot.get("schema").and_then(Json::as_str),
             Some("vstack-obs-metrics/1")
         );
-        canonicalize(snapshot);
+        zero_wallclock(snapshot);
     }
     let [a, b] = snapshots;
     assert_eq!(a.emit(), b.emit(), "canonical snapshots must be identical");

@@ -28,22 +28,28 @@
 //! `--queue-depth N`, `--deadline-ms N` (default deadline, 30000),
 //! `--max-deadline-ms N`, `--no-drain` (shed instead of finishing queued
 //! work on shutdown), `--metrics-out FILE` (write the final metrics
-//! snapshot there on exit). Diagnostics go to stderr through the
-//! `vstack-obs` logger (target `serve`); tune with `VSTACK_LOG`.
+//! snapshot there on exit), `--telemetry-out FILE` (daemon mode: append a
+//! telemetry-rollup NDJSON line per interval), `--telemetry-interval-ms
+//! N` (default 1000), `--flight-dir DIR` (where flight-recorder dumps
+//! land; defaults to `vstack-flight/` under the system temp dir),
+//! `--slo-ms N` (windowed-histogram SLO threshold, default 250).
+//! Diagnostics go to stderr through the `vstack-obs` logger (target
+//! `serve`); tune with `VSTACK_LOG`.
 
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vstack_engine::engine::{Engine, EngineConfig};
 use vstack_engine::json::Json;
 use vstack_engine::request::ScenarioRequest;
 use vstack_engine::server::protocol::{
-    self, code, engine_error_response, metrics_response, ok_response,
+    self, attach_telemetry, code, engine_error_response, metrics_response, ok_response,
 };
-use vstack_engine::server::{Bind, Daemon, DaemonConfig, ShardConfig};
+use vstack_engine::server::telemetry::RequestCtx;
+use vstack_engine::server::{Bind, Daemon, DaemonConfig, RequestTelemetry, ShardConfig};
 use vstack_obs::{log_error, log_info, log_warn};
 
 /// Async-signal-safe SIGTERM/SIGINT latch. Lives in the binary because
@@ -95,6 +101,11 @@ struct Args {
     max_deadline_ms: u64,
     drain: bool,
     metrics_out: Option<PathBuf>,
+    telemetry_out: Option<PathBuf>,
+    telemetry_interval_ms: u64,
+    /// `None` means "pick the default under the system temp dir".
+    flight_dir: Option<PathBuf>,
+    slo_ms: u64,
 }
 
 impl Default for Args {
@@ -108,6 +119,10 @@ impl Default for Args {
             max_deadline_ms: 300_000,
             drain: true,
             metrics_out: None,
+            telemetry_out: None,
+            telemetry_interval_ms: 1_000,
+            flight_dir: None,
+            slo_ms: 250,
         }
     }
 }
@@ -129,6 +144,10 @@ fn main() -> ExitCode {
 
 /// Daemon mode: start, park until a stop arrives, shut down.
 fn run_daemon(args: &Args) -> ExitCode {
+    let flight_dir = args
+        .flight_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join("vstack-flight"));
     let config = DaemonConfig {
         bind: args.bind.clone().expect("daemon mode has a bind"),
         shard: ShardConfig {
@@ -137,9 +156,14 @@ fn run_daemon(args: &Args) -> ExitCode {
             lru_capacity: args.engine.lru_capacity,
             cache_dir: args.engine.cache_dir.clone(),
             warm_start: args.engine.warm_start,
+            flight_dir: Some(flight_dir),
+            slo_us: args.slo_ms.saturating_mul(1_000),
+            slo_target: 0.999,
         },
         default_deadline_ms: args.default_deadline_ms,
         max_deadline_ms: args.max_deadline_ms,
+        telemetry_out: args.telemetry_out.clone(),
+        telemetry_interval_ms: args.telemetry_interval_ms,
     };
     let daemon = match Daemon::start(config) {
         Ok(d) => d,
@@ -297,11 +321,26 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 let path = args.next().ok_or("--metrics-out needs a path")?;
                 parsed.metrics_out = Some(PathBuf::from(path));
             }
+            "--telemetry-out" => {
+                let path = args.next().ok_or("--telemetry-out needs a path")?;
+                parsed.telemetry_out = Some(PathBuf::from(path));
+            }
+            "--telemetry-interval-ms" => {
+                parsed.telemetry_interval_ms =
+                    positive("--telemetry-interval-ms", args.next())? as u64;
+            }
+            "--flight-dir" => {
+                let dir = args.next().ok_or("--flight-dir needs a path")?;
+                parsed.flight_dir = Some(PathBuf::from(dir));
+            }
+            "--slo-ms" => parsed.slo_ms = positive("--slo-ms", args.next())? as u64,
             "--help" | "-h" => {
                 return Err(
                     "usage: vstack-serve [--cache-dir DIR] [--lru N] [--no-warm-start] \
                      [--listen ADDR | --unix PATH] [--shards N] [--queue-depth N] \
-                     [--deadline-ms N] [--max-deadline-ms N] [--no-drain] [--metrics-out FILE]"
+                     [--deadline-ms N] [--max-deadline-ms N] [--no-drain] [--metrics-out FILE] \
+                     [--telemetry-out FILE] [--telemetry-interval-ms N] [--flight-dir DIR] \
+                     [--slo-ms N]"
                         .to_string(),
                 )
             }
@@ -398,13 +437,41 @@ fn handle_line(engine: &mut Engine, line: &str) -> (Vec<Json>, bool) {
     }
 }
 
+/// Builds the stdin-mode telemetry block: a single-engine front-end has
+/// no queue or shards, so `queue_wait_us` is 0 and `shard` is 0, but
+/// trace IDs, cache tier, solver path, and solve time match the daemon's
+/// vocabulary.
+fn stdin_telemetry(
+    ctx: RequestCtx,
+    solve_us: u64,
+    result: &Result<vstack_engine::engine::QueryResult, vstack_engine::engine::EngineError>,
+) -> RequestTelemetry {
+    let mut t = RequestTelemetry::unserved(ctx.trace_id, 0);
+    t.solve_us = solve_us;
+    if let Ok(r) = result {
+        t.cache_tier = RequestTelemetry::tier_for(r.outcome);
+        t.solver_path = r.summary.solver_path.clone();
+    }
+    t
+}
+
 /// Serves a single stdin-mode `solve` op.
 fn serve_one(engine: &mut Engine, id: Option<Json>, scenario: &Json) -> Json {
     match ScenarioRequest::from_json(scenario) {
-        Ok(request) => match engine.query(&request) {
-            Ok(result) => ok_response(id, &result),
-            Err(e) => engine_error_response(id, &e),
-        },
+        Ok(request) => {
+            let ctx = RequestCtx::mint();
+            let trace = vstack_obs::trace::trace_scope(ctx.trace_id);
+            let started = Instant::now();
+            let result = engine.query(&request);
+            let solve_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            drop(trace);
+            let t = stdin_telemetry(ctx, solve_us, &result);
+            let reply = match result {
+                Ok(result) => ok_response(id, &result),
+                Err(e) => engine_error_response(id, &e),
+            };
+            attach_telemetry(reply, &t)
+        }
         Err(e) => protocol::error_response(id, code::INVALID_REQUEST, &e),
     }
 }
@@ -412,7 +479,8 @@ fn serve_one(engine: &mut Engine, id: Option<Json>, scenario: &Json) -> Json {
 /// Serves a stdin-mode `batch` op: parse every item first, then run the
 /// parseable scenarios through one engine batch (so duplicates dedup and
 /// solves run in parallel), and emit one response line per item in input
-/// order.
+/// order. The batch is one admission, so every item shares one trace ID;
+/// per-item solve time comes from the engine's own latency accounting.
 fn serve_batch(engine: &mut Engine, items: &[Json]) -> Vec<Json> {
     let mut parsed: Vec<(Option<Json>, Result<ScenarioRequest, String>)> = Vec::new();
     for item in items {
@@ -427,15 +495,27 @@ fn serve_batch(engine: &mut Engine, items: &[Json]) -> Vec<Json> {
         .iter()
         .filter_map(|(_, r)| r.as_ref().ok().cloned())
         .collect();
+    let ctx = RequestCtx::mint();
+    let trace = vstack_obs::trace::trace_scope(ctx.trace_id);
     let mut outcomes = engine.query_batch(&requests).into_iter();
+    drop(trace);
     parsed
         .into_iter()
         .map(|(id, request)| match request {
             Err(e) => protocol::error_response(id, code::INVALID_REQUEST, &e),
-            Ok(_) => match outcomes.next().expect("one outcome per valid request") {
-                Ok(result) => ok_response(id, &result),
-                Err(e) => engine_error_response(id, &e),
-            },
+            Ok(_) => {
+                let result = outcomes.next().expect("one outcome per valid request");
+                let solve_us = match &result {
+                    Ok(r) => r.latency_us,
+                    Err(_) => 0,
+                };
+                let t = stdin_telemetry(ctx, solve_us, &result);
+                let reply = match result {
+                    Ok(result) => ok_response(id, &result),
+                    Err(e) => engine_error_response(id, &e),
+                };
+                attach_telemetry(reply, &t)
+            }
         })
         .collect()
 }

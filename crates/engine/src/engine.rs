@@ -349,7 +349,12 @@ impl Engine {
         );
         let queue_depth = jobs.len() as u64;
         let cancel = self.cancel.clone();
+        // Thread-locals don't cross the pool: capture the caller's trace
+        // id here and re-publish it inside each worker closure so spans
+        // recorded in the solver ladder stay tagged with the request.
+        let trace_id = vstack_obs::trace::current_trace();
         let solved: Vec<SolvedJob> = pool::par_map(jobs, |(fp, request, guess)| {
+            let _trace = vstack_obs::trace::trace_scope(trace_id);
             let started = Instant::now();
             let warm = guess.is_some();
             let outcome = solve_scenario_cancellable(&request, guess.as_deref(), &cancel);

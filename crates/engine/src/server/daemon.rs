@@ -37,7 +37,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use vstack_obs::{log_info, log_warn};
 use vstack_sparse::CancelToken;
@@ -45,10 +45,13 @@ use vstack_sparse::CancelToken;
 use crate::json::Json;
 use crate::request::ScenarioRequest;
 use crate::server::protocol::{
-    self, code, engine_error_response, error_response, metrics_response, ok_response,
-    overloaded_response,
+    self, attach_telemetry, code, engine_error_response, error_response, metrics_response,
+    ok_response, overloaded_response,
 };
 use crate::server::shard::{Admission, ShardConfig, ShardOutcome, ShardPool};
+use crate::server::telemetry::{
+    FlightOutcome, RequestCtx, RequestTelemetry, TELEMETRY_SCHEMA_VERSION,
+};
 
 /// How long a reply wait may exceed the request deadline: covers the gap
 /// between the ladder's cancellation poll points so a cooperatively
@@ -81,6 +84,12 @@ pub struct DaemonConfig {
     pub default_deadline_ms: u64,
     /// Upper clamp for client-supplied `deadline_ms`.
     pub max_deadline_ms: u64,
+    /// Append one telemetry-rollup NDJSON line per interval here
+    /// (`None` disables the writer). A final line is written on
+    /// shutdown so short-lived runs are never empty.
+    pub telemetry_out: Option<PathBuf>,
+    /// Interval between `telemetry_out` lines, milliseconds.
+    pub telemetry_interval_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -90,6 +99,8 @@ impl Default for DaemonConfig {
             shard: ShardConfig::default(),
             default_deadline_ms: 30_000,
             max_deadline_ms: 300_000,
+            telemetry_out: None,
+            telemetry_interval_ms: 1_000,
         }
     }
 }
@@ -111,6 +122,7 @@ struct Shared {
 pub struct Daemon {
     shared: Arc<Shared>,
     accept: Mutex<Option<thread::JoinHandle<()>>>,
+    telemetry_writer: Mutex<Option<thread::JoinHandle<()>>>,
     bind: Bind,
     /// Resolved TCP address (meaningful for port-0 binds).
     tcp_addr: Option<SocketAddr>,
@@ -140,6 +152,20 @@ impl Daemon {
                 .spawn(move || accept_loop(&listener, &shared))
                 .map_err(io::Error::other)?
         };
+        let telemetry_writer = match &config.telemetry_out {
+            Some(path) => {
+                let shared = Arc::clone(&shared);
+                let path = path.clone();
+                let interval = Duration::from_millis(config.telemetry_interval_ms.max(10));
+                Some(
+                    thread::Builder::new()
+                        .name("vstack-telemetry".to_string())
+                        .spawn(move || telemetry_writer_loop(&shared, &path, interval))
+                        .map_err(io::Error::other)?,
+                )
+            }
+            None => None,
+        };
         match &config.bind {
             Bind::Tcp(_) => log_info!(
                 "serve",
@@ -152,6 +178,7 @@ impl Daemon {
         Ok(Daemon {
             shared,
             accept: Mutex::new(Some(accept)),
+            telemetry_writer: Mutex::new(telemetry_writer),
             bind: config.bind,
             tcp_addr,
         })
@@ -187,6 +214,14 @@ impl Daemon {
         self.nudge_listener();
         let accept = self.accept.lock().expect("accept handle lock").take();
         if let Some(handle) = accept {
+            let _ = handle.join();
+        }
+        let writer = self
+            .telemetry_writer
+            .lock()
+            .expect("telemetry writer lock")
+            .take();
+        if let Some(handle) = writer {
             let _ = handle.join();
         }
         self.shared.pool.shutdown(drain);
@@ -414,6 +449,8 @@ fn handle_request(text: &str, shared: &Arc<Shared>) -> (Vec<Json>, bool) {
         "batch" => (serve_batch(&doc, id, shared), false),
         "stats" => (vec![stats_response(id, shared)], false),
         "metrics" => (vec![metrics_response(id)], false),
+        "telemetry" => (vec![telemetry_response(id, shared)], false),
+        "flightdump" => (vec![flightdump_response(id, shared)], false),
         "shutdown" => {
             let mut fields = vec![];
             if let Some(id) = id {
@@ -458,8 +495,18 @@ fn serve_solve(doc: &Json, id: Option<Json>, shared: &Shared) -> Json {
     };
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
     let cancel = CancelToken::with_deadline(deadline);
-    let admission = shared.pool.submit(&request, cancel.clone());
-    settle(admission, id, deadline, &cancel, shared)
+    let ctx = RequestCtx::mint();
+    let (admission, shard) = shared.pool.submit(&request, cancel.clone(), ctx);
+    settle(
+        admission,
+        shard,
+        request.fingerprint(),
+        id,
+        deadline,
+        &cancel,
+        shared,
+        ctx,
+    )
 }
 
 /// A `batch` op: admit every parseable item up front (so siblings dedup
@@ -479,7 +526,11 @@ fn serve_batch(doc: &Json, batch_id: Option<Json>, shared: &Shared) -> Vec<Json>
     };
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
     let cancel = CancelToken::with_deadline(deadline);
-    let mut pending: Vec<(Option<Json>, Result<Admission, Json>)> = Vec::new();
+    type Pending = (
+        Option<Json>,
+        Result<(Admission, usize, u64, RequestCtx), Json>,
+    );
+    let mut pending: Vec<Pending> = Vec::new();
     for item in items {
         let id = item.get("id").cloned();
         let request = match item.get("scenario") {
@@ -488,8 +539,9 @@ fn serve_batch(doc: &Json, batch_id: Option<Json>, shared: &Shared) -> Vec<Json>
         };
         match request {
             Ok(request) => {
-                let admission = shared.pool.submit(&request, cancel.clone());
-                pending.push((id, Ok(admission)));
+                let ctx = RequestCtx::mint();
+                let (admission, shard) = shared.pool.submit(&request, cancel.clone(), ctx);
+                pending.push((id, Ok((admission, shard, request.fingerprint(), ctx))));
             }
             Err(e) => {
                 pending.push((
@@ -502,40 +554,81 @@ fn serve_batch(doc: &Json, batch_id: Option<Json>, shared: &Shared) -> Vec<Json>
     pending
         .into_iter()
         .map(|(id, entry)| match entry {
-            Ok(admission) => settle(admission, id, deadline, &cancel, shared),
+            Ok((admission, shard, fingerprint, ctx)) => settle(
+                admission,
+                shard,
+                fingerprint,
+                id,
+                deadline,
+                &cancel,
+                shared,
+                ctx,
+            ),
             Err(response) => response,
         })
         .collect()
 }
 
 /// Turns an admission decision into the final response, waiting (bounded)
-/// for the shard when the request was admitted or joined.
+/// for the shard when the request was admitted or joined. Every response
+/// — success or failure — carries an additive `telemetry` block with the
+/// caller's own trace ID.
+#[allow(clippy::too_many_arguments)]
 fn settle(
     admission: Admission,
+    shard: usize,
+    fingerprint: u64,
     id: Option<Json>,
     deadline: Instant,
     cancel: &CancelToken,
-    _shared: &Shared,
+    shared: &Shared,
+    ctx: RequestCtx,
 ) -> Json {
     let m = vstack_obs::metrics::global();
-    let rx = match admission {
-        Admission::Queued(rx) | Admission::Joined(rx) => rx,
-        Admission::Shed { retry_after_ms } => return overloaded_response(id, retry_after_ms),
+    let own_wall_us = || u64::try_from(ctx.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let (rx, joined) = match admission {
+        Admission::Queued(rx) => (rx, false),
+        Admission::Joined(rx) => (rx, true),
+        Admission::Shed { retry_after_ms } => {
+            let t = RequestTelemetry::unserved(ctx.trace_id, shard);
+            return attach_telemetry(overloaded_response(id, retry_after_ms), &t);
+        }
         Admission::Closed => {
-            return error_response(id, code::UNAVAILABLE, "server is shutting down")
+            let t = RequestTelemetry::unserved(ctx.trace_id, shard);
+            return attach_telemetry(
+                error_response(id, code::UNAVAILABLE, "server is shutting down"),
+                &t,
+            );
         }
     };
     let wait = deadline + REPLY_GRACE - Instant::now();
     match rx.recv_timeout(wait) {
-        Ok(ShardOutcome::Done(Ok(result))) => ok_response(id, &result),
-        Ok(ShardOutcome::Done(Err(e))) => engine_error_response(id, &e),
-        Ok(ShardOutcome::Panicked) => error_response(
-            id,
-            code::INTERNAL,
-            "request crashed its worker (contained); see server logs",
-        ),
+        Ok(ShardOutcome::Done(result, worker_t)) => {
+            let t = reply_telemetry(&worker_t, joined, shard, ctx, own_wall_us());
+            let reply = match result {
+                Ok(result) => ok_response(id, &result),
+                Err(e) => engine_error_response(id, &e),
+            };
+            attach_telemetry(reply, &t)
+        }
+        Ok(ShardOutcome::Panicked(worker_t)) => {
+            let t = reply_telemetry(&worker_t, joined, shard, ctx, own_wall_us());
+            attach_telemetry(
+                error_response(
+                    id,
+                    code::INTERNAL,
+                    "request crashed its worker (contained); see server logs",
+                ),
+                &t,
+            )
+        }
         Ok(ShardOutcome::Drained) => {
-            error_response(id, code::UNAVAILABLE, "shed during server drain")
+            let mut t = RequestTelemetry::unserved(ctx.trace_id, shard);
+            t.queue_wait_us = own_wall_us();
+            attach_telemetry(
+                error_response(id, code::UNAVAILABLE, "shed during server drain"),
+                &t,
+            )
         }
         Err(_) => {
             // The solve outlived deadline + grace (it will abandon itself
@@ -543,13 +636,43 @@ fn settle(
             // Either way the client gets a bounded, structured answer.
             cancel.cancel();
             m.serve_deadline_exceeded.inc();
-            error_response(
-                id,
-                code::DEADLINE_EXCEEDED,
-                "deadline passed before the solve finished",
+            let mut t = RequestTelemetry::unserved(ctx.trace_id, shard);
+            t.queue_wait_us = own_wall_us();
+            let telemetry = shared.pool.telemetry();
+            telemetry.record_request(&t, fingerprint, FlightOutcome::DeadlineMiss);
+            telemetry.maybe_dump("deadline_miss", ctx.trace_id);
+            attach_telemetry(
+                error_response(
+                    id,
+                    code::DEADLINE_EXCEEDED,
+                    "deadline passed before the solve finished",
+                ),
+                &t,
             )
         }
     }
+}
+
+/// The telemetry block for a settled reply: the worker's phase breakdown
+/// re-stamped with the *caller's* trace ID. A dedup joiner inherits the
+/// leader's provenance (cache tier, solver path) but its phase timings
+/// are clamped to the joiner's own wall clock — the leader started
+/// earlier, so its raw timings could exceed what this caller observed.
+fn reply_telemetry(
+    worker: &RequestTelemetry,
+    joined: bool,
+    shard: usize,
+    ctx: RequestCtx,
+    own_wall_us: u64,
+) -> RequestTelemetry {
+    let mut t = worker.clone();
+    t.trace_id = ctx.trace_id;
+    t.shard = shard;
+    if joined {
+        t.solve_us = t.solve_us.min(own_wall_us);
+        t.queue_wait_us = own_wall_us - t.solve_us;
+    }
+    t
 }
 
 /// The daemon `stats` op: serving-tier counters from the global obs
@@ -588,7 +711,92 @@ fn stats_response(id: Option<Json>, shared: &Shared) -> Json {
                 "cache_quarantined",
                 Json::Num(m.serve_cache_quarantined.get() as f64),
             ),
+            // Additions ride at the end so the legacy field prefix stays
+            // byte-identical (pinned by tests/telemetry.rs).
+            (
+                "uptime_ms",
+                Json::Num(shared.pool.telemetry().uptime_ms() as f64),
+            ),
+            (
+                "telemetry_schema_version",
+                Json::Num(f64::from(TELEMETRY_SCHEMA_VERSION)),
+            ),
         ]),
     ));
     Json::obj(fields)
+}
+
+/// The `telemetry` op: per-shard rolling phase rollups (p50/p99/p999,
+/// SLO burn rate, merged buckets).
+fn telemetry_response(id: Option<Json>, shared: &Shared) -> Json {
+    let mut fields = vec![];
+    if let Some(id) = id {
+        fields.push(("id", id));
+    }
+    fields.push(("ok", Json::Bool(true)));
+    fields.push(("telemetry", shared.pool.telemetry().rollup_json()));
+    Json::obj(fields)
+}
+
+/// The `flightdump` op: force a flight-recorder dump now. Fails with
+/// `unavailable` when the daemon has no flight directory configured.
+fn flightdump_response(id: Option<Json>, shared: &Shared) -> Json {
+    match shared.pool.telemetry().dump("on_demand", 0) {
+        Ok(Some(path)) => {
+            let mut fields = vec![];
+            if let Some(id) = id {
+                fields.push(("id", id));
+            }
+            fields.push(("ok", Json::Bool(true)));
+            fields.push((
+                "flightdump",
+                Json::obj(vec![("path", Json::Str(path.display().to_string()))]),
+            ));
+            Json::obj(fields)
+        }
+        Ok(None) => error_response(
+            id,
+            code::UNAVAILABLE,
+            "no flight directory configured (--flight-dir)",
+        ),
+        Err(e) => error_response(id, code::INTERNAL, &format!("flight dump failed: {e}")),
+    }
+}
+
+/// Appends one telemetry-rollup line to `path` every `interval` until
+/// the daemon drains, plus a final line at shutdown so even a short run
+/// leaves evidence. Each line is the `telemetry` verb's document with a
+/// wall-clock `ts_ms` stamp appended.
+fn telemetry_writer_loop(shared: &Arc<Shared>, path: &std::path::Path, interval: Duration) {
+    let write_line = || {
+        let mut doc = shared.pool.telemetry().rollup_json();
+        if let Json::Obj(fields) = &mut doc {
+            let ts_ms = SystemTime::UNIX_EPOCH
+                .elapsed()
+                .map(|d| d.as_millis() as f64)
+                .unwrap_or(0.0);
+            fields.push(("ts_ms".to_string(), Json::Num(ts_ms)));
+        }
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{}", doc.emit()));
+        if let Err(e) = appended {
+            vstack_obs::warn_once!(
+                "serve",
+                "telemetry writer cannot append to {} ({e}); lines will be dropped",
+                path.display()
+            );
+        }
+    };
+    let mut next = Instant::now() + interval;
+    while !shared.draining.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(25).min(interval));
+        if Instant::now() >= next {
+            write_line();
+            next = Instant::now() + interval;
+        }
+    }
+    write_line();
 }

@@ -16,6 +16,11 @@
 //! * [`protocol`] — shared NDJSON response builders and the stable error
 //!   vocabulary (`overloaded` + `retry_after_ms`, `deadline_exceeded`,
 //!   `internal`, `unavailable`);
+//! * [`telemetry`] — request-scoped observability: trace-ID minting, the
+//!   per-request context threaded through the queue, rolling per-shard
+//!   SLO histograms behind the `telemetry` verb, and the always-on
+//!   flight recorder that dumps the last 512 requests on panic, deadline
+//!   miss, or shed spike;
 //! * [`chaos`] — feature-gated fault injection (torn cache writes, worker
 //!   panics, slow solves) for the chaos test harness; compiled out by
 //!   default.
@@ -30,6 +35,8 @@ pub mod daemon;
 pub mod protocol;
 pub mod queue;
 pub mod shard;
+pub mod telemetry;
 
 pub use daemon::{Bind, Daemon, DaemonConfig};
 pub use shard::{ShardConfig, ShardPool};
+pub use telemetry::{RequestCtx, RequestTelemetry};

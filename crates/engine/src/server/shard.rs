@@ -50,6 +50,7 @@ use vstack_sparse::CancelToken;
 use crate::engine::{Engine, EngineConfig, EngineError, QueryResult};
 use crate::request::ScenarioRequest;
 use crate::server::queue::{BoundedQueue, Popped, PushError};
+use crate::server::telemetry::{FlightOutcome, PoolTelemetry, RequestCtx, RequestTelemetry};
 
 /// Configuration for a [`ShardPool`].
 #[derive(Debug, Clone)]
@@ -64,6 +65,13 @@ pub struct ShardConfig {
     pub cache_dir: Option<PathBuf>,
     /// Whether solves may warm-start from cached neighbours.
     pub warm_start: bool,
+    /// Where flight-recorder dumps land; `None` disables dumping (the
+    /// in-memory ring still records).
+    pub flight_dir: Option<PathBuf>,
+    /// SLO latency threshold for the windowed histograms, microseconds.
+    pub slo_us: u64,
+    /// SLO availability target in (0, 1), e.g. `0.999`.
+    pub slo_target: f64,
 }
 
 impl Default for ShardConfig {
@@ -74,17 +82,22 @@ impl Default for ShardConfig {
             lru_capacity: 256,
             cache_dir: None,
             warm_start: true,
+            flight_dir: None,
+            slo_us: 250_000,
+            slo_target: 0.999,
         }
     }
 }
 
-/// Terminal reply for one admitted or joined request.
+/// Terminal reply for one admitted or joined request. `Done` and
+/// `Panicked` carry the worker-measured phase telemetry of the job that
+/// ran (on a dedup join: the leader's timings).
 #[derive(Debug, Clone)]
 pub enum ShardOutcome {
     /// The solve ran (or was answered from cache).
-    Done(Result<QueryResult, EngineError>),
+    Done(Result<QueryResult, EngineError>, RequestTelemetry),
     /// The solve panicked; the shard survived and the request did not.
-    Panicked,
+    Panicked(RequestTelemetry),
     /// The job was shed from the queue during a non-draining shutdown.
     Drained,
 }
@@ -109,7 +122,7 @@ struct Job {
     fingerprint: u64,
     request: ScenarioRequest,
     cancel: CancelToken,
-    admitted: Instant,
+    ctx: RequestCtx,
 }
 
 /// Reply channels of every request waiting on one in-flight fingerprint.
@@ -129,6 +142,7 @@ struct Shard {
 /// The fingerprint-sharded worker pool.
 pub struct ShardPool {
     shards: Vec<Shard>,
+    telemetry: Arc<PoolTelemetry>,
 }
 
 impl ShardPool {
@@ -139,6 +153,12 @@ impl ShardPool {
     /// Propagates disk-cache segment creation failures.
     pub fn start(config: &ShardConfig) -> io::Result<ShardPool> {
         let n = config.shards.max(1);
+        let telemetry = Arc::new(PoolTelemetry::new(
+            n,
+            config.slo_us,
+            config.slo_target,
+            config.flight_dir.clone(),
+        ));
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             let engine_config = EngineConfig {
@@ -157,9 +177,10 @@ impl ShardPool {
                 let queue = Arc::clone(&queue);
                 let waiters = Arc::clone(&waiters);
                 let ewma = Arc::clone(&ewma);
+                let telemetry = Arc::clone(&telemetry);
                 thread::Builder::new()
                     .name(format!("vstack-shard-{i}"))
-                    .spawn(move || worker_loop(engine, &queue, &waiters, &ewma))
+                    .spawn(move || worker_loop(engine, &queue, &waiters, &ewma, &telemetry, i))
                     .map_err(io::Error::other)?
             };
             shards.push(Shard {
@@ -169,7 +190,12 @@ impl ShardPool {
                 worker: Mutex::new(Some(worker)),
             });
         }
-        Ok(ShardPool { shards })
+        Ok(ShardPool { shards, telemetry })
+    }
+
+    /// The pool's telemetry surface (windows, flight recorders, dumps).
+    pub fn telemetry(&self) -> &Arc<PoolTelemetry> {
+        &self.telemetry
     }
 
     /// Number of shards.
@@ -185,12 +211,20 @@ impl ShardPool {
     /// Routes `request` to its home shard and runs admission control.
     /// Never blocks on a full queue. The request is canonicalized here so
     /// routing and dedup agree with the engine's own fingerprint domain;
-    /// callers should have validated it already.
-    pub fn submit(&self, request: &ScenarioRequest, cancel: CancelToken) -> Admission {
+    /// callers should have validated it already. Returns the decision and
+    /// the home-shard index (meaningful even for shed requests, so the
+    /// caller can attribute the rejection in its reply telemetry).
+    pub fn submit(
+        &self,
+        request: &ScenarioRequest,
+        cancel: CancelToken,
+        ctx: RequestCtx,
+    ) -> (Admission, usize) {
         let m = vstack_obs::metrics::global();
         let request = request.canonical();
         let fingerprint = request.fingerprint();
-        let shard = &self.shards[(fingerprint % self.shards.len() as u64) as usize];
+        let shard_idx = (fingerprint % self.shards.len() as u64) as usize;
+        let shard = &self.shards[shard_idx];
         let (tx, rx) = mpsc::channel();
         // Decide join-vs-admit-vs-shed under the waiter lock so the worker
         // (which takes the lock to deliver replies) can never observe a
@@ -199,30 +233,38 @@ impl ShardPool {
         if let Some(entry) = waiters.get_mut(&fingerprint) {
             entry.push(tx);
             m.serve_dedup_joins.inc();
-            return Admission::Joined(rx);
+            self.telemetry.shard(shard_idx).note_admission(false);
+            return (Admission::Joined(rx), shard_idx);
         }
         let job = Job {
             fingerprint,
             request: request.clone(),
             cancel,
-            admitted: Instant::now(),
+            ctx,
         };
-        match shard.queue.try_push(job) {
+        let admission = match shard.queue.try_push(job) {
             Ok(depth) => {
                 waiters.insert(fingerprint, vec![tx]);
                 m.serve_accepted.inc();
                 m.serve_queue_depth.observe(depth as u64);
+                self.telemetry.shard(shard_idx).note_admission(false);
                 Admission::Queued(rx)
             }
             Err(PushError::Full(_)) => {
                 m.serve_shed.inc();
                 m.serve_queue_depth.observe(shard.queue.capacity() as u64);
+                if self.telemetry.shard(shard_idx).note_admission(true) {
+                    // The rolling shed rate just spiked past 50%: capture
+                    // the black box while the overload is still in it.
+                    self.telemetry.maybe_dump("shed_spike", ctx.trace_id);
+                }
                 Admission::Shed {
                     retry_after_ms: shard.retry_after_ms(),
                 }
             }
             Err(PushError::Closed(_)) => Admission::Closed,
-        }
+        };
+        (admission, shard_idx)
     }
 
     /// Stops the pool. With `drain`, queued jobs are finished before the
@@ -232,11 +274,16 @@ impl ShardPool {
     /// Idempotent; later calls return once the first completes.
     pub fn shutdown(&self, drain: bool) {
         let m = vstack_obs::metrics::global();
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
             shard.queue.close();
             if !drain {
                 for job in shard.queue.drain_now() {
                     m.serve_drained_jobs.inc();
+                    let mut t = RequestTelemetry::unserved(job.ctx.trace_id, i);
+                    t.queue_wait_us =
+                        u64::try_from(job.ctx.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    self.telemetry
+                        .record_request(&t, job.fingerprint, FlightOutcome::Drained);
                     deliver(&shard.waiters, job.fingerprint, &ShardOutcome::Drained);
                 }
             }
@@ -280,11 +327,15 @@ fn deliver(waiters: &WaiterMap, fingerprint: u64, outcome: &ShardOutcome) {
 }
 
 /// The shard worker: pop, solve (contained), deliver, until drained.
+/// Each job's trace id is published to the thread's trace slot for the
+/// duration of the solve, so every span below picks it up.
 fn worker_loop(
     mut engine: Engine,
     queue: &BoundedQueue<Job>,
     waiters: &WaiterMap,
     ewma_service_us: &AtomicU64,
+    telemetry: &PoolTelemetry,
+    shard_idx: usize,
 ) {
     let m = vstack_obs::metrics::global();
     loop {
@@ -293,14 +344,62 @@ fn worker_loop(
             Popped::TimedOut => continue,
             Popped::Drained => break,
         };
+        let queue_wait_us =
+            u64::try_from(job.ctx.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let trace = vstack_obs::trace::trace_scope(job.ctx.trace_id);
+        let solve_start = Instant::now();
         let outcome = if job.cancel.is_cancelled() {
             // Expired while queued: don't waste a solve on it.
             m.serve_deadline_exceeded.inc();
-            ShardOutcome::Done(Err(EngineError::Cancelled))
+            None
         } else {
-            run_job(&mut engine, &job)
+            Some(run_job(&mut engine, &job))
         };
-        let service_us = u64::try_from(job.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let solve_us = u64::try_from(solve_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        drop(trace);
+
+        let mut request_telemetry = RequestTelemetry {
+            trace_id: job.ctx.trace_id,
+            shard: shard_idx,
+            queue_wait_us,
+            solve_us,
+            cache_tier: "none",
+            solver_path: String::new(),
+        };
+        let (outcome, flight) = match outcome {
+            None => (
+                ShardOutcome::Done(Err(EngineError::Cancelled), request_telemetry.clone()),
+                FlightOutcome::DeadlineMiss,
+            ),
+            Some(Ok(done)) => {
+                let flight = match &done {
+                    Ok(result) => {
+                        request_telemetry.cache_tier = RequestTelemetry::tier_for(result.outcome);
+                        request_telemetry.solver_path = result.summary.solver_path.clone();
+                        FlightOutcome::Ok
+                    }
+                    Err(EngineError::Cancelled) => FlightOutcome::DeadlineMiss,
+                    Err(_) => FlightOutcome::EngineError,
+                };
+                (ShardOutcome::Done(done, request_telemetry.clone()), flight)
+            }
+            Some(Err(())) => (
+                ShardOutcome::Panicked(request_telemetry.clone()),
+                FlightOutcome::Panicked,
+            ),
+        };
+        telemetry.record_request(&request_telemetry, job.fingerprint, flight);
+        match flight {
+            FlightOutcome::Panicked => {
+                telemetry.maybe_dump("worker_panic", job.ctx.trace_id);
+            }
+            FlightOutcome::DeadlineMiss => {
+                telemetry.maybe_dump("deadline_miss", job.ctx.trace_id);
+            }
+            _ => {}
+        }
+
+        let service_us = u64::try_from(job.ctx.admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
         m.serve_request_us.observe(service_us);
         // EWMA with 1/8 gain: smooth enough to ride out cache-hit noise,
         // fast enough to track a fidelity shift within ~a dozen requests.
@@ -321,7 +420,8 @@ fn worker_loop(
 }
 
 /// Runs one job with panic containment and prompt cache persistence.
-fn run_job(engine: &mut Engine, job: &Job) -> ShardOutcome {
+/// `Err(())` means the solve panicked (and was contained).
+fn run_job(engine: &mut Engine, job: &Job) -> Result<Result<QueryResult, EngineError>, ()> {
     let m = vstack_obs::metrics::global();
     let result = catch_unwind(AssertUnwindSafe(|| {
         crate::server::chaos::worker_solve_hook();
@@ -344,7 +444,7 @@ fn run_job(engine: &mut Engine, job: &Job) -> ShardOutcome {
             if matches!(done, Err(EngineError::Cancelled)) {
                 m.serve_deadline_exceeded.inc();
             }
-            ShardOutcome::Done(done)
+            Ok(done)
         }
         Err(_) => {
             m.serve_worker_panics.inc();
@@ -352,7 +452,7 @@ fn run_job(engine: &mut Engine, job: &Job) -> ShardOutcome {
                 "serve",
                 "worker solve panicked (contained); shard continues"
             );
-            ShardOutcome::Panicked
+            Err(())
         }
     }
 }
@@ -373,16 +473,26 @@ mod tests {
         })
         .unwrap();
         let req = quick_request(2);
-        let rx = match pool.submit(&req, CancelToken::never()) {
-            Admission::Queued(rx) => rx,
+        let ctx = RequestCtx::mint();
+        let rx = match pool.submit(&req, CancelToken::never(), ctx) {
+            (Admission::Queued(rx), _) => rx,
             _ => panic!("first submission must queue"),
         };
         match rx.recv_timeout(Duration::from_secs(60)).unwrap() {
-            ShardOutcome::Done(Ok(result)) => {
+            ShardOutcome::Done(Ok(result), telemetry) => {
                 assert_eq!(result.fingerprint, req.fingerprint());
+                assert_eq!(telemetry.trace_id, ctx.trace_id);
+                assert_eq!(telemetry.cache_tier, "solve");
+                assert!(!telemetry.solver_path.is_empty());
+                assert!(telemetry.solve_us > 0);
             }
             other => panic!("unexpected outcome: {other:?}"),
         }
+        // The worker recorded the request into its shard's black box.
+        let records: usize = (0..pool.len())
+            .map(|i| pool.telemetry().shard(i).flight.snapshot().len())
+            .sum();
+        assert_eq!(records, 1);
         pool.shutdown(true);
     }
 
@@ -395,12 +505,14 @@ mod tests {
         .unwrap();
         let req = quick_request(2);
         let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
-        let rx = match pool.submit(&req, expired) {
-            Admission::Queued(rx) => rx,
+        let rx = match pool.submit(&req, expired, RequestCtx::mint()) {
+            (Admission::Queued(rx), _) => rx,
             _ => panic!("must queue"),
         };
         match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-            ShardOutcome::Done(Err(EngineError::Cancelled)) => {}
+            ShardOutcome::Done(Err(EngineError::Cancelled), telemetry) => {
+                assert_eq!(telemetry.cache_tier, "none");
+            }
             other => panic!("unexpected outcome: {other:?}"),
         }
         pool.shutdown(true);

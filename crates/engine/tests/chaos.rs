@@ -51,6 +51,10 @@ fn request(imbalance: f64) -> ScenarioRequest {
 }
 
 fn start_daemon(deadline_ms: u64) -> Daemon {
+    start_daemon_with_flight(deadline_ms, None)
+}
+
+fn start_daemon_with_flight(deadline_ms: u64, flight_dir: Option<PathBuf>) -> Daemon {
     Daemon::start(DaemonConfig {
         bind: Bind::Tcp("127.0.0.1:0".to_string()),
         shard: ShardConfig {
@@ -59,9 +63,12 @@ fn start_daemon(deadline_ms: u64) -> Daemon {
             lru_capacity: 32,
             cache_dir: None,
             warm_start: true,
+            flight_dir,
+            ..ShardConfig::default()
         },
         default_deadline_ms: deadline_ms,
         max_deadline_ms: 300_000,
+        ..DaemonConfig::default()
     })
     .expect("daemon start")
 }
@@ -203,6 +210,123 @@ fn slow_solves_turn_into_bounded_deadline_errors() {
     daemon.shutdown(true);
 }
 
+/// The flight-recorder dump files under `dir`, each parsed into
+/// `(header, records)`.
+fn read_flight_dumps(dir: &PathBuf) -> Vec<(Json, Vec<Json>)> {
+    let mut dumps = Vec::new();
+    for entry in fs::read_dir(dir).expect("flight dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if !(name.starts_with("flight-") && name.ends_with(".ndjson")) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("read dump");
+        let mut lines = text.lines();
+        let header = Json::parse(lines.next().expect("header")).expect("header parses");
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some("vstack-flight/1"),
+            "{name}"
+        );
+        let records = lines
+            .map(|l| Json::parse(l).expect("record parses"))
+            .collect();
+        dumps.push((header, records));
+    }
+    dumps
+}
+
+fn reply_trace_id(reply: &Json) -> String {
+    reply
+        .get("telemetry")
+        .and_then(|t| t.get("trace_id"))
+        .and_then(Json::as_str)
+        .expect("reply carries telemetry.trace_id")
+        .to_string()
+}
+
+/// A worker panic triggers an automatic flight-recorder dump whose
+/// header names the reason and whose records include the poisoned
+/// request's trace id — the black box survives the crash it describes.
+#[test]
+fn worker_panic_writes_flight_dump_with_offending_trace() {
+    let _armed = Armed::begin();
+    let dir = scratch_dir("flight-panic");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let daemon = start_daemon_with_flight(30_000, Some(dir.clone()));
+    let mut conn = connect(&daemon);
+
+    chaos::panic_next_solves(1);
+    let poisoned = one(
+        &mut conn,
+        r#"{"op":"solve","scenario":{"solve":"vs","layers":2,"imbalance":0.777,"fidelity":"quick"}}"#,
+    );
+    assert_eq!(error_code(&poisoned), Some("internal"), "{poisoned:?}");
+    let trace_id = reply_trace_id(&poisoned);
+
+    let dumps = read_flight_dumps(&dir);
+    assert!(!dumps.is_empty(), "panic must write a flight dump");
+    let (header, records) = dumps
+        .iter()
+        .find(|(h, _)| h.get("reason").and_then(Json::as_str) == Some("worker_panic"))
+        .expect("a worker_panic dump exists");
+    assert_eq!(
+        header.get("trace_id").and_then(Json::as_str),
+        Some(trace_id.as_str()),
+        "dump header names the offending trace"
+    );
+    let offending = records
+        .iter()
+        .find(|r| r.get("trace_id").and_then(Json::as_str) == Some(trace_id.as_str()))
+        .expect("dump records include the poisoned request");
+    assert_eq!(
+        offending.get("outcome").and_then(Json::as_str),
+        Some("panic")
+    );
+
+    daemon.shutdown(true);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A deadline miss (slow solve under a short deadline) also triggers an
+/// automatic dump carrying the missed request's trace id.
+#[test]
+fn deadline_miss_writes_flight_dump_with_offending_trace() {
+    let _armed = Armed::begin();
+    let dir = scratch_dir("flight-deadline");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let daemon = start_daemon_with_flight(30_000, Some(dir.clone()));
+    let mut conn = connect(&daemon);
+
+    chaos::delay_solves_us(300_000);
+    let missed = one(
+        &mut conn,
+        r#"{"op":"solve","deadline_ms":50,"scenario":{"solve":"vs","layers":2,"imbalance":0.888,"fidelity":"quick"}}"#,
+    );
+    assert_eq!(error_code(&missed), Some("deadline_exceeded"), "{missed:?}");
+    let trace_id = reply_trace_id(&missed);
+    chaos::reset();
+
+    let dumps = read_flight_dumps(&dir);
+    let miss_dump = dumps
+        .iter()
+        .find(|(h, _)| h.get("reason").and_then(Json::as_str) == Some("deadline_miss"))
+        .expect("a deadline_miss dump exists");
+    assert!(
+        miss_dump
+            .1
+            .iter()
+            .any(
+                |r| r.get("trace_id").and_then(Json::as_str) == Some(trace_id.as_str())
+                    && r.get("outcome").and_then(Json::as_str) == Some("deadline_miss")
+            ),
+        "dump records include the missed request's trace id {trace_id}"
+    );
+
+    daemon.shutdown(true);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Store failures inside the serving loop (flush-after-solve) are logged
 /// and absorbed: the daemon answers ok and keeps serving.
 #[test]
@@ -217,9 +341,11 @@ fn daemon_survives_cache_store_faults() {
             lru_capacity: 32,
             cache_dir: Some(dir.clone()),
             warm_start: true,
+            ..ShardConfig::default()
         },
         default_deadline_ms: 30_000,
         max_deadline_ms: 300_000,
+        ..DaemonConfig::default()
     })
     .expect("daemon start");
     let mut conn = connect(&daemon);

@@ -27,10 +27,9 @@ fn start(shards: usize, queue_capacity: usize, cache_dir: Option<&Path>) -> Daem
             queue_capacity,
             lru_capacity: 64,
             cache_dir: cache_dir.map(Path::to_path_buf),
-            warm_start: true,
+            ..ShardConfig::default()
         },
-        default_deadline_ms: 30_000,
-        max_deadline_ms: 300_000,
+        ..DaemonConfig::default()
     })
     .expect("daemon start")
 }

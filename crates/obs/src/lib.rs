@@ -14,12 +14,18 @@
 //!   are drained centrally and serialized as NDJSON or as a
 //!   collapsed-stack file consumable by `inferno` / `flamegraph.pl`.
 //!   Tracing is **off by default**; a disabled span costs one relaxed
-//!   atomic load and a branch.
+//!   atomic load and a branch. A per-thread *current-trace* slot
+//!   ([`trace::trace_scope`]) tags every span recorded inside it with a
+//!   caller-minted 64-bit `trace_id`, so a serving daemon can correlate
+//!   spans with the request that caused them with no call-site churn.
 //! * [`metrics`] — static registry of monotonic counters and fixed-bucket
 //!   histograms, always on (relaxed atomic adds), snapshot-serializable
 //!   to JSON with a schema version. Field names ending in `_us` are
 //!   wall-clock dependent by convention; everything else is deterministic
-//!   for a deterministic workload, which is what tests assert on.
+//!   for a deterministic workload, which is what tests assert on. Also
+//!   hosts [`metrics::WindowedHistogram`], a ring of fixed-width
+//!   time-windowed log-bucket histograms for rolling p50/p99/p999 and
+//!   SLO burn-rate reporting (constructed per call-site, not global).
 //! * [`log`] — leveled stderr logger filtered by the `VSTACK_LOG`
 //!   environment variable (`warn|info|debug[,target=level]*`), replacing
 //!   scattered bare `eprintln!`s. Includes a [`warn_once!`] macro for

@@ -14,6 +14,8 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Schema tag embedded in every snapshot. Bump on any incompatible change
 /// to the snapshot layout or to bucket edges.
@@ -123,6 +125,241 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
     }
+}
+
+/// Log-spaced bucket edges for request-latency telemetry (50 µs … 5 s).
+/// Denser than [`US_EDGES`] so windowed p50/p99/p999 estimates resolve
+/// sub-millisecond serving latencies.
+pub const TELEMETRY_US_EDGES: &[u64] = &[
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000,
+];
+
+/// One time window of a [`WindowedHistogram`]: a plain (non-atomic)
+/// bucket array plus the window index it currently accumulates.
+#[derive(Debug, Clone)]
+struct Window {
+    /// Which fixed-width window (`elapsed / width`) this slot holds;
+    /// `u64::MAX` marks a slot that has never been written.
+    index: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// Observations strictly above the SLO threshold.
+    over_slo: u64,
+}
+
+impl Window {
+    fn clear(&mut self, index: u64) {
+        self.index = index;
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.over_slo = 0;
+    }
+}
+
+/// Rolling aggregate over the live windows of a [`WindowedHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRollup {
+    /// Observations inside the rolling horizon.
+    pub count: u64,
+    /// Sum of those observations.
+    pub sum: u64,
+    /// Observations above the SLO threshold.
+    pub over_slo: u64,
+    /// Merged bucket counts (length `edges.len() + 1`).
+    pub buckets: Vec<u64>,
+    /// Upper-edge estimates of the rolling percentiles. The final
+    /// (overflow) bucket saturates at twice the last edge.
+    pub p50: u64,
+    /// 99th percentile (same estimator as `p50`).
+    pub p99: u64,
+    /// 99.9th percentile (same estimator as `p50`).
+    pub p999: u64,
+    /// SLO burn rate: the observed error fraction divided by the error
+    /// budget (`1 - target`). 1.0 means the budget is being consumed
+    /// exactly as fast as it accrues; above 1.0 the SLO is burning down.
+    pub burn_rate: f64,
+}
+
+/// A ring of fixed-width time windows, each a log-bucket histogram —
+/// the rolling-percentile / SLO-burn-rate primitive behind the serving
+/// daemon's `telemetry` verb.
+///
+/// Unlike [`Histogram`] (cumulative, static registry), windowed
+/// histograms are constructed per shard at runtime. `observe` locks the
+/// current window's mutex for a handful of adds; windows other than the
+/// current one are only touched by `rollup`, so steady-state contention
+/// is writer-vs-writer on one shard's current window only. A window that
+/// falls out of the rolling horizon is lazily reset the next time its
+/// ring slot is reused, and `rollup` simply skips stale windows — no
+/// background rotation thread exists.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    edges: &'static [u64],
+    width: Duration,
+    slo_threshold: u64,
+    slo_target: f64,
+    epoch: Instant,
+    windows: Vec<Mutex<Window>>,
+    /// Monotonic total across the histogram's lifetime (never reset by
+    /// window rotation) — what concurrency tests assert monotonicity on.
+    total: AtomicU64,
+}
+
+impl WindowedHistogram {
+    /// A ring of `windows` windows of `width` each. `slo_threshold` is
+    /// the latency bound observations are judged against and
+    /// `slo_target` the availability objective (e.g. `0.999`).
+    pub fn new(
+        edges: &'static [u64],
+        width: Duration,
+        windows: usize,
+        slo_threshold: u64,
+        slo_target: f64,
+    ) -> Self {
+        assert!(!edges.is_empty(), "windowed histogram needs bucket edges");
+        assert!(
+            slo_target > 0.0 && slo_target < 1.0,
+            "slo_target must be in (0, 1)"
+        );
+        let windows = windows.max(2);
+        WindowedHistogram {
+            edges,
+            width: width.max(Duration::from_millis(1)),
+            slo_threshold,
+            slo_target,
+            epoch: Instant::now(),
+            windows: (0..windows)
+                .map(|_| {
+                    Mutex::new(Window {
+                        index: u64::MAX,
+                        buckets: vec![0; edges.len() + 1],
+                        count: 0,
+                        sum: 0,
+                        over_slo: 0,
+                    })
+                })
+                .collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// The serving default: a rolling minute of 1-second windows.
+    pub fn per_second_minute(slo_threshold: u64, slo_target: f64) -> Self {
+        WindowedHistogram::new(
+            TELEMETRY_US_EDGES,
+            Duration::from_secs(1),
+            60,
+            slo_threshold,
+            slo_target,
+        )
+    }
+
+    /// Bucket edges shared by every window.
+    pub fn edges(&self) -> &'static [u64] {
+        self.edges
+    }
+
+    /// The SLO threshold observations are judged against.
+    pub fn slo_threshold(&self) -> u64 {
+        self.slo_threshold
+    }
+
+    /// The availability objective.
+    pub fn slo_target(&self) -> f64 {
+        self.slo_target
+    }
+
+    /// Observations across the histogram's lifetime; monotonic (window
+    /// rotation never decreases it).
+    pub fn total_count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn window_index(&self) -> u64 {
+        (self.epoch.elapsed().as_micros() / self.width.as_micros().max(1)) as u64
+    }
+
+    /// Records one observation into the current time window.
+    pub fn observe(&self, v: u64) {
+        let index = self.window_index();
+        let slot = (index % self.windows.len() as u64) as usize;
+        let mut w = self.windows[slot].lock().expect("window lock");
+        if w.index != index {
+            w.clear(index);
+        }
+        let bucket = self.edges.partition_point(|&e| e < v);
+        w.buckets[bucket] += 1;
+        w.count += 1;
+        w.sum += v;
+        if v > self.slo_threshold {
+            w.over_slo += 1;
+        }
+        drop(w);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges every window still inside the rolling horizon into one
+    /// aggregate with percentile estimates and the SLO burn rate.
+    pub fn rollup(&self) -> WindowRollup {
+        let current = self.window_index();
+        let oldest = current.saturating_sub(self.windows.len() as u64 - 1);
+        let mut buckets = vec![0u64; self.edges.len() + 1];
+        let (mut count, mut sum, mut over_slo) = (0u64, 0u64, 0u64);
+        for slot in &self.windows {
+            let w = slot.lock().expect("window lock");
+            if w.index < oldest || w.index > current {
+                continue; // stale (or never-written) slot
+            }
+            for (acc, b) in buckets.iter_mut().zip(&w.buckets) {
+                *acc += b;
+            }
+            count += w.count;
+            sum += w.sum;
+            over_slo += w.over_slo;
+        }
+        let quantile = |q: f64| bucket_quantile(self.edges, &buckets, count, q);
+        let burn_rate = if count == 0 {
+            0.0
+        } else {
+            (over_slo as f64 / count as f64) / (1.0 - self.slo_target)
+        };
+        WindowRollup {
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+            burn_rate,
+            count,
+            sum,
+            over_slo,
+            buckets,
+        }
+    }
+}
+
+/// Upper-edge quantile estimate over merged log buckets: the value
+/// reported for quantile `q` is the upper edge of the bucket holding the
+/// `ceil(q * count)`-th observation (overflow bucket: twice the last
+/// edge). Deterministic and conservative — never underestimates by more
+/// than one bucket width.
+pub fn bucket_quantile(edges: &[u64], buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            return edges
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| edges.last().copied().unwrap_or(0).saturating_mul(2));
+        }
+    }
+    edges.last().copied().unwrap_or(0).saturating_mul(2)
 }
 
 /// Every metric the workspace records. All fields are always-on; updates
@@ -511,5 +748,63 @@ mod tests {
         let before = global().ladder_solves.get();
         global().ladder_solves.inc();
         assert_eq!(global().ladder_solves.get(), before + 1);
+    }
+
+    #[test]
+    fn windowed_histogram_rolls_up_current_horizon() {
+        // Wide windows so every observation lands in the same window.
+        let w = WindowedHistogram::new(
+            TELEMETRY_US_EDGES,
+            Duration::from_secs(3600),
+            4,
+            1_000,
+            0.99,
+        );
+        for v in [100, 200, 900, 1_500, 40_000] {
+            w.observe(v);
+        }
+        let r = w.rollup();
+        assert_eq!(r.count, 5);
+        assert_eq!(r.sum, 42_700);
+        assert_eq!(r.over_slo, 2); // 1_500 and 40_000 exceed the 1 ms SLO
+        assert_eq!(w.total_count(), 5);
+        // 2/5 over a 1% error budget => burn rate 40.
+        assert!((r.burn_rate - 40.0).abs() < 1e-9, "burn {}", r.burn_rate);
+        // Upper-edge estimates: p50 is the 3rd of 5 observations (900 -> edge 1000).
+        assert_eq!(r.p50, 1_000);
+        assert_eq!(r.p99, 50_000);
+        assert_eq!(r.p999, 50_000);
+    }
+
+    #[test]
+    fn windowed_histogram_empty_rollup_is_zero() {
+        let w = WindowedHistogram::per_second_minute(1_000, 0.999);
+        let r = w.rollup();
+        assert_eq!(r.count, 0);
+        assert_eq!(r.p50, 0);
+        assert_eq!(r.burn_rate, 0.0);
+        assert_eq!(w.total_count(), 0);
+    }
+
+    #[test]
+    fn windowed_histogram_expires_old_windows() {
+        // 1 ms windows, 2-slot ring: after sleeping past the horizon the
+        // old observations drop out of the rollup but not the total.
+        let w = WindowedHistogram::new(TELEMETRY_US_EDGES, Duration::from_millis(1), 2, 1_000, 0.9);
+        w.observe(77);
+        std::thread::sleep(Duration::from_millis(5));
+        let r = w.rollup();
+        assert_eq!(r.count, 0, "window should have expired");
+        assert_eq!(w.total_count(), 1, "lifetime total is monotone");
+    }
+
+    #[test]
+    fn bucket_quantile_upper_edge_and_overflow() {
+        let edges = &[10u64, 100];
+        // 3 observations in bucket 0, 1 in the overflow bucket.
+        let buckets = vec![3u64, 0, 1];
+        assert_eq!(bucket_quantile(edges, &buckets, 4, 0.50), 10);
+        assert_eq!(bucket_quantile(edges, &buckets, 4, 0.99), 200);
+        assert_eq!(bucket_quantile(edges, &buckets, 0, 0.5), 0);
     }
 }

@@ -25,7 +25,7 @@
 //! span→thread assignment follows the pool's work distribution; run with
 //! `VSTACK_THREADS=1` when byte-stable traces are required.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -78,6 +78,9 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Request trace id active on the recording thread when the span
+    /// closed ([`current_trace`]); 0 when no request context was set.
+    pub trace_id: u64,
 }
 
 impl SpanRecord {
@@ -132,6 +135,43 @@ struct ThreadState {
 
 thread_local! {
     static STATE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+    /// The request trace id active on this thread; 0 means "no request
+    /// context". Deliberately separate from `STATE`: reading it must not
+    /// lazily register a trace ring for threads that only propagate ids.
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request trace id active on the current thread (0 when none).
+///
+/// Serving tiers set this at admission via [`trace_scope`]; every
+/// [`span!`](crate::span) record closed while the scope is live carries
+/// the id, so existing instrumentation picks up request attribution with
+/// no call-site changes. Thread pools that fan a request out re-publish
+/// the id on their worker threads by capturing `current_trace()` before
+/// dispatch and opening a nested `trace_scope` inside each job.
+#[inline]
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard restoring the previous per-thread trace id on drop.
+#[must_use = "dropping the scope immediately restores the previous trace id"]
+pub struct TraceScope {
+    prev: u64,
+}
+
+/// Installs `trace_id` as the current thread's request trace id until the
+/// returned guard drops (scopes nest; the previous id is restored).
+#[inline]
+pub fn trace_scope(trace_id: u64) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|c| c.replace(trace_id));
+    TraceScope { prev }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
 }
 
 fn with_state<R>(f: impl FnOnce(&mut ThreadState) -> R) -> R {
@@ -215,6 +255,7 @@ impl Drop for SpanGuard {
                 stack,
                 start_us: self.start_us,
                 dur_us: end_us.saturating_sub(self.start_us),
+                trace_id: current_trace(),
             });
         });
     }
@@ -253,8 +294,8 @@ pub fn to_ndjson(dump: &TraceDump) -> String {
         push_stack(&mut out, &r.stack);
         let _ = writeln!(
             out,
-            "\",\"thread\":{},\"seq\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
-            r.thread, r.seq, r.depth, r.start_us, r.dur_us
+            "\",\"thread\":{},\"seq\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{},\"trace_id\":\"{:016x}\"}}",
+            r.thread, r.seq, r.depth, r.start_us, r.dur_us, r.trace_id
         );
     }
     out
@@ -384,6 +425,7 @@ mod tests {
                     stack: vec!["root", "leaf"],
                     start_us: 0,
                     dur_us: 30,
+                    trace_id: 0,
                 },
                 SpanRecord {
                     thread: 0,
@@ -392,6 +434,7 @@ mod tests {
                     stack: vec!["root"],
                     start_us: 0,
                     dur_us: 100,
+                    trace_id: 0,
                 },
             ],
             dropped: 0,
@@ -405,6 +448,41 @@ mod tests {
     }
 
     #[test]
+    fn trace_scope_tags_spans_and_restores_on_drop() {
+        let _gate = lock();
+        set_enabled(false);
+        drain();
+        assert_eq!(current_trace(), 0);
+        set_enabled(true);
+        {
+            let _outer = trace_scope(0xabcd);
+            assert_eq!(current_trace(), 0xabcd);
+            {
+                let _nested = trace_scope(0x1234);
+                assert_eq!(current_trace(), 0x1234);
+                let _s = span("traced_inner");
+            }
+            assert_eq!(current_trace(), 0xabcd);
+            let _s = span("traced_outer");
+        }
+        assert_eq!(current_trace(), 0);
+        {
+            let _s = span("untraced_span");
+        }
+        set_enabled(false);
+        let dump = drain();
+        let by_name: std::collections::BTreeMap<&str, u64> = dump
+            .records
+            .iter()
+            .map(|r| (r.name(), r.trace_id))
+            .collect();
+        assert_eq!(by_name["traced_inner"], 0x1234);
+        assert_eq!(by_name["traced_outer"], 0xabcd);
+        assert_eq!(by_name["untraced_span"], 0);
+        assert!(to_ndjson(&dump).contains("\"trace_id\":\"0000000000001234\""));
+    }
+
+    #[test]
     fn ring_overflow_drops_oldest_and_counts() {
         let mut ring = Ring::new();
         for seq in 0..(RING_CAPACITY as u64 + 3) {
@@ -415,6 +493,7 @@ mod tests {
                 stack: vec!["overflow_probe"],
                 start_us: 0,
                 dur_us: 0,
+                trace_id: 0,
             });
         }
         assert_eq!(ring.dropped, 3);

@@ -1,0 +1,96 @@
+//! Process-isolated concurrency test for the windowed SLO histograms:
+//! four writer threads (one per simulated shard worker) hammer a shared
+//! [`WindowedHistogram`] while a reader polls rollups, asserting that
+//! the lifetime total is monotone and that no rollup is ever torn
+//! (bucket sums always equal the merged count, over-SLO never exceeds
+//! the count, and the mean stays inside the observed value range).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vstack_obs::metrics::{WindowedHistogram, TELEMETRY_US_EDGES};
+
+#[test]
+fn four_shard_threads_never_tear_a_window() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+
+    // Narrow 5 ms windows in an 8-slot ring so the test exercises
+    // rotation and lazy reset, not just a single hot window.
+    let hist = Arc::new(WindowedHistogram::new(
+        TELEMETRY_US_EDGES,
+        Duration::from_millis(5),
+        8,
+        1_000,
+        0.999,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let hist = Arc::clone(&hist);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_total = 0u64;
+            let mut rollups = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let total = hist.total_count();
+                assert!(
+                    total >= last_total,
+                    "lifetime total went backwards: {last_total} -> {total}"
+                );
+                last_total = total;
+
+                let r = hist.rollup();
+                let bucket_sum: u64 = r.buckets.iter().sum();
+                assert_eq!(
+                    bucket_sum, r.count,
+                    "torn window: bucket sum {bucket_sum} != count {}",
+                    r.count
+                );
+                assert!(r.over_slo <= r.count, "over_slo exceeds count");
+                if let Some(mean) = r.sum.checked_div(r.count) {
+                    assert!(
+                        (7..=1_900).contains(&mean),
+                        "mean {mean} outside observed value range"
+                    );
+                    assert!(r.p50 >= 1, "p50 must be a real edge when count > 0");
+                }
+                rollups += 1;
+            }
+            rollups
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|shard| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // Deterministic per-shard value stream: mostly fast
+                // requests with a sprinkle of SLO-busting outliers.
+                for i in 0..PER_WRITER {
+                    let v = match i % 101 {
+                        0 => 1_900,
+                        _ => 7 + ((i * 37 + shard as u64) % 750),
+                    };
+                    hist.observe(v);
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Release);
+    let rollups = reader.join().expect("reader panicked");
+    assert!(rollups > 0, "reader must have observed at least one rollup");
+
+    assert_eq!(hist.total_count(), WRITERS as u64 * PER_WRITER);
+    // After all writers finish, everything recorded within the horizon
+    // must still be internally consistent.
+    let r = hist.rollup();
+    let bucket_sum: u64 = r.buckets.iter().sum();
+    assert_eq!(bucket_sum, r.count);
+    assert!(r.count <= hist.total_count());
+}
